@@ -1,0 +1,71 @@
+"""Ablation: send-buffer aggregation versus per-item messages (DESIGN.md §5).
+
+Section IV-C of the paper argues that sending every updated item in its own
+message is too expensive ("the overhead of calling these routines is too
+much") and aggregates items into buffers.  This ablation quantifies the
+claim twice:
+
+* functionally — running the distributed sampler with ``buffer_capacity=1``
+  versus the default and counting the messages actually posted;
+* in the performance model — sweeping the buffer capacity in the
+  strong-scaling model and comparing modelled throughput.
+"""
+
+from __future__ import annotations
+
+from repro.core.priors import BPMFConfig
+from repro.datasets import make_low_rank_dataset
+from repro.distributed.sampler import DistributedGibbsSampler, DistributedOptions
+from repro.distributed.scaling import ScalingConfig, strong_scaling_study
+from repro.mpi.network import ClusterSpec, NetworkModel
+from repro.utils.tables import Table
+
+CAPACITIES = (1, 8, 64, 512)
+NODES = 32
+
+
+def test_buffer_aggregation_ablation(benchmark, movielens_scaling_workload):
+    def run_ablation():
+        # -- functional message counts on a small dataset -------------------
+        data = make_low_rank_dataset(n_users=120, n_movies=80, rank=4,
+                                     density=0.15, seed=5)
+        config = BPMFConfig(num_latent=4, burn_in=2, n_samples=3)
+        message_counts = {}
+        for capacity in (1, 64):
+            _, info = DistributedGibbsSampler(
+                config, DistributedOptions(n_ranks=4, buffer_capacity=capacity,
+                                           hyper_mode="stats")
+            ).run(data.split.train, data.split, seed=1)
+            message_counts[capacity] = info.buffer_stats.n_messages
+
+        # -- modelled throughput at scale -----------------------------------
+        throughput = {}
+        for capacity in CAPACITIES:
+            scaling = strong_scaling_study(
+                movielens_scaling_workload, node_counts=(NODES,),
+                config=ScalingConfig(
+                    num_latent=64, buffer_capacity=capacity,
+                    cluster=ClusterSpec(rack_size=32),
+                    network=NetworkModel(per_message_overhead=8.0e-6,
+                                         intra_bandwidth=1.8e9,
+                                         inter_bandwidth=0.7e9)))
+            throughput[capacity] = scaling.point(NODES).throughput
+        return message_counts, throughput
+
+    message_counts, throughput = benchmark.pedantic(run_ablation, rounds=1,
+                                                    iterations=1)
+
+    table = Table(["buffer capacity (items)", f"modelled items/s on {NODES} nodes"],
+                  title="Send-buffer aggregation ablation")
+    for capacity in CAPACITIES:
+        table.add_row(capacity, throughput[capacity])
+    print()
+    print(table.render())
+    print(f"functional run: {message_counts[1]} messages unbuffered vs "
+          f"{message_counts[64]} messages with 64-item buffers")
+
+    # Buffering reduces the number of messages by a large factor...
+    assert message_counts[1] > 5 * message_counts[64]
+    # ...and the modelled throughput benefits from amortising the overhead.
+    assert throughput[64] > throughput[1]
+    assert throughput[512] >= 0.95 * throughput[64]

@@ -1,0 +1,39 @@
+"""Benchmark: the paper's accuracy-parity claim (Section V-B).
+
+"For all the experiments, all the versions of the parallel BPMF reach the
+same level of prediction accuracy evaluated using the RMSE."  This target
+runs the sequential, multicore and distributed samplers on one dataset with
+one seed and verifies they agree — exactly (bitwise) where the random
+streams are aligned, and within a small tolerance for the
+sufficient-statistics hyperparameter path.
+"""
+
+from __future__ import annotations
+
+from repro.bench.accuracy import run_accuracy_parity
+from repro.core.priors import BPMFConfig
+
+
+def test_accuracy_parity_across_implementations(benchmark):
+    config = BPMFConfig(num_latent=6, burn_in=6, n_samples=14, alpha=4.0)
+    result = benchmark.pedantic(
+        run_accuracy_parity,
+        kwargs=dict(config=config, n_ranks=4, seed=7),
+        rounds=1, iterations=1)
+
+    print()
+    print(result.to_table().render())
+
+    # The parallel execution paths that share the sequential random stream
+    # reproduce it exactly.
+    assert result.exact_match["sequential"]
+    assert result.exact_match["multicore"]
+    assert result.exact_match["distributed (gather)"]
+
+    # The production (allreduce) hyperparameter path is statistically
+    # equivalent: same accuracy to well within the Monte-Carlo noise.
+    assert result.max_rmse_gap() < 0.05
+
+    # And every implementation actually learned the low-rank signal.
+    for name, value in result.final_rmse.items():
+        assert value < 1.0, name

@@ -1,0 +1,54 @@
+"""Benchmark: Figure 3 — multicore BPMF throughput versus thread count.
+
+Runs the simulated-scheduler thread sweep on a ChEMBL-like workload for
+the paper's three execution models and checks the figure's qualitative
+content: all three scale with the thread count, the work-stealing (TBB)
+version is the fastest at high thread counts, and the GraphLab-style
+engine trails both hand-tuned versions by a wide margin.
+"""
+
+from __future__ import annotations
+
+from repro.bench.fig3_multicore import run_fig3
+
+THREAD_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_fig3_multicore_throughput(benchmark, chembl_workload):
+    result = benchmark.pedantic(
+        run_fig3,
+        kwargs=dict(ratings=chembl_workload, num_latent=32,
+                    thread_counts=THREAD_COUNTS),
+        rounds=1, iterations=1)
+
+    print()
+    print(result.to_table().render())
+    for name in ("TBB", "OpenMP", "GraphLab"):
+        speedup = result.speedup(name)
+        print(f"{name:9s} speed-up over 1 thread: "
+              + ", ".join(f"{value:.2f}" for value in speedup))
+
+    throughput = result.throughput
+    # Everything scales with the number of threads.
+    for name, series in throughput.items():
+        assert series[-1] > 5.0 * series[0], f"{name} failed to scale"
+    # TBB > OpenMP at high thread counts (work stealing + nested parallelism).
+    assert throughput["TBB"][-1] > 1.1 * throughput["OpenMP"][-1]
+    # Both hand-tuned versions beat the GraphLab-style engine everywhere.
+    for tbb, openmp, graphlab in zip(throughput["TBB"], throughput["OpenMP"],
+                                     throughput["GraphLab"]):
+        assert min(tbb, openmp) > 2.0 * graphlab
+
+
+def test_fig3_scheduler_gap_widens_with_threads(benchmark, chembl_workload):
+    """The TBB/OpenMP gap is a load-imbalance effect, so it grows with cores."""
+    result = benchmark.pedantic(
+        run_fig3,
+        kwargs=dict(ratings=chembl_workload, num_latent=32,
+                    thread_counts=(2, 16)),
+        rounds=1, iterations=1)
+    gap_low = result.throughput["TBB"][0] / result.throughput["OpenMP"][0]
+    gap_high = result.throughput["TBB"][1] / result.throughput["OpenMP"][1]
+    print(f"\nTBB/OpenMP throughput ratio: {gap_low:.3f} at 2 threads, "
+          f"{gap_high:.3f} at 16 threads")
+    assert gap_high > gap_low

@@ -1,0 +1,53 @@
+"""Benchmark: Figure 4 — distributed strong scaling on the MovieLens workload.
+
+Runs the strong-scaling model on a MovieLens-shaped structural workload
+with a BlueGene/Q-like machine model over 1–256 nodes (16–4096 cores) and
+checks the figure's headline shape: throughput grows with node count and
+scaling is good — super-linear in the cache-friendly region — up to one
+32-node rack, then degrades significantly once the allocation spans racks.
+"""
+
+from __future__ import annotations
+
+from repro.bench.fig4_strong_scaling import run_fig4
+
+NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def test_fig4_strong_scaling(benchmark, movielens_scaling_workload, scaling_config):
+    result = benchmark.pedantic(
+        run_fig4,
+        kwargs=dict(ratings=movielens_scaling_workload, node_counts=NODE_COUNTS,
+                    config=scaling_config),
+        rounds=1, iterations=1)
+
+    print()
+    print(f"workload: {result.workload_shape[0]} users x "
+          f"{result.workload_shape[1]} movies, {result.workload_nnz} ratings")
+    print(result.to_table().render())
+
+    points = {p.n_nodes: p for p in result.scaling.points}
+    throughput = result.throughput_series()
+    efficiency = {p.n_nodes: p.parallel_efficiency for p in result.scaling.points}
+
+    # Throughput keeps increasing up to (at least) one rack.
+    in_rack = [points[n].throughput for n in NODE_COUNTS if n <= 32]
+    assert in_rack == sorted(in_rack)
+    assert points[32].throughput > 10.0 * points[1].throughput
+
+    # Scaling inside the rack is good; the cache effect pushes some points
+    # at or above ideal efficiency (the paper's super-linear observation).
+    assert efficiency[2] > 0.85
+    assert max(efficiency[n] for n in (8, 16, 32)) > 0.95
+
+    # Crossing the rack boundary costs a large share of the efficiency.
+    assert efficiency[64] < 0.7 * efficiency[32]
+    # At the largest allocations communication dominates and efficiency is low.
+    assert efficiency[256] < 0.3
+
+    # Message volume grows with node count (smaller buffers to more peers).
+    assert points[256].messages_per_iteration > points[8].messages_per_iteration
+    # Past the rack boundary the throughput gain collapses: doubling the
+    # nodes from 32 to 64 buys far less than the ideal 2x.
+    assert points[64].throughput < 1.5 * points[32].throughput
+    assert len(throughput) == len(NODE_COUNTS)

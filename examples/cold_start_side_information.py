@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Cold-start prediction with Macau-style side information.
+
+The paper points out that BPMF "easily incorporates confidence intervals
+and side-information", citing the group's Macau model.  This example shows
+why that matters for the drug-discovery use case: brand-new protein targets
+(or compounds) have *no* measured activities, so plain BPMF can only predict
+the global prior for them — but when a feature vector is available (sequence
+descriptors, assay annotations, genres for movies), the learned link matrix
+maps features to latent factors and recovers useful predictions.
+
+The script builds a dataset whose item factors are generated from known
+features, removes every rating of a few "new" items, and compares plain BPMF
+against the side-information sampler on exactly those cold items.
+
+Run with:  python examples/cold_start_side_information.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BPMFConfig, GibbsSampler, MacauGibbsSampler, SideInfo
+from repro.sparse.csr import RatingMatrix
+from repro.sparse.split import RatingSplit
+from repro.utils.tables import Table
+
+
+def build_dataset(seed: int = 0, n_users: int = 200, n_movies: int = 120,
+                  n_features: int = 6, density: float = 0.12,
+                  noise_std: float = 0.25):
+    """Ratings whose movie factors are a linear function of movie features."""
+    rng = np.random.default_rng(seed)
+    k = n_features
+    movie_features = rng.normal(size=(n_movies, n_features))
+    link = rng.normal(size=(n_features, k)) / np.sqrt(n_features)
+    movie_factors = movie_features @ link
+    user_factors = rng.normal(size=(n_users, k)) / np.sqrt(k)
+
+    flat = rng.choice(n_users * n_movies, size=int(density * n_users * n_movies),
+                      replace=False)
+    users, movies = flat // n_movies, flat % n_movies
+    values = (np.einsum("ij,ij->i", user_factors[users], movie_factors[movies])
+              + rng.normal(scale=noise_std, size=flat.shape[0]))
+    ratings = RatingMatrix.from_arrays(n_users, n_movies, users, movies, values)
+    return ratings, movie_features
+
+
+def main() -> None:
+    ratings, movie_features = build_dataset()
+    print(f"dataset: {ratings.n_users} users x {ratings.n_movies} items, "
+          f"{ratings.nnz} ratings, {movie_features.shape[1]} features per item")
+
+    # Declare 10% of the items "new": all of their ratings become the test set.
+    rng = np.random.default_rng(1)
+    cold_items = rng.choice(ratings.n_movies, size=ratings.n_movies // 10,
+                            replace=False)
+    users, movies, values = ratings.triplets()
+    is_cold = np.isin(movies, cold_items)
+    train = RatingMatrix.from_arrays(ratings.n_users, ratings.n_movies,
+                                     users[~is_cold], movies[~is_cold],
+                                     values[~is_cold])
+    split = RatingSplit(train=train, test_users=users[is_cold],
+                        test_movies=movies[is_cold], test_values=values[is_cold])
+    print(f"cold-start items: {cold_items.shape[0]} "
+          f"({split.n_test} held-out ratings, zero training ratings each)")
+
+    config = BPMFConfig(num_latent=6, alpha=10.0, burn_in=8, n_samples=20)
+
+    plain = GibbsSampler(config).run(train, split, seed=0)
+    macau = MacauGibbsSampler(
+        config, movie_side=SideInfo(movie_features, lambda_link=2.0)
+    ).run(train, split, seed=0)
+    baseline = float(np.sqrt(np.mean(split.test_values ** 2)))
+
+    table = Table(["model", "cold-start RMSE"],
+                  title="\nPredicting items that have never been rated")
+    table.add_row("predict the prior mean (no model)", baseline)
+    table.add_row("plain BPMF", plain.final_rmse)
+    table.add_row("BPMF + side information (Macau-style)", macau.final_rmse)
+    print(table.render())
+
+    improvement = 100.0 * (1.0 - macau.final_rmse / plain.final_rmse)
+    print(f"\nside information reduces cold-start RMSE by {improvement:.0f}% "
+          "on this dataset — plain BPMF cannot do better than the prior for "
+          "items it has never observed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Strong-scaling study: regenerate the paper's Figures 4 and 5.
+
+Builds a MovieLens-shaped structural workload, configures a BlueGene/Q-like
+machine model (16-core nodes, 32-node racks, shared rack uplinks, per-node
+cache) and sweeps the node count, printing the per-figure data tables:
+
+* Figure 4 — item updates per second and parallel efficiency per node count
+  (good / super-linear scaling up to one rack, degradation beyond it);
+* Figure 5 — the share of time each configuration spends computing,
+  communicating, and doing both (how much the asynchronous communication
+  manages to overlap).
+
+The workload size and node range are configurable from the command line,
+e.g. ``python examples/distributed_scaling_study.py --ratings 10000000
+--max-nodes 1024`` for a closer-to-paper-scale run (a few minutes).
+
+Run with:  python examples/distributed_scaling_study.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.fig4_strong_scaling import bluegene_like_config
+from repro.datasets import make_scaling_workload
+from repro.distributed import strong_scaling_study
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--users", type=int, default=138_493 // 2,
+                        help="number of users in the structural workload")
+    parser.add_argument("--movies", type=int, default=27_278 // 2,
+                        help="number of movies in the structural workload")
+    parser.add_argument("--ratings", type=int, default=3_000_000,
+                        help="requested number of ratings (realised is lower)")
+    parser.add_argument("--max-nodes", type=int, default=256,
+                        help="largest node count in the sweep (power of two)")
+    parser.add_argument("--latent", type=int, default=64,
+                        help="latent dimension K used for the kernel costs")
+    parser.add_argument("--seed", type=int, default=13)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    node_counts = [1]
+    while node_counts[-1] * 2 <= args.max_nodes:
+        node_counts.append(node_counts[-1] * 2)
+
+    print("generating structural workload "
+          f"({args.users} users x {args.movies} movies, "
+          f"{args.ratings} requested ratings)...")
+    workload = make_scaling_workload(n_users=args.users, n_movies=args.movies,
+                                     n_ratings=args.ratings, seed=args.seed)
+    print(f"realised ratings after de-duplication: {workload.nnz}")
+
+    config = bluegene_like_config(num_latent=args.latent)
+    print(f"machine model: {config.cluster.cores_per_node} cores/node, "
+          f"{config.cluster.rack_size}-node racks, "
+          f"{config.cluster.cache_bytes // (1024 * 1024)} MB cache/node")
+
+    study = strong_scaling_study(workload, node_counts=node_counts, config=config)
+
+    print()
+    print(study.to_table().render())
+    print()
+    print(study.breakdown_table().render())
+
+    # Narrate the two headline observations of the paper.
+    rack = config.cluster.rack_size
+    inside = [p for p in study.points if p.n_nodes <= rack]
+    outside = [p for p in study.points if p.n_nodes > rack]
+    best_inside = max(p.parallel_efficiency for p in inside)
+    print(f"\nbest parallel efficiency inside one rack : {100 * best_inside:.0f}%"
+          + (" (super-linear)" if best_inside > 1.0 else ""))
+    if outside:
+        first_outside = outside[0]
+        print(f"efficiency just past the rack boundary   : "
+              f"{100 * first_outside.parallel_efficiency:.0f}% "
+              f"at {first_outside.n_nodes} nodes")
+        last = study.points[-1]
+        shares = last.breakdown_fractions()
+        print(f"at {last.n_nodes} nodes the iteration spends "
+              f"{100 * shares['communicate']:.0f}% of its time communicating "
+              f"and only {100 * shares['compute']:.0f}% purely computing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Baseline matrix-factorization algorithms.
+
+The paper positions BPMF against the two other popular low-rank
+factorization algorithms — alternating least squares (ALS, Zhou et al.) and
+stochastic gradient descent (SGD, Koren et al.) — noting BPMF's robustness
+to overfitting and freedom from regularisation tuning at a higher
+computational cost.  Both baselines are implemented here so the examples
+and extension benchmarks can reproduce that comparison.
+"""
+
+from repro.baselines.als import ALSConfig, ALSResult, run_als
+from repro.baselines.sgd import SGDConfig, SGDResult, run_sgd
+
+__all__ = [
+    "ALSConfig",
+    "ALSResult",
+    "run_als",
+    "SGDConfig",
+    "SGDResult",
+    "run_sgd",
+]

@@ -1,0 +1,47 @@
+"""Command-line entry point: ``python -m repro.bench [experiment ...]``.
+
+Runs the requested experiments (default: all of them) and prints each
+figure's data table.  Pass ``--list`` to see what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.runner import available_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures as text tables.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    registry = available_experiments()
+    if args.list:
+        for name, description in registry.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    names = args.experiments or list(registry)
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        outcome = run_experiment(name)
+        print(outcome.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

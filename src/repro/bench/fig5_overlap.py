@@ -1,0 +1,69 @@
+"""Figure 5 — time spent computing, communicating and doing both.
+
+Same model as Figure 4 but reported as the per-node-count breakdown into
+compute-only, overlap ("both") and communicate-only shares, over the
+1–128 node range the paper plots.  The paper's observations:
+
+* at small node counts asynchronous MPI successfully overlaps a meaningful
+  share of the communication with computation;
+* at large node counts the overlap no longer helps — communication (and
+  the MPI library overhead) dominates the iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.fig4_strong_scaling import bluegene_like_config
+from repro.datasets.scaling_workload import ScalingWorkloadConfig, make_scaling_workload
+from repro.distributed.scaling import ScalingConfig, StrongScalingResult, strong_scaling_study
+from repro.sparse.csr import RatingMatrix
+from repro.utils.tables import Table
+
+__all__ = ["Fig5Result", "run_fig5", "DEFAULT_NODE_COUNTS"]
+
+#: The paper's Figure 5 x-axis stops at 128 nodes / 2048 cores.
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class Fig5Result:
+    """Compute / both / communicate fractions per node count."""
+
+    scaling: StrongScalingResult
+    workload_shape: tuple
+    workload_nnz: int
+
+    @property
+    def node_counts(self) -> List[int]:
+        return [point.n_nodes for point in self.scaling.points]
+
+    def fractions(self) -> Dict[str, List[float]]:
+        """Series keyed by ``compute`` / ``both`` / ``communicate``."""
+        series: Dict[str, List[float]] = {"compute": [], "both": [], "communicate": []}
+        for point in self.scaling.points:
+            shares = point.breakdown_fractions()
+            for key in series:
+                series[key].append(shares[key])
+        return series
+
+    def to_table(self) -> Table:
+        return self.scaling.breakdown_table()
+
+
+def run_fig5(
+    ratings: RatingMatrix | None = None,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    config: Optional[ScalingConfig] = None,
+    n_ratings: int = 10_000_000,
+    seed: int = 13,
+) -> Fig5Result:
+    """Regenerate Figure 5's data (same workload and machine model as Figure 4)."""
+    if ratings is None:
+        ratings = make_scaling_workload(ScalingWorkloadConfig(
+            n_ratings=n_ratings, seed=seed))
+    config = config or bluegene_like_config()
+    scaling = strong_scaling_study(ratings, node_counts=node_counts, config=config)
+    return Fig5Result(scaling=scaling, workload_shape=ratings.shape,
+                      workload_nnz=ratings.nnz)

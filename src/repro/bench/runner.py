@@ -1,0 +1,73 @@
+"""Uniform experiment runner.
+
+Gives every figure/claim driver a common entry point so examples, the
+command line (``python -m repro.bench``) and the pytest benchmark targets
+can run any experiment by name and print its table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.utils.tables import Table
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import check_in
+
+__all__ = ["ExperimentResult", "available_experiments", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment's raw result object, its table and its runtime."""
+
+    name: str
+    result: object
+    table: Table
+    seconds: float
+
+    def render(self) -> str:
+        return (f"== {self.name} (completed in {self.seconds:.1f}s) ==\n"
+                f"{self.table.render()}")
+
+
+def _experiments() -> Dict[str, Tuple[Callable[[], object], Callable[[object], Table], str]]:
+    # Imported lazily to keep `import repro.bench.runner` cheap.
+    from repro.bench.accuracy import run_accuracy_parity
+    from repro.bench.fig2_update_methods import run_fig2
+    from repro.bench.fig3_multicore import run_fig3
+    from repro.bench.fig4_strong_scaling import run_fig4
+    from repro.bench.fig5_overlap import run_fig5
+    from repro.bench.speedup_summary import run_speedup_summary
+
+    return {
+        "fig2": (run_fig2, lambda r: r.to_table("modelled"),
+                 "Figure 2: per-item update time vs rating count"),
+        "fig3": (run_fig3, lambda r: r.to_table(),
+                 "Figure 3: multicore throughput vs threads"),
+        "fig4": (run_fig4, lambda r: r.to_table(),
+                 "Figure 4: distributed strong scaling"),
+        "fig5": (run_fig5, lambda r: r.to_table(),
+                 "Figure 5: compute / both / communicate breakdown"),
+        "accuracy": (run_accuracy_parity, lambda r: r.to_table(),
+                     "RMSE parity across implementations"),
+        "speedup": (run_speedup_summary, lambda r: r.to_table(),
+                    "End-to-end 15-days-to-30-minutes speed-up ladder"),
+    }
+
+
+def available_experiments() -> Dict[str, str]:
+    """Mapping of experiment name to a one-line description."""
+    return {name: description for name, (_, _, description) in _experiments().items()}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by name (``fig2`` .. ``fig5``, ``accuracy``, ``speedup``)."""
+    registry = _experiments()
+    check_in("name", name, registry.keys())
+    runner, tabulate, _ = registry[name]
+    watch = Stopwatch().start()
+    result = runner(**kwargs)
+    seconds = watch.stop()
+    return ExperimentResult(name=name, result=result, table=tabulate(result),
+                            seconds=seconds)

@@ -1,0 +1,100 @@
+"""Core BPMF algorithm (the paper's primary computational kernel).
+
+This package implements the Bayesian Probabilistic Matrix Factorization
+Gibbs sampler of Salakhutdinov & Mnih (ICML 2008) exactly as used by the
+paper:
+
+* Normal–Wishart hyperpriors over the per-user and per-movie Gaussian
+  priors (:mod:`repro.core.priors`, :mod:`repro.core.wishart`);
+* the conditional update of a single user/movie factor given the factors
+  of its rating partners, available through three interchangeable kernels
+  — rank-one Cholesky updates, a serial Cholesky solve and a blocked
+  "parallel" Cholesky — plus the hybrid policy that picks between them
+  based on the item's rating count (:mod:`repro.core.updates`);
+* the sequential Gibbs sampler, posterior-mean prediction and RMSE
+  evaluation (:mod:`repro.core.gibbs`, :mod:`repro.core.predict`,
+  :mod:`repro.core.metrics`).
+
+The multicore (:mod:`repro.multicore`) and distributed
+(:mod:`repro.distributed`) samplers are built from the same state and
+update functions, which is what guarantees the paper's "all versions reach
+the same level of prediction accuracy" property.
+"""
+
+from repro.core.priors import BPMFConfig, NormalWishartPrior, GaussianPrior
+from repro.core.wishart import (
+    sample_wishart,
+    sample_normal_wishart,
+    normal_wishart_posterior,
+    normal_wishart_posterior_from_stats,
+    sample_hyperparameters,
+)
+from repro.core.updates import (
+    UpdateMethod,
+    HybridUpdatePolicy,
+    conditional_distribution,
+    sample_item_rank_one,
+    sample_item_serial_cholesky,
+    sample_item_parallel_cholesky,
+    sample_item,
+    cholesky_rank_one_update,
+)
+from repro.core.state import BPMFState, initialize_state
+from repro.core.gibbs import GibbsSampler, SamplerOptions, BPMFResult
+from repro.core.predict import PosteriorPredictor, predict_ratings
+from repro.core.metrics import rmse, mae, coverage_interval
+from repro.core.diagnostics import (
+    ChainDiagnostics,
+    effective_sample_size,
+    potential_scale_reduction,
+    run_chains,
+)
+from repro.core.recommend import (
+    Recommendation,
+    recommend_for_user,
+    recommend_batch,
+    ranking_metrics,
+)
+from repro.core.sideinfo import MacauGibbsSampler, SideInfo, sample_link_matrix
+from repro.core.model import BPMF
+
+__all__ = [
+    "BPMFConfig",
+    "NormalWishartPrior",
+    "GaussianPrior",
+    "sample_wishart",
+    "sample_normal_wishart",
+    "normal_wishart_posterior",
+    "normal_wishart_posterior_from_stats",
+    "sample_hyperparameters",
+    "UpdateMethod",
+    "HybridUpdatePolicy",
+    "conditional_distribution",
+    "sample_item_rank_one",
+    "sample_item_serial_cholesky",
+    "sample_item_parallel_cholesky",
+    "sample_item",
+    "cholesky_rank_one_update",
+    "BPMFState",
+    "initialize_state",
+    "GibbsSampler",
+    "SamplerOptions",
+    "BPMFResult",
+    "PosteriorPredictor",
+    "predict_ratings",
+    "rmse",
+    "mae",
+    "coverage_interval",
+    "ChainDiagnostics",
+    "effective_sample_size",
+    "potential_scale_reduction",
+    "run_chains",
+    "Recommendation",
+    "recommend_for_user",
+    "recommend_batch",
+    "ranking_metrics",
+    "MacauGibbsSampler",
+    "SideInfo",
+    "sample_link_matrix",
+    "BPMF",
+]

@@ -1,0 +1,141 @@
+"""MCMC convergence diagnostics for BPMF chains.
+
+The paper runs a fixed number of Gibbs sweeps; in practice a user needs to
+know whether that was enough.  This module provides the standard
+diagnostics, computed on scalar summaries of the chain (per-sample test
+RMSE, or per-sample predictions of selected cells):
+
+* :func:`potential_scale_reduction` — the Gelman–Rubin R-hat statistic over
+  several independent chains (values close to 1 indicate convergence);
+* :func:`effective_sample_size` — autocorrelation-based ESS of a single
+  chain;
+* :func:`run_chains` — convenience helper that runs several independently
+  seeded samplers and collects their traces for the two statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.gibbs import BPMFResult, GibbsSampler
+from repro.core.priors import BPMFConfig
+from repro.sparse.csr import RatingMatrix
+from repro.sparse.split import RatingSplit
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "potential_scale_reduction",
+    "effective_sample_size",
+    "ChainDiagnostics",
+    "run_chains",
+]
+
+
+def potential_scale_reduction(chains: np.ndarray) -> float:
+    """Gelman–Rubin R-hat for ``(n_chains, n_samples)`` scalar traces.
+
+    Uses the classic between/within-chain variance ratio.  Values near 1.0
+    (conventionally below 1.1) indicate the chains are sampling the same
+    distribution; requires at least two chains and two samples per chain.
+    """
+    chains = np.asarray(chains, dtype=np.float64)
+    if chains.ndim != 2:
+        raise ValidationError("chains must be a 2-D (n_chains, n_samples) array")
+    n_chains, n_samples = chains.shape
+    if n_chains < 2 or n_samples < 2:
+        raise ValidationError("R-hat needs >= 2 chains with >= 2 samples each")
+
+    chain_means = chains.mean(axis=1)
+    chain_vars = chains.var(axis=1, ddof=1)
+    within = chain_vars.mean()
+    between = n_samples * chain_means.var(ddof=1)
+    if within == 0.0:
+        return 1.0
+    pooled = ((n_samples - 1) / n_samples) * within + between / n_samples
+    return float(np.sqrt(pooled / within))
+
+
+def effective_sample_size(trace: np.ndarray, max_lag: int | None = None) -> float:
+    """Autocorrelation-based effective sample size of one scalar trace.
+
+    Implements the initial-positive-sequence estimator: autocorrelations are
+    summed until the first non-positive value.  The result is clipped to
+    ``[1, n]``.
+    """
+    trace = np.asarray(trace, dtype=np.float64).ravel()
+    n = trace.shape[0]
+    if n < 2:
+        raise ValidationError("effective_sample_size needs at least 2 samples")
+    centered = trace - trace.mean()
+    variance = float(centered @ centered) / n
+    if variance == 0.0:
+        return float(n)
+    if max_lag is None:
+        max_lag = min(n - 1, 200)
+
+    rho_sum = 0.0
+    for lag in range(1, max_lag + 1):
+        rho = float(centered[:-lag] @ centered[lag:]) / (n * variance)
+        if rho <= 0.0:
+            break
+        rho_sum += rho
+    ess = n / (1.0 + 2.0 * rho_sum)
+    return float(min(max(ess, 1.0), n))
+
+
+@dataclass
+class ChainDiagnostics:
+    """Traces and summary diagnostics for several independently seeded chains."""
+
+    traces: np.ndarray  # (n_chains, n_samples) per-sample test RMSE
+    results: List[BPMFResult]
+
+    @property
+    def n_chains(self) -> int:
+        return int(self.traces.shape[0])
+
+    @property
+    def r_hat(self) -> float:
+        return potential_scale_reduction(self.traces)
+
+    def ess_per_chain(self) -> np.ndarray:
+        return np.array([effective_sample_size(trace) for trace in self.traces])
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "n_chains": float(self.n_chains),
+            "n_samples": float(self.traces.shape[1]),
+            "r_hat": self.r_hat,
+            "min_ess": float(self.ess_per_chain().min()),
+            "mean_final_rmse": float(np.mean([r.final_rmse for r in self.results])),
+            "std_final_rmse": float(np.std([r.final_rmse for r in self.results])),
+        }
+
+
+def run_chains(
+    train: RatingMatrix,
+    split: RatingSplit,
+    config: BPMFConfig,
+    n_chains: int = 3,
+    seeds: Sequence[int] | None = None,
+    sampler_factory: Callable[[BPMFConfig], GibbsSampler] | None = None,
+) -> ChainDiagnostics:
+    """Run several independently seeded chains and collect their RMSE traces."""
+    if n_chains < 2:
+        raise ValidationError("run_chains needs at least 2 chains")
+    if seeds is None:
+        seeds = list(range(n_chains))
+    elif len(seeds) != n_chains:
+        raise ValidationError("seeds must have one entry per chain")
+    sampler_factory = sampler_factory or (lambda cfg: GibbsSampler(cfg))
+
+    results = []
+    traces = []
+    for seed in seeds:
+        result = sampler_factory(config).run(train, split, seed=seed)
+        results.append(result)
+        traces.append(result.rmse_per_sample)
+    return ChainDiagnostics(traces=np.array(traces), results=results)

@@ -1,0 +1,158 @@
+"""Model configuration and prior parameterisation for BPMF.
+
+The generative model (Salakhutdinov & Mnih 2008, Section 3):
+
+.. math::
+
+    R_{ij} \\mid U_i, V_j \\sim \\mathcal{N}(U_i^\\top V_j, \\alpha^{-1}) \\\\
+    U_i \\sim \\mathcal{N}(\\mu_U, \\Lambda_U^{-1}), \\quad
+    V_j \\sim \\mathcal{N}(\\mu_V, \\Lambda_V^{-1}) \\\\
+    (\\mu_U, \\Lambda_U), (\\mu_V, \\Lambda_V) \\sim
+        \\mathcal{NW}(\\mu_0, \\beta_0, W_0, \\nu_0)
+
+with fixed, uninformative Normal–Wishart hyperparameters — the paper keeps
+the original paper's defaults (``mu_0 = 0``, ``beta_0 = 2``, ``nu_0 = K``,
+``W_0 = I``) and a fixed observation precision ``alpha``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["GaussianPrior", "NormalWishartPrior", "BPMFConfig"]
+
+
+@dataclass
+class GaussianPrior:
+    """A multivariate Gaussian prior ``N(mean, precision^-1)`` over item factors.
+
+    One instance exists per entity class (one for users, one for movies);
+    the Gibbs sampler resamples it every iteration from the Normal–Wishart
+    posterior given the current factor matrix.
+    """
+
+    mean: np.ndarray
+    precision: np.ndarray
+
+    def __post_init__(self):
+        self.mean = np.asarray(self.mean, dtype=np.float64)
+        self.precision = np.asarray(self.precision, dtype=np.float64)
+        if self.mean.ndim != 1:
+            raise ValidationError("GaussianPrior.mean must be a vector")
+        k = self.mean.shape[0]
+        if self.precision.shape != (k, k):
+            raise ValidationError(
+                f"GaussianPrior.precision must be ({k}, {k}), got {self.precision.shape}")
+
+    @property
+    def num_latent(self) -> int:
+        return int(self.mean.shape[0])
+
+    @classmethod
+    def standard(cls, num_latent: int) -> "GaussianPrior":
+        """The ``N(0, I)`` prior used to initialise the sampler."""
+        check_positive("num_latent", num_latent)
+        return cls(mean=np.zeros(num_latent), precision=np.eye(num_latent))
+
+    def copy(self) -> "GaussianPrior":
+        return GaussianPrior(self.mean.copy(), self.precision.copy())
+
+
+@dataclass
+class NormalWishartPrior:
+    """Fixed Normal–Wishart hyperprior ``NW(mu0, beta0, W0, nu0)``.
+
+    ``W0`` is the scale matrix of the Wishart over the precision and ``nu0``
+    its degrees of freedom (must be >= num_latent); ``beta0`` scales the
+    precision of the conditional Gaussian over the mean.
+    """
+
+    mu0: np.ndarray
+    beta0: float
+    W0: np.ndarray
+    nu0: float
+
+    def __post_init__(self):
+        self.mu0 = np.asarray(self.mu0, dtype=np.float64)
+        self.W0 = np.asarray(self.W0, dtype=np.float64)
+        k = self.mu0.shape[0]
+        if self.mu0.ndim != 1:
+            raise ValidationError("mu0 must be a vector")
+        if self.W0.shape != (k, k):
+            raise ValidationError(f"W0 must be ({k}, {k}), got {self.W0.shape}")
+        check_positive("beta0", self.beta0)
+        if self.nu0 < k:
+            raise ValidationError(
+                f"nu0 must be >= num_latent ({k}) for a proper Wishart, got {self.nu0}")
+
+    @property
+    def num_latent(self) -> int:
+        return int(self.mu0.shape[0])
+
+    @classmethod
+    def uninformative(cls, num_latent: int, beta0: float = 2.0) -> "NormalWishartPrior":
+        """The paper's fixed uninformative hyperprior: mu0=0, W0=I, nu0=K."""
+        check_positive("num_latent", num_latent)
+        return cls(mu0=np.zeros(num_latent), beta0=beta0,
+                   W0=np.eye(num_latent), nu0=float(num_latent))
+
+
+@dataclass
+class BPMFConfig:
+    """Top-level BPMF model and sampler configuration.
+
+    Parameters
+    ----------
+    num_latent:
+        Number of latent features ``K``.  The paper uses K in the tens; the
+        Figure 2 experiments effectively fix ``K = 32``-sized dense kernels.
+    alpha:
+        Observation precision (inverse variance of the rating noise).
+    burn_in:
+        Gibbs sweeps discarded before accumulating posterior predictions.
+    n_samples:
+        Gibbs sweeps accumulated into the posterior-mean prediction.
+    beta0:
+        Normal–Wishart strength for both the user and movie hyperpriors.
+    init_std:
+        Standard deviation of the random initial factor matrices.
+    """
+
+    num_latent: int = 16
+    alpha: float = 2.0
+    burn_in: int = 10
+    n_samples: int = 40
+    beta0: float = 2.0
+    init_std: float = 1.0
+    user_hyperprior: Optional[NormalWishartPrior] = None
+    movie_hyperprior: Optional[NormalWishartPrior] = None
+
+    def __post_init__(self):
+        check_positive("num_latent", self.num_latent)
+        check_positive("alpha", self.alpha)
+        check_positive("n_samples", self.n_samples)
+        if self.burn_in < 0:
+            raise ValidationError("burn_in must be >= 0")
+        check_positive("init_std", self.init_std)
+        if self.user_hyperprior is None:
+            self.user_hyperprior = NormalWishartPrior.uninformative(
+                self.num_latent, self.beta0)
+        if self.movie_hyperprior is None:
+            self.movie_hyperprior = NormalWishartPrior.uninformative(
+                self.num_latent, self.beta0)
+        for name, prior in (("user_hyperprior", self.user_hyperprior),
+                            ("movie_hyperprior", self.movie_hyperprior)):
+            if prior.num_latent != self.num_latent:
+                raise ValidationError(
+                    f"{name} dimensionality {prior.num_latent} does not match "
+                    f"num_latent={self.num_latent}")
+
+    @property
+    def total_iterations(self) -> int:
+        """Burn-in plus accumulation sweeps."""
+        return self.burn_in + self.n_samples

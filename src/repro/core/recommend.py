@@ -1,0 +1,137 @@
+"""Top-N recommendation utilities.
+
+BPMF's end product in a recommender system is a ranked list per user (or,
+in the drug-discovery setting, a ranked list of candidate targets per
+compound).  These helpers turn a fitted :class:`~repro.core.state.BPMFState`
+into such rankings and evaluate them with the standard ranking metrics
+(precision/recall at N, mean reciprocal rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.state import BPMFState
+from repro.sparse.csr import RatingMatrix
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["Recommendation", "recommend_for_user", "recommend_batch",
+           "ranking_metrics"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Ranked recommendations for one user."""
+
+    user: int
+    items: np.ndarray
+    scores: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.items.shape[0])
+
+    def as_pairs(self) -> List[Tuple[int, float]]:
+        return [(int(item), float(score))
+                for item, score in zip(self.items, self.scores)]
+
+
+def recommend_for_user(
+    state: BPMFState,
+    user: int,
+    n: int = 10,
+    exclude: Optional[RatingMatrix] = None,
+    offset: float = 0.0,
+    candidates: Optional[np.ndarray] = None,
+) -> Recommendation:
+    """Top-``n`` movies for one user by predicted rating.
+
+    Parameters
+    ----------
+    state:
+        Fitted sampler state (typically the last sample or a state built
+        from posterior-mean factors).
+    user:
+        User index.
+    n:
+        Number of recommendations.
+    exclude:
+        Rating matrix whose observed entries for this user are excluded
+        (the standard "don't recommend what they already rated" rule).
+    offset:
+        Added to every score (e.g. the global mean removed before training).
+    candidates:
+        Optional explicit candidate item set; defaults to all movies.
+    """
+    check_positive("n", n)
+    if not 0 <= user < state.n_users:
+        raise ValidationError(f"user {user} out of range [0, {state.n_users})")
+    if candidates is None:
+        candidates = np.arange(state.n_movies, dtype=np.int64)
+    else:
+        candidates = np.asarray(candidates, dtype=np.int64)
+    if exclude is not None:
+        seen, _ = exclude.user_ratings(user)
+        candidates = np.setdiff1d(candidates, seen, assume_unique=False)
+    if candidates.shape[0] == 0:
+        return Recommendation(user=user, items=np.empty(0, dtype=np.int64),
+                              scores=np.empty(0))
+
+    scores = state.predict(np.full(candidates.shape[0], user), candidates) + offset
+    n = min(n, candidates.shape[0])
+    top = np.argpartition(-scores, n - 1)[:n]
+    order = top[np.argsort(-scores[top], kind="stable")]
+    return Recommendation(user=user, items=candidates[order].copy(),
+                          scores=scores[order].copy())
+
+
+def recommend_batch(
+    state: BPMFState,
+    users: Sequence[int],
+    n: int = 10,
+    exclude: Optional[RatingMatrix] = None,
+    offset: float = 0.0,
+) -> Dict[int, Recommendation]:
+    """Top-``n`` recommendations for several users."""
+    return {int(user): recommend_for_user(state, int(user), n=n, exclude=exclude,
+                                          offset=offset)
+            for user in users}
+
+
+def ranking_metrics(
+    recommendations: Dict[int, Recommendation],
+    held_out: RatingMatrix,
+    relevant_threshold: float = 0.0,
+) -> Dict[str, float]:
+    """Precision@N, recall@N and MRR of recommendations against held-out ratings.
+
+    An item is *relevant* for a user when it appears in ``held_out`` for that
+    user with a value strictly greater than ``relevant_threshold`` (use the
+    user's mean or e.g. 3.5 stars for rating data).  Users with no relevant
+    held-out items are skipped.
+    """
+    precisions: List[float] = []
+    recalls: List[float] = []
+    reciprocal_ranks: List[float] = []
+    for user, recommendation in recommendations.items():
+        items, values = held_out.user_ratings(int(user))
+        relevant = set(items[values > relevant_threshold].tolist())
+        if not relevant:
+            continue
+        recommended = recommendation.items.tolist()
+        hits = [item for item in recommended if item in relevant]
+        precisions.append(len(hits) / max(len(recommended), 1))
+        recalls.append(len(hits) / len(relevant))
+        rank = next((index + 1 for index, item in enumerate(recommended)
+                     if item in relevant), None)
+        reciprocal_ranks.append(1.0 / rank if rank else 0.0)
+    if not precisions:
+        raise ValidationError("no user had relevant held-out items to evaluate")
+    return {
+        "precision": float(np.mean(precisions)),
+        "recall": float(np.mean(recalls)),
+        "mrr": float(np.mean(reciprocal_ranks)),
+        "n_users_evaluated": float(len(precisions)),
+    }

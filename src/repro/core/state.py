@@ -1,0 +1,91 @@
+"""Shared sampler state.
+
+The sequential, multicore and distributed samplers all operate on the same
+state object — the two factor matrices plus the two resampled Gaussian
+priors — and mutate it with the same functions, which is what makes their
+outputs statistically interchangeable (the paper's accuracy-parity claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.priors import BPMFConfig, GaussianPrior
+from repro.sparse.csr import RatingMatrix
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["BPMFState", "initialize_state"]
+
+
+@dataclass
+class BPMFState:
+    """Mutable Gibbs-sampler state.
+
+    Attributes
+    ----------
+    user_factors:
+        ``(n_users, K)`` matrix ``U`` — one row per user.
+    movie_factors:
+        ``(n_movies, K)`` matrix ``V`` — one row per movie.
+    user_prior, movie_prior:
+        The per-entity Gaussian priors, resampled every iteration from
+        their Normal–Wishart posteriors.
+    iteration:
+        Number of completed Gibbs sweeps.
+    """
+
+    user_factors: np.ndarray
+    movie_factors: np.ndarray
+    user_prior: GaussianPrior
+    movie_prior: GaussianPrior
+    iteration: int = 0
+
+    @property
+    def num_latent(self) -> int:
+        return int(self.user_factors.shape[1])
+
+    @property
+    def n_users(self) -> int:
+        return int(self.user_factors.shape[0])
+
+    @property
+    def n_movies(self) -> int:
+        return int(self.movie_factors.shape[0])
+
+    def predict(self, users: np.ndarray, movies: np.ndarray) -> np.ndarray:
+        """Predicted ratings ``U_u · V_m`` for parallel index arrays."""
+        return np.einsum("ij,ij->i",
+                         self.user_factors[np.asarray(users, dtype=np.int64)],
+                         self.movie_factors[np.asarray(movies, dtype=np.int64)])
+
+    def copy(self) -> "BPMFState":
+        return BPMFState(
+            user_factors=self.user_factors.copy(),
+            movie_factors=self.movie_factors.copy(),
+            user_prior=self.user_prior.copy(),
+            movie_prior=self.movie_prior.copy(),
+            iteration=self.iteration,
+        )
+
+
+def initialize_state(ratings: RatingMatrix, config: BPMFConfig,
+                     rng: SeedLike = None) -> BPMFState:
+    """Draw the random initial state used by every sampler variant.
+
+    Factors are initialised i.i.d. ``N(0, init_std^2 / K)`` so the initial
+    predictions have roughly unit scale regardless of ``K``, and both priors
+    start as standard Gaussians.
+    """
+    rng = as_generator(rng)
+    k = config.num_latent
+    scale = config.init_std / np.sqrt(k)
+    user_factors = rng.normal(0.0, scale, size=(ratings.n_users, k))
+    movie_factors = rng.normal(0.0, scale, size=(ratings.n_movies, k))
+    return BPMFState(
+        user_factors=user_factors,
+        movie_factors=movie_factors,
+        user_prior=GaussianPrior.standard(k),
+        movie_prior=GaussianPrior.standard(k),
+    )

@@ -1,0 +1,311 @@
+"""Per-item conditional updates — the inner loops of Algorithm 1.
+
+Updating one user ``u`` (symmetrically one movie) requires sampling from
+its conditional Gaussian
+
+.. math::
+
+    U_u \\mid \\cdot \\sim \\mathcal{N}\\big(\\Lambda_*^{-1} m_*, \\Lambda_*^{-1}\\big),
+    \\quad
+    \\Lambda_* = \\Lambda_U + \\alpha \\sum_{j \\in R(u)} V_j V_j^\\top,
+    \\quad
+    m_* = \\Lambda_U \\mu_U + \\alpha \\sum_{j \\in R(u)} R_{uj} V_j .
+
+The paper (Section III, Figure 2) considers three algorithms for this
+``K x K`` problem and picks between them based on the item's rating count:
+
+* **rank-one update** — keep a Cholesky factor of the precision and apply
+  one rank-1 Cholesky update per rating; cheapest for items with only a
+  handful of ratings because it never forms the Gram matrix;
+* **serial Cholesky** — form the Gram matrix with one BLAS ``syrk``-style
+  product and factorise once; wins for moderately rated items;
+* **parallel Cholesky** — split the Gram accumulation into blocks that can
+  be computed by several workers, then factorise; wins for the very heavy
+  items (>= ~1000 ratings), and — crucially for load balance — turns one
+  huge task into several smaller ones.
+
+All three produce samples from exactly the same distribution; tests verify
+they agree to floating-point accuracy when fed the same Gaussian noise.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.linalg import cho_solve, solve_triangular
+
+from repro.core.priors import GaussianPrior
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = [
+    "UpdateMethod",
+    "HybridUpdatePolicy",
+    "cholesky_rank_one_update",
+    "conditional_distribution",
+    "sample_item_rank_one",
+    "sample_item_serial_cholesky",
+    "sample_item_parallel_cholesky",
+    "sample_item",
+]
+
+
+class UpdateMethod(enum.Enum):
+    """The three item-update algorithms compared in Figure 2."""
+
+    RANK_ONE = "rank_one"
+    SERIAL_CHOLESKY = "serial_cholesky"
+    PARALLEL_CHOLESKY = "parallel_cholesky"
+
+
+# ---------------------------------------------------------------------------
+# low-level linear algebra
+# ---------------------------------------------------------------------------
+
+def cholesky_rank_one_update(chol: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Return the Cholesky factor of ``L L^T + v v^T`` given lower ``L``.
+
+    Implements the classic Givens-rotation based update in O(K^2); this is
+    the building block of the rank-one item update method.
+    """
+    chol = np.array(chol, dtype=np.float64, copy=True)
+    vector = np.array(vector, dtype=np.float64, copy=True)
+    k = vector.shape[0]
+    if chol.shape != (k, k):
+        raise ValidationError(f"chol must be ({k}, {k}), got {chol.shape}")
+    for i in range(k):
+        diag = chol[i, i]
+        r = math.hypot(diag, vector[i])
+        c = r / diag
+        s = vector[i] / diag
+        chol[i, i] = r
+        if i + 1 < k:
+            chol[i + 1:, i] = (chol[i + 1:, i] + s * vector[i + 1:]) / c
+            vector[i + 1:] = c * vector[i + 1:] - s * chol[i + 1:, i]
+    return chol
+
+
+def _sample_from_chol_precision(mean: np.ndarray, chol_precision: np.ndarray,
+                                noise: np.ndarray) -> np.ndarray:
+    """Sample ``N(mean, (L L^T)^-1)`` given lower Cholesky ``L`` and z ~ N(0, I)."""
+    return mean + solve_triangular(chol_precision.T, noise, lower=False)
+
+
+def conditional_distribution(
+    neighbour_factors: np.ndarray,
+    ratings: np.ndarray,
+    prior: GaussianPrior,
+    alpha: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean and precision Cholesky factor of one item's conditional Gaussian.
+
+    Parameters
+    ----------
+    neighbour_factors:
+        ``(n, K)`` factor rows of the rating partners (movies the user rated
+        or users that rated the movie).
+    ratings:
+        The ``n`` observed rating values.
+    prior:
+        Current Gaussian prior ``(mu, Lambda)`` for this entity class.
+    alpha:
+        Observation precision.
+
+    Returns
+    -------
+    ``(mean, chol_precision)`` with ``chol_precision`` lower triangular.
+    """
+    check_positive("alpha", alpha)
+    neighbour_factors = np.asarray(neighbour_factors, dtype=np.float64)
+    ratings = np.asarray(ratings, dtype=np.float64)
+    if neighbour_factors.ndim != 2:
+        raise ValidationError("neighbour_factors must be 2-D (n x K)")
+    if ratings.shape[0] != neighbour_factors.shape[0]:
+        raise ValidationError("ratings and neighbour_factors disagree on n")
+
+    precision = prior.precision + alpha * (neighbour_factors.T @ neighbour_factors)
+    rhs = prior.precision @ prior.mean + alpha * (neighbour_factors.T @ ratings)
+    chol = np.linalg.cholesky(precision)
+    mean = cho_solve((chol, True), rhs)
+    return mean, chol
+
+
+# ---------------------------------------------------------------------------
+# the three update kernels
+# ---------------------------------------------------------------------------
+
+def sample_item_rank_one(
+    neighbour_factors: np.ndarray,
+    ratings: np.ndarray,
+    prior: GaussianPrior,
+    alpha: float,
+    rng: SeedLike = None,
+    noise: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Sample one item's factor using incremental rank-one Cholesky updates.
+
+    The precision Cholesky factor is built by starting from ``chol(Lambda)``
+    and applying one rank-1 update per rating with ``sqrt(alpha) * V_j``.
+    Cost is ``O(n K^2)`` with a small constant and no Gram matrix, which is
+    why it wins for low-degree items in Figure 2.
+    """
+    neighbour_factors = np.asarray(neighbour_factors, dtype=np.float64)
+    ratings = np.asarray(ratings, dtype=np.float64)
+    rng = as_generator(rng)
+    k = prior.num_latent
+    chol = np.linalg.cholesky(prior.precision)
+    sqrt_alpha = math.sqrt(alpha)
+    for row in neighbour_factors:
+        chol = cholesky_rank_one_update(chol, sqrt_alpha * row)
+    rhs = prior.precision @ prior.mean + alpha * (neighbour_factors.T @ ratings) \
+        if neighbour_factors.size else prior.precision @ prior.mean
+    mean = cho_solve((chol, True), rhs)
+    if noise is None:
+        noise = rng.standard_normal(k)
+    return _sample_from_chol_precision(mean, chol, noise)
+
+
+def sample_item_serial_cholesky(
+    neighbour_factors: np.ndarray,
+    ratings: np.ndarray,
+    prior: GaussianPrior,
+    alpha: float,
+    rng: SeedLike = None,
+    noise: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Sample one item's factor with a single Gram product + Cholesky solve."""
+    rng = as_generator(rng)
+    mean, chol = conditional_distribution(neighbour_factors, ratings, prior, alpha)
+    if noise is None:
+        noise = rng.standard_normal(prior.num_latent)
+    return _sample_from_chol_precision(mean, chol, noise)
+
+
+def sample_item_parallel_cholesky(
+    neighbour_factors: np.ndarray,
+    ratings: np.ndarray,
+    prior: GaussianPrior,
+    alpha: float,
+    rng: SeedLike = None,
+    noise: Optional[np.ndarray] = None,
+    n_blocks: int = 4,
+) -> np.ndarray:
+    """Sample one item's factor with a block-decomposed Gram accumulation.
+
+    The neighbour matrix is split into ``n_blocks`` row blocks whose partial
+    Gram matrices / partial right-hand sides can be computed independently
+    (by different cores in the C++ implementation; by the simulated machine
+    in :mod:`repro.parallel`), then reduced and factorised.  Numerically the
+    result is identical to the serial Cholesky method up to floating-point
+    summation order.
+    """
+    check_positive("n_blocks", n_blocks)
+    neighbour_factors = np.asarray(neighbour_factors, dtype=np.float64)
+    ratings = np.asarray(ratings, dtype=np.float64)
+    rng = as_generator(rng)
+    k = prior.num_latent
+
+    n = neighbour_factors.shape[0]
+    precision = prior.precision.copy()
+    rhs = prior.precision @ prior.mean
+    if n:
+        blocks = np.array_split(np.arange(n), min(n_blocks, n))
+        for block in blocks:
+            sub = neighbour_factors[block]
+            precision += alpha * (sub.T @ sub)
+            rhs += alpha * (sub.T @ ratings[block])
+    chol = np.linalg.cholesky(precision)
+    mean = cho_solve((chol, True), rhs)
+    if noise is None:
+        noise = rng.standard_normal(k)
+    return _sample_from_chol_precision(mean, chol, noise)
+
+
+# ---------------------------------------------------------------------------
+# hybrid policy and dispatch
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HybridUpdatePolicy:
+    """The paper's load-balancing rule for choosing an update algorithm.
+
+    *"To ensure a good load balance, we use a cheaper but serial algorithm
+    for items with less than 1000 ratings.  For items with more ratings, we
+    use a parallel algorithm containing a full Cholesky decomposition."*
+
+    Parameters
+    ----------
+    parallel_threshold:
+        Rating count at or above which the parallel Cholesky is used
+        (1000 in the paper).
+    rank_one_threshold:
+        Rating count below which the rank-one update is cheaper than
+        forming the Gram matrix; between the two thresholds the serial
+        Cholesky is used.
+    block_grain:
+        Target number of ratings per sub-task when a heavy item is split
+        for parallel execution.
+    """
+
+    parallel_threshold: int = 1000
+    rank_one_threshold: int = 32
+    block_grain: int = 512
+
+    def __post_init__(self):
+        check_positive("parallel_threshold", self.parallel_threshold)
+        check_positive("rank_one_threshold", self.rank_one_threshold)
+        check_positive("block_grain", self.block_grain)
+        if self.rank_one_threshold > self.parallel_threshold:
+            raise ValidationError(
+                "rank_one_threshold must not exceed parallel_threshold")
+
+    def choose(self, n_ratings: int) -> UpdateMethod:
+        """Pick the update algorithm for an item with ``n_ratings`` ratings."""
+        if n_ratings >= self.parallel_threshold:
+            return UpdateMethod.PARALLEL_CHOLESKY
+        if n_ratings < self.rank_one_threshold:
+            return UpdateMethod.RANK_ONE
+        return UpdateMethod.SERIAL_CHOLESKY
+
+    def n_subtasks(self, n_ratings: int) -> int:
+        """Number of parallel sub-tasks a heavy item is split into."""
+        if n_ratings < self.parallel_threshold:
+            return 1
+        return max(2, math.ceil(n_ratings / self.block_grain))
+
+
+def sample_item(
+    neighbour_factors: np.ndarray,
+    ratings: np.ndarray,
+    prior: GaussianPrior,
+    alpha: float,
+    rng: SeedLike = None,
+    noise: Optional[np.ndarray] = None,
+    method: UpdateMethod | None = None,
+    policy: HybridUpdatePolicy | None = None,
+) -> np.ndarray:
+    """Sample one item's factor, dispatching on ``method`` or the hybrid policy.
+
+    When neither ``method`` nor ``policy`` is given the hybrid policy with
+    paper defaults is used.
+    """
+    n_ratings = int(np.asarray(ratings).shape[0])
+    if method is None:
+        policy = policy or HybridUpdatePolicy()
+        method = policy.choose(n_ratings)
+    if method is UpdateMethod.RANK_ONE:
+        return sample_item_rank_one(neighbour_factors, ratings, prior, alpha,
+                                    rng=rng, noise=noise)
+    if method is UpdateMethod.SERIAL_CHOLESKY:
+        return sample_item_serial_cholesky(neighbour_factors, ratings, prior,
+                                           alpha, rng=rng, noise=noise)
+    if method is UpdateMethod.PARALLEL_CHOLESKY:
+        n_blocks = (policy or HybridUpdatePolicy()).n_subtasks(n_ratings)
+        return sample_item_parallel_cholesky(neighbour_factors, ratings, prior,
+                                             alpha, rng=rng, noise=noise,
+                                             n_blocks=n_blocks)
+    raise ValidationError(f"unknown update method: {method!r}")

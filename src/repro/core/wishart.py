@@ -1,0 +1,199 @@
+"""Wishart and Normal–Wishart sampling.
+
+The Gibbs sampler's hyperparameter step ("sample hyper-parameters movies
+based on V" in Algorithm 1) draws the per-entity Gaussian prior
+``(mu, Lambda)`` from its Normal–Wishart posterior given the current factor
+matrix.  This module implements:
+
+* Wishart sampling via the Bartlett decomposition (no dependence on
+  ``scipy.stats`` so the sampling path is fully under our control and
+  deterministic given a :class:`numpy.random.Generator`);
+* the conjugate Normal–Wishart posterior update;
+* the combined hyperparameter Gibbs step used by all samplers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.priors import GaussianPrior, NormalWishartPrior
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "sample_wishart",
+    "sample_normal_wishart",
+    "normal_wishart_posterior",
+    "normal_wishart_posterior_from_stats",
+    "sample_hyperparameters",
+]
+
+
+def _cholesky_psd(matrix: np.ndarray, jitter: float = 1e-10) -> np.ndarray:
+    """Cholesky factor of a symmetric positive (semi-)definite matrix.
+
+    Adds an escalating diagonal jitter when the matrix is numerically on
+    the PSD boundary, which happens for degenerate factor configurations
+    (e.g. a single user) early in sampling.
+    """
+    matrix = 0.5 * (matrix + matrix.T)
+    scale = max(float(np.trace(matrix)) / max(matrix.shape[0], 1), 1.0)
+    for attempt in range(8):
+        try:
+            return np.linalg.cholesky(
+                matrix + (jitter * scale * 10**attempt) * np.eye(matrix.shape[0])
+                if attempt else matrix)
+        except np.linalg.LinAlgError:
+            continue
+    raise ValidationError("matrix is not positive definite even after jittering")
+
+
+def sample_wishart(scale: np.ndarray, dof: float, rng: SeedLike = None) -> np.ndarray:
+    """Draw one sample from ``Wishart(scale, dof)`` via Bartlett decomposition.
+
+    Parameters
+    ----------
+    scale:
+        The ``K x K`` positive-definite scale matrix ``W``.
+    dof:
+        Degrees of freedom ``nu >= K``.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    A ``K x K`` positive-definite sample with ``E[X] = dof * scale``.
+    """
+    rng = as_generator(rng)
+    scale = np.asarray(scale, dtype=np.float64)
+    k = scale.shape[0]
+    if scale.shape != (k, k):
+        raise ValidationError(f"scale must be square, got {scale.shape}")
+    if dof < k:
+        raise ValidationError(f"dof must be >= dimension {k}, got {dof}")
+
+    chol_scale = _cholesky_psd(scale)
+    # Bartlett: A lower-triangular with chi_{dof-i} on the diagonal and
+    # standard normals strictly below; X = L A A^T L^T.
+    bartlett = np.zeros((k, k))
+    diag_dof = dof - np.arange(k)
+    bartlett[np.diag_indices(k)] = np.sqrt(rng.chisquare(diag_dof))
+    lower = np.tril_indices(k, -1)
+    bartlett[lower] = rng.standard_normal(len(lower[0]))
+    factor = chol_scale @ bartlett
+    return factor @ factor.T
+
+
+def sample_normal_wishart(prior: NormalWishartPrior,
+                          rng: SeedLike = None) -> GaussianPrior:
+    """Draw ``(mu, Lambda)`` from a Normal–Wishart distribution.
+
+    ``Lambda ~ Wishart(W0, nu0)`` and ``mu | Lambda ~ N(mu0, (beta0 Lambda)^-1)``.
+    """
+    rng = as_generator(rng)
+    precision = sample_wishart(prior.W0, prior.nu0, rng)
+    chol_precision = _cholesky_psd(precision * prior.beta0)
+    # mu = mu0 + (beta0 * Lambda)^{-1/2} z, via a triangular solve.
+    z = rng.standard_normal(prior.num_latent)
+    offset = np.linalg.solve(chol_precision.T, z)
+    return GaussianPrior(mean=prior.mu0 + offset, precision=precision)
+
+
+def normal_wishart_posterior(factors: np.ndarray,
+                             prior: NormalWishartPrior) -> NormalWishartPrior:
+    """Conjugate Normal–Wishart posterior given observed factor rows.
+
+    With ``N`` factor rows, sample mean ``x̄`` and scatter ``S`` (centered,
+    normalised by ``N``):
+
+    * ``beta* = beta0 + N``; ``nu* = nu0 + N``
+    * ``mu* = (beta0 mu0 + N x̄) / (beta0 + N)``
+    * ``W*^-1 = W0^-1 + N S + (beta0 N / (beta0 + N)) (x̄ - mu0)(x̄ - mu0)^T``
+    """
+    factors = np.asarray(factors, dtype=np.float64)
+    if factors.ndim != 2:
+        raise ValidationError("factors must be a 2-D (items x K) array")
+    n, k = factors.shape
+    if k != prior.num_latent:
+        raise ValidationError(
+            f"factors have {k} columns but the prior has num_latent={prior.num_latent}")
+    if n == 0:
+        return prior
+
+    mean = factors.mean(axis=0)
+    centered = factors - mean
+    scatter = centered.T @ centered  # equals N * S
+    diff = mean - prior.mu0
+
+    beta_post = prior.beta0 + n
+    nu_post = prior.nu0 + n
+    mu_post = (prior.beta0 * prior.mu0 + n * mean) / beta_post
+    w0_inv = np.linalg.inv(prior.W0)
+    w_post_inv = (w0_inv + scatter
+                  + (prior.beta0 * n / beta_post) * np.outer(diff, diff))
+    # Invert through Cholesky for symmetry and numerical stability.
+    chol = _cholesky_psd(w_post_inv)
+    identity = np.eye(k)
+    w_post = np.linalg.solve(chol.T, np.linalg.solve(chol, identity))
+    w_post = 0.5 * (w_post + w_post.T)
+    return NormalWishartPrior(mu0=mu_post, beta0=beta_post, W0=w_post, nu0=nu_post)
+
+
+def normal_wishart_posterior_from_stats(
+    n: int,
+    factor_sum: np.ndarray,
+    factor_outer_sum: np.ndarray,
+    prior: NormalWishartPrior,
+) -> NormalWishartPrior:
+    """Normal–Wishart posterior from distributed sufficient statistics.
+
+    The distributed sampler cannot hand the full factor matrix to
+    :func:`normal_wishart_posterior`; instead every rank contributes the
+    count, sum and sum of outer products of the rows it owns, which are
+    combined with an allreduce.  Given those statistics the posterior is
+
+    ``mean = sum / n`` and ``N S = sum_outer - n * mean mean^T``,
+
+    after which the update formulas are identical to the centered form.
+    The result matches :func:`normal_wishart_posterior` up to floating-point
+    summation order.
+    """
+    if n < 0:
+        raise ValidationError("n must be >= 0")
+    if n == 0:
+        return prior
+    factor_sum = np.asarray(factor_sum, dtype=np.float64)
+    factor_outer_sum = np.asarray(factor_outer_sum, dtype=np.float64)
+    k = prior.num_latent
+    if factor_sum.shape != (k,) or factor_outer_sum.shape != (k, k):
+        raise ValidationError("sufficient statistics have the wrong shape")
+
+    mean = factor_sum / n
+    scatter = factor_outer_sum - n * np.outer(mean, mean)
+    scatter = 0.5 * (scatter + scatter.T)
+    diff = mean - prior.mu0
+
+    beta_post = prior.beta0 + n
+    nu_post = prior.nu0 + n
+    mu_post = (prior.beta0 * prior.mu0 + n * mean) / beta_post
+    w0_inv = np.linalg.inv(prior.W0)
+    w_post_inv = (w0_inv + scatter
+                  + (prior.beta0 * n / beta_post) * np.outer(diff, diff))
+    chol = _cholesky_psd(w_post_inv)
+    identity = np.eye(k)
+    w_post = np.linalg.solve(chol.T, np.linalg.solve(chol, identity))
+    w_post = 0.5 * (w_post + w_post.T)
+    return NormalWishartPrior(mu0=mu_post, beta0=beta_post, W0=w_post, nu0=nu_post)
+
+
+def sample_hyperparameters(factors: np.ndarray, prior: NormalWishartPrior,
+                           rng: SeedLike = None) -> GaussianPrior:
+    """One hyperparameter Gibbs step: posterior update then a NW draw.
+
+    This is the "sample hyper-parameters ... based on U/V" line of
+    Algorithm 1 in the paper.
+    """
+    posterior = normal_wishart_posterior(factors, prior)
+    return sample_normal_wishart(posterior, rng)

@@ -1,0 +1,43 @@
+"""Dataset generators for the BPMF reproduction.
+
+The paper evaluates on two datasets that are not redistributable offline:
+
+* **ChEMBL v20 IC50 subset** — ~1 023 952 activities over 483 500 compounds
+  ("users") x 5 775 protein targets ("movies").
+* **MovieLens ml-20m** — 20 M ratings over 138 493 users x 27 278 movies.
+
+This package generates synthetic stand-ins that preserve the two properties
+the paper's parallelization actually depends on: the *sparsity level* and
+the *heavy-tailed distribution of ratings per item* (which creates the load
+imbalance that motivates work stealing and the hybrid update rule).  A
+ground-truth low-rank generator is also provided so correctness tests can
+verify that BPMF recovers a known signal.
+"""
+
+from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
+from repro.datasets.degree_models import (
+    power_law_degrees,
+    lognormal_degrees,
+    scale_degrees_to_nnz,
+)
+from repro.datasets.chembl import ChemblLikeConfig, make_chembl_like
+from repro.datasets.movielens import MovieLensLikeConfig, make_movielens_like
+from repro.datasets.scaling_workload import ScalingWorkloadConfig, make_scaling_workload
+from repro.datasets.registry import DatasetSpec, available_datasets, load_dataset
+
+__all__ = [
+    "SyntheticConfig",
+    "make_low_rank_dataset",
+    "power_law_degrees",
+    "lognormal_degrees",
+    "scale_degrees_to_nnz",
+    "ChemblLikeConfig",
+    "make_chembl_like",
+    "MovieLensLikeConfig",
+    "make_movielens_like",
+    "ScalingWorkloadConfig",
+    "make_scaling_workload",
+    "DatasetSpec",
+    "available_datasets",
+    "load_dataset",
+]

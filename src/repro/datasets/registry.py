@@ -1,0 +1,90 @@
+"""Named dataset registry.
+
+Benchmarks and examples refer to workloads by name (``"synthetic-small"``,
+``"chembl-like"``, ``"movielens-like"`` …); the registry maps those names to
+generator calls with fixed, documented parameters so every experiment in
+EXPERIMENTS.md is reproducible from its name alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.datasets.chembl import ChemblLikeConfig, make_chembl_like
+from repro.datasets.movielens import MovieLensLikeConfig, make_movielens_like
+from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
+from repro.sparse.csr import RatingMatrix
+from repro.sparse.split import RatingSplit
+from repro.utils.validation import check_in
+
+__all__ = ["DatasetSpec", "available_datasets", "load_dataset", "register_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named workload: its description and a zero-argument loader."""
+
+    name: str
+    description: str
+    loader: Callable[[], Tuple[RatingMatrix, RatingSplit]]
+
+
+def _synthetic(name: str, **kwargs) -> DatasetSpec:
+    def load() -> Tuple[RatingMatrix, RatingSplit]:
+        data = make_low_rank_dataset(SyntheticConfig(**kwargs))
+        return data.ratings, data.split
+
+    return DatasetSpec(name, f"ground-truth low-rank synthetic {kwargs}", load)
+
+
+def _chembl(name: str, **kwargs) -> DatasetSpec:
+    def load() -> Tuple[RatingMatrix, RatingSplit]:
+        data = make_chembl_like(ChemblLikeConfig(**kwargs))
+        return data.ratings, data.split
+
+    return DatasetSpec(name, f"ChEMBL-like bioactivity matrix {kwargs}", load)
+
+
+def _movielens(name: str, **kwargs) -> DatasetSpec:
+    def load() -> Tuple[RatingMatrix, RatingSplit]:
+        data = make_movielens_like(MovieLensLikeConfig(**kwargs))
+        return data.ratings, data.split
+
+    return DatasetSpec(name, f"MovieLens-like star-rating matrix {kwargs}", load)
+
+
+_REGISTRY: Dict[str, DatasetSpec] = {}
+
+
+def register_dataset(spec: DatasetSpec, overwrite: bool = False) -> None:
+    """Register a custom named dataset for use by the benchmark harness."""
+    if spec.name in _REGISTRY and not overwrite:
+        raise ValueError(f"dataset {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+
+
+for _spec in (
+    _synthetic("synthetic-tiny", n_users=60, n_movies=40, rank=4,
+               density=0.2, seed=7),
+    _synthetic("synthetic-small", n_users=200, n_movies=150, rank=8,
+               density=0.1, seed=7),
+    _synthetic("synthetic-medium", n_users=800, n_movies=500, rank=12,
+               density=0.05, seed=7),
+    _chembl("chembl-like-tiny", scale=400.0, seed=11),
+    _chembl("chembl-like", scale=50.0, seed=11),
+    _movielens("movielens-like-tiny", scale=1500.0, seed=13),
+    _movielens("movielens-like", scale=400.0, seed=13),
+):
+    register_dataset(_spec)
+
+
+def available_datasets() -> Tuple[str, ...]:
+    """Names of all registered datasets."""
+    return tuple(sorted(_REGISTRY))
+
+
+def load_dataset(name: str) -> Tuple[RatingMatrix, RatingSplit]:
+    """Load a registered dataset by name, returning ``(ratings, split)``."""
+    check_in("name", name, _REGISTRY.keys())
+    return _REGISTRY[name].loader()

@@ -1,0 +1,48 @@
+"""Distributed BPMF (Section IV of the paper).
+
+Built on the simulated MPI substrate (:mod:`repro.mpi`):
+
+* :mod:`repro.distributed.partition` — distributes the rows of ``U`` and
+  ``V`` over the ranks using the paper's workload model (fixed cost plus a
+  cost per rating) after a locality-improving reordering of ``R``.
+* :mod:`repro.distributed.comm_plan` — derives, from the sparsity pattern
+  and the partition, exactly which updated items each rank must send to
+  which other ranks ("the rating matrix R determines to what nodes this
+  item needs to be sent").
+* :mod:`repro.distributed.sampler` — the asynchronous distributed Gibbs
+  sampler: ranks hold their own copies of the factor matrices, update the
+  items they own, stream the updates through send buffers and apply the
+  buffers they receive; the result is statistically identical to the
+  sequential sampler.
+* :mod:`repro.distributed.sync_sampler` — the bulk-synchronous baseline
+  that exchanges everything at the end of each phase in single large
+  messages (the "more common synchronous approach" the paper outperforms).
+* :mod:`repro.distributed.scaling` — the strong-scaling performance model
+  (nodes, racks, cache effects, message overheads) that regenerates
+  Figures 4 and 5.
+"""
+
+from repro.distributed.partition import Partition, partition_ratings
+from repro.distributed.comm_plan import CommunicationPlan, build_comm_plan
+from repro.distributed.sampler import DistributedGibbsSampler, DistributedOptions
+from repro.distributed.sync_sampler import BulkSynchronousGibbsSampler
+from repro.distributed.scaling import (
+    ScalingConfig,
+    ScalingPoint,
+    StrongScalingResult,
+    strong_scaling_study,
+)
+
+__all__ = [
+    "Partition",
+    "partition_ratings",
+    "CommunicationPlan",
+    "build_comm_plan",
+    "DistributedGibbsSampler",
+    "DistributedOptions",
+    "BulkSynchronousGibbsSampler",
+    "ScalingConfig",
+    "ScalingPoint",
+    "StrongScalingResult",
+    "strong_scaling_study",
+]

@@ -1,0 +1,53 @@
+"""Bulk-synchronous (BSP) distributed BPMF baseline.
+
+The paper contrasts its asynchronous, buffered exchange against "more
+common synchronous approaches like GraphLab": update everything you own,
+then exchange everything in one synchronous step, then proceed.  This
+sampler produces exactly the same samples as
+:class:`repro.distributed.sampler.DistributedGibbsSampler` (the maths does
+not change) but its message pattern is one large message per communicating
+rank pair and phase, with no opportunity to overlap transfers with the
+item updates that produced them.
+
+The strong-scaling model (:mod:`repro.distributed.scaling`) treats runs
+configured this way with overlap disabled, which is how the async-vs-sync
+ablation benchmark quantifies the benefit the paper claims.
+"""
+
+from __future__ import annotations
+
+from repro.core.priors import BPMFConfig
+from repro.distributed.sampler import DistributedGibbsSampler, DistributedOptions
+
+__all__ = ["BulkSynchronousGibbsSampler"]
+
+
+class BulkSynchronousGibbsSampler(DistributedGibbsSampler):
+    """Distributed BPMF with one bulk exchange per phase (no streaming buffers).
+
+    Implemented by forcing the per-destination send buffer to be large
+    enough to hold every item a rank could possibly send, so each
+    communicating pair exchanges exactly one message per phase.
+    """
+
+    def __init__(self, config: BPMFConfig | None = None,
+                 options: DistributedOptions | None = None):
+        options = options or DistributedOptions()
+        # Work on a copy so the caller's options object is not mutated, and
+        # give the buffer a capacity no phase can ever fill, which collapses
+        # the streaming exchange into one message per communicating pair.
+        bulk_options = DistributedOptions(
+            n_ranks=options.n_ranks,
+            buffer_capacity=2**31 - 1,
+            reorder=options.reorder,
+            hyper_mode=options.hyper_mode,
+            update_method=options.update_method,
+            policy=options.policy,
+            workload=options.workload,
+            keep_sample_predictions=options.keep_sample_predictions,
+        )
+        super().__init__(config, bulk_options)
+
+    @property
+    def is_bulk_synchronous(self) -> bool:
+        return True

@@ -1,0 +1,42 @@
+"""Simulated message-passing substrate (the stand-in for MPI-3).
+
+The execution environment has no MPI runtime and a single core, so the
+distributed experiments run on an in-process substrate with two layers:
+
+* **Functional layer** (:mod:`repro.mpi.simmpi`) — ``SimCommWorld`` gives
+  every simulated rank its own mailbox and the familiar ``Isend`` /
+  ``Irecv`` / ``Allreduce`` / ``Barrier`` verbs.  Ranks keep *separate
+  copies* of the factor matrices; an item only becomes visible on another
+  rank when a message carrying it is delivered.  This is what makes the
+  distributed sampler's correctness checkable: forget to send an item and
+  the result diverges from the sequential reference.
+* **Performance layer** (:mod:`repro.mpi.network`,
+  :mod:`repro.mpi.trace`) — a cluster/network model (per-message overhead,
+  link latency and bandwidth, rack topology with a shared inter-rack
+  uplink, per-node cache capacity) and a per-rank time-line accounting of
+  compute / communicate / overlap, used by the strong-scaling driver to
+  regenerate Figures 4 and 5.
+
+Send-buffer aggregation (:mod:`repro.mpi.buffers`) reproduces the paper's
+optimisation of batching updated items into fixed-size buffers instead of
+sending each item individually.
+"""
+
+from repro.mpi.network import ClusterSpec, NetworkModel
+from repro.mpi.simmpi import SimCommWorld, SimComm, SimRequest, MessageRecord
+from repro.mpi.buffers import SendBuffer, BufferStats
+from repro.mpi.trace import RankTimeline, PhaseBreakdown, combine_breakdowns
+
+__all__ = [
+    "ClusterSpec",
+    "NetworkModel",
+    "SimCommWorld",
+    "SimComm",
+    "SimRequest",
+    "MessageRecord",
+    "SendBuffer",
+    "BufferStats",
+    "RankTimeline",
+    "PhaseBreakdown",
+    "combine_breakdowns",
+]

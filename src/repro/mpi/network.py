@@ -1,0 +1,179 @@
+"""Cluster and network performance model.
+
+The distributed experiments of the paper run on two machines:
+
+* *Lynx* — 20 dual-socket Westmere nodes (12 cores / 24 threads, 96 GB);
+* *Fermi* — an IBM BlueGene/Q with 16-core nodes grouped in 32-node racks.
+
+Figure 4's headline observation is topological: scaling is good (even
+super-linear, thanks to shrinking per-node working sets) up to 32 nodes =
+one rack, and degrades sharply once the allocation spans racks.  The model
+here captures exactly the ingredients needed for that shape:
+
+* a fixed software overhead per message (why the paper aggregates items
+  into send buffers);
+* link latency and bandwidth that differ between intra-rack and
+  inter-rack communication;
+* a *shared inter-rack uplink* per rack, so inter-rack traffic from all
+  nodes of a rack contends for the same pipe;
+* a per-node cache capacity: when a node's working set (its slice of U and
+  V plus the items it receives) drops below the cache size, its per-item
+  compute cost shrinks, which is what produces super-linear speed-up.
+
+All parameters are explicit and documented so ablations can switch each
+effect off independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["ClusterSpec", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of the simulated machine.
+
+    Parameters
+    ----------
+    cores_per_node:
+        Hardware threads used per node (16 on the BlueGene/Q in the paper,
+        hence the "#cores = 16 x #nodes" axis of Figure 4).
+    rack_size:
+        Nodes per rack; communication within a rack is cheap, across racks
+        it shares the rack uplink.
+    cache_bytes:
+        Per-node last-level-cache capacity used by the cache-speed-up
+        model.
+    cache_speedup:
+        Maximum multiplicative speed-up of per-item compute when the whole
+        working set fits in cache (super-linear-scaling knob; set to 1.0 to
+        disable).
+    node_compute_efficiency:
+        Fraction of ideal multi-core throughput a node achieves on its own
+        share (intra-node parallel efficiency when the per-node scheduler
+        is not simulated explicitly).
+    """
+
+    cores_per_node: int = 16
+    rack_size: int = 32
+    cache_bytes: float = 32 * 1024 * 1024
+    cache_speedup: float = 1.35
+    node_compute_efficiency: float = 0.9
+
+    def __post_init__(self):
+        check_positive("cores_per_node", self.cores_per_node)
+        check_positive("rack_size", self.rack_size)
+        check_positive("cache_bytes", self.cache_bytes)
+        if self.cache_speedup < 1.0:
+            raise ValueError("cache_speedup must be >= 1.0")
+        if not (0.0 < self.node_compute_efficiency <= 1.0):
+            raise ValueError("node_compute_efficiency must be in (0, 1]")
+
+    def rack_of(self, node: int) -> int:
+        """Rack index of a node."""
+        check_non_negative("node", node)
+        return node // self.rack_size
+
+    def same_rack(self, a: int, b: int) -> bool:
+        return self.rack_of(a) == self.rack_of(b)
+
+    def n_racks(self, n_nodes: int) -> int:
+        return int(np.ceil(n_nodes / self.rack_size))
+
+    def cache_factor(self, working_set_bytes: float) -> float:
+        """Compute-speed multiplier in [1, cache_speedup] for a working set.
+
+        Full speed-up when the working set fits entirely in cache, linear
+        fall-off until 8x the cache size, no speed-up beyond that.
+        """
+        check_non_negative("working_set_bytes", working_set_bytes)
+        if self.cache_speedup == 1.0:
+            return 1.0
+        ratio = working_set_bytes / self.cache_bytes
+        if ratio <= 1.0:
+            return self.cache_speedup
+        if ratio >= 8.0:
+            return 1.0
+        # Linear interpolation in log2 space between fit (x1) and 8x (x0.0).
+        t = (np.log2(ratio)) / 3.0
+        return float(self.cache_speedup - t * (self.cache_speedup - 1.0))
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Message-cost model with rack topology and uplink contention.
+
+    Parameters
+    ----------
+    per_message_overhead:
+        CPU seconds spent in the MPI library per message posted (the
+        overhead the paper's send-buffer aggregation amortises).  This part
+        cannot be overlapped with computation.
+    intra_latency, inter_latency:
+        One-way wire latency within a rack / across racks.
+    intra_bandwidth, inter_bandwidth:
+        Point-to-point link bandwidth (bytes/second) within / across racks.
+    uplink_bandwidth:
+        Aggregate bandwidth of one rack's uplink; all inter-rack traffic of
+        a rack's nodes shares it.
+    item_header_bytes:
+        Per-item metadata carried in a message (index + bookkeeping).
+    """
+
+    per_message_overhead: float = 4.0e-6
+    intra_latency: float = 2.0e-6
+    inter_latency: float = 1.0e-5
+    intra_bandwidth: float = 4.0e9
+    inter_bandwidth: float = 1.2e9
+    uplink_bandwidth: float = 6.0e9
+    item_header_bytes: int = 8
+
+    def __post_init__(self):
+        for name in ("per_message_overhead", "intra_latency", "inter_latency"):
+            check_non_negative(name, getattr(self, name))
+        for name in ("intra_bandwidth", "inter_bandwidth", "uplink_bandwidth"):
+            check_positive(name, getattr(self, name))
+        check_non_negative("item_header_bytes", self.item_header_bytes)
+
+    def latency(self, cluster: ClusterSpec, src: int, dst: int) -> float:
+        return self.intra_latency if cluster.same_rack(src, dst) else self.inter_latency
+
+    def bandwidth(self, cluster: ClusterSpec, src: int, dst: int) -> float:
+        return self.intra_bandwidth if cluster.same_rack(src, dst) else self.inter_bandwidth
+
+    def transfer_time(self, cluster: ClusterSpec, src: int, dst: int,
+                      n_bytes: float) -> float:
+        """Wire time of one message (excludes the CPU posting overhead)."""
+        check_non_negative("n_bytes", n_bytes)
+        return self.latency(cluster, src, dst) + n_bytes / self.bandwidth(cluster, src, dst)
+
+    def message_bytes(self, n_items: int, num_latent: int,
+                      value_bytes: int = 8) -> float:
+        """Payload size of a buffer carrying ``n_items`` factor vectors."""
+        check_non_negative("n_items", n_items)
+        check_positive("num_latent", num_latent)
+        return n_items * (num_latent * value_bytes + self.item_header_bytes)
+
+    def allreduce_time(self, cluster: ClusterSpec, n_nodes: int,
+                       n_bytes: float) -> float:
+        """Recursive-doubling allreduce estimate (hyperparameter statistics)."""
+        check_positive("n_nodes", n_nodes)
+        if n_nodes == 1:
+            return 0.0
+        rounds = int(np.ceil(np.log2(n_nodes)))
+        crosses_racks = cluster.n_racks(n_nodes) > 1
+        latency = self.inter_latency if crosses_racks else self.intra_latency
+        bandwidth = self.inter_bandwidth if crosses_racks else self.intra_bandwidth
+        return rounds * (self.per_message_overhead + latency + n_bytes / bandwidth)
+
+    def uplink_serialization(self, total_interrack_bytes_from_rack: float) -> float:
+        """Extra time for a rack's inter-rack traffic to drain through its uplink."""
+        check_non_negative("total_interrack_bytes_from_rack",
+                           total_interrack_bytes_from_rack)
+        return total_interrack_bytes_from_rack / self.uplink_bandwidth

@@ -1,0 +1,312 @@
+"""In-process message-passing world (functional MPI stand-in).
+
+``SimCommWorld`` hosts ``n_ranks`` mailboxes inside one Python process and
+hands each simulated rank a :class:`SimComm` endpoint with the MPI verbs
+the distributed sampler needs: non-blocking point-to-point sends and
+receives with tags, blocking receive, probe, allreduce, broadcast and
+barrier.  Delivery is immediate and reliable (the performance layer in
+:mod:`repro.mpi.trace` models *time*; this layer models *data movement*),
+but the discipline is real: a rank can only see another rank's data if a
+message carrying it was posted, and every message is logged so tests and
+the benchmark harness can audit the traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["MessageRecord", "SimRequest", "SimComm", "SimCommWorld", "ReduceOp"]
+
+#: Tag value matching any tag on the receive side (mirrors MPI_ANY_TAG).
+ANY_TAG = -1
+#: Source value matching any source on the receive side (mirrors MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """Audit record of one posted message."""
+
+    message_id: int
+    source: int
+    destination: int
+    tag: int
+    n_bytes: int
+    description: str = ""
+
+
+@dataclass
+class _Envelope:
+    """A message sitting in a destination mailbox."""
+
+    record: MessageRecord
+    payload: Any
+
+
+@dataclass
+class SimRequest:
+    """Handle returned by the non-blocking operations.
+
+    ``wait``/``test`` mirror ``MPI_Wait``/``MPI_Test``: for receives they
+    return the payload once a matching message is available.
+    """
+
+    _completed: bool = False
+    _payload: Any = None
+    _poll: Optional[Callable[[], Tuple[bool, Any]]] = None
+
+    def test(self) -> bool:
+        """Non-blocking completion check."""
+        if self._completed:
+            return True
+        if self._poll is not None:
+            done, payload = self._poll()
+            if done:
+                self._completed = True
+                self._payload = payload
+        return self._completed
+
+    def wait(self) -> Any:
+        """Block (conceptually) until complete and return the payload."""
+        if not self.test():
+            raise ValidationError(
+                "SimRequest.wait would deadlock: no matching message has been "
+                "posted yet (the simulated world has no concurrent progress)")
+        return self._payload
+
+
+class ReduceOp:
+    """Reduction operators for allreduce (a tiny subset of MPI_Op)."""
+
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+
+    _FUNCS = {
+        "sum": lambda arrays: sum(arrays[1:], start=arrays[0].copy()),
+        "max": lambda arrays: np.maximum.reduce(arrays),
+        "min": lambda arrays: np.minimum.reduce(arrays),
+    }
+
+    @classmethod
+    def apply(cls, op: str, arrays: List[np.ndarray]) -> np.ndarray:
+        if op not in cls._FUNCS:
+            raise ValidationError(f"unsupported reduce op {op!r}")
+        return cls._FUNCS[op](arrays)
+
+
+class SimCommWorld:
+    """The shared state of all simulated ranks.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated MPI ranks.
+    """
+
+    def __init__(self, n_ranks: int):
+        check_positive("n_ranks", n_ranks)
+        self.n_ranks = n_ranks
+        self._mailboxes: List[Deque[_Envelope]] = [deque() for _ in range(n_ranks)]
+        self._message_log: List[MessageRecord] = []
+        self._message_counter = itertools.count()
+        self._collective_slots: Dict[str, Dict[int, Any]] = {}
+
+    # -- rank handles --------------------------------------------------------
+
+    def comm(self, rank: int) -> "SimComm":
+        """Endpoint for one rank."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValidationError(f"rank {rank} out of range [0, {self.n_ranks})")
+        return SimComm(self, rank)
+
+    def comms(self) -> List["SimComm"]:
+        """Endpoints for every rank, indexed by rank."""
+        return [self.comm(rank) for rank in range(self.n_ranks)]
+
+    # -- message plumbing ----------------------------------------------------
+
+    def _post(self, source: int, destination: int, tag: int, payload: Any,
+              n_bytes: int, description: str) -> MessageRecord:
+        if not 0 <= destination < self.n_ranks:
+            raise ValidationError(f"destination rank {destination} out of range")
+        record = MessageRecord(
+            message_id=next(self._message_counter),
+            source=source,
+            destination=destination,
+            tag=tag,
+            n_bytes=n_bytes,
+            description=description,
+        )
+        self._mailboxes[destination].append(_Envelope(record, payload))
+        self._message_log.append(record)
+        return record
+
+    def _match(self, rank: int, source: int, tag: int) -> Optional[_Envelope]:
+        mailbox = self._mailboxes[rank]
+        for index, envelope in enumerate(mailbox):
+            source_ok = source == ANY_SOURCE or envelope.record.source == source
+            tag_ok = tag == ANY_TAG or envelope.record.tag == tag
+            if source_ok and tag_ok:
+                del mailbox[index]
+                return envelope
+        return None
+
+    # -- audit ---------------------------------------------------------------
+
+    @property
+    def message_log(self) -> List[MessageRecord]:
+        """All messages posted so far, in posting order."""
+        return list(self._message_log)
+
+    def traffic_matrix(self) -> np.ndarray:
+        """Bytes sent from rank i to rank j, as an ``(n, n)`` array."""
+        matrix = np.zeros((self.n_ranks, self.n_ranks))
+        for record in self._message_log:
+            matrix[record.source, record.destination] += record.n_bytes
+        return matrix
+
+    def pending_messages(self) -> int:
+        """Messages posted but not yet received (should be 0 after a clean run)."""
+        return sum(len(mailbox) for mailbox in self._mailboxes)
+
+    def reset_log(self) -> None:
+        self._message_log.clear()
+
+
+@dataclass
+class SimComm:
+    """One rank's communicator endpoint."""
+
+    world: SimCommWorld
+    rank: int
+
+    @property
+    def size(self) -> int:
+        return self.world.n_ranks
+
+    # -- point to point ------------------------------------------------------
+
+    def isend(self, payload: Any, dest: int, tag: int = 0,
+              description: str = "") -> SimRequest:
+        """Non-blocking send (delivery is immediate in the functional layer)."""
+        n_bytes = _payload_bytes(payload)
+        self.world._post(self.rank, dest, tag, payload, n_bytes, description)
+        return SimRequest(_completed=True, _payload=None)
+
+    def send(self, payload: Any, dest: int, tag: int = 0,
+             description: str = "") -> None:
+        """Blocking send (identical to isend in this world)."""
+        self.isend(payload, dest, tag, description=description)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> SimRequest:
+        """Non-blocking receive; completes when a matching message exists."""
+        def poll() -> Tuple[bool, Any]:
+            envelope = self.world._match(self.rank, source, tag)
+            if envelope is None:
+                return False, None
+            return True, envelope.payload
+
+        return SimRequest(_poll=poll)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; raises if no matching message has been posted."""
+        envelope = self.world._match(self.rank, source, tag)
+        if envelope is None:
+            raise ValidationError(
+                f"rank {self.rank}: recv(source={source}, tag={tag}) would "
+                "deadlock — no matching message has been posted")
+        return envelope.payload
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True when a matching message is waiting."""
+        mailbox = self.world._mailboxes[self.rank]
+        for envelope in mailbox:
+            source_ok = source == ANY_SOURCE or envelope.record.source == source
+            tag_ok = tag == ANY_TAG or envelope.record.tag == tag
+            if source_ok and tag_ok:
+                return True
+        return False
+
+    def drain(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> List[Any]:
+        """Receive every currently waiting matching message."""
+        payloads = []
+        while self.iprobe(source, tag):
+            payloads.append(self.recv(source, tag))
+        return payloads
+
+    # -- collectives -----------------------------------------------------------
+
+    def allreduce(self, array: np.ndarray, op: str = ReduceOp.SUM,
+                  key: str = "allreduce") -> np.ndarray:
+        """All-ranks reduction.
+
+        The orchestrator calls this once per rank (any order); every call
+        contributes the rank's array, and the reduced result is returned as
+        soon as all contributions for the collective ``key`` are in.  Ranks
+        calling with mismatched keys raise, mirroring an MPI collective
+        mismatch hang.
+        """
+        slot = self.world._collective_slots.setdefault(key, {})
+        if self.rank in slot:
+            raise ValidationError(
+                f"rank {self.rank} called collective {key!r} twice")
+        slot[self.rank] = np.asarray(array, dtype=np.float64).copy()
+        if len(slot) < self.size:
+            # Not everyone has contributed yet; the caller retries via
+            # complete_allreduce once the orchestration loop has stepped the
+            # remaining ranks.
+            return None  # type: ignore[return-value]
+        arrays = [slot[rank] for rank in range(self.size)]
+        result = ReduceOp.apply(op, arrays)
+        if self.size == 1:
+            del self.world._collective_slots[key]
+            return result.copy()
+        # Keep the result so the other size-1 ranks can fetch it; the slot is
+        # cleared when the last of them has fetched.
+        self.world._collective_slots[key] = {"__result__": result, "__fetched__": 0,
+                                             "__n__": self.size - 1}
+        return result.copy()
+
+    def fetch_allreduce(self, key: str = "allreduce") -> np.ndarray:
+        """Fetch the result of a completed collective (for ranks that contributed early)."""
+        slot = self.world._collective_slots.get(key)
+        if not slot or "__result__" not in slot:
+            raise ValidationError(f"collective {key!r} has not completed")
+        result = slot["__result__"].copy()
+        slot["__fetched__"] += 1
+        if slot["__fetched__"] >= slot["__n__"] :
+            del self.world._collective_slots[key]
+        return result
+
+    def bcast(self, payload: Any, root: int = 0, tag: int = 999_999) -> Any:
+        """Broadcast from ``root``: root posts one message per other rank."""
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.isend(payload, dest, tag=tag, description="bcast")
+            return payload
+        return self.recv(source=root, tag=tag)
+
+    def barrier(self) -> None:
+        """No-op in the functional layer (time is handled by the trace model)."""
+
+
+def _payload_bytes(payload: Any) -> int:
+    """Approximate wire size of a payload (arrays count exactly, rest via repr)."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (tuple, list)):
+        return int(sum(_payload_bytes(item) for item in payload))
+    if isinstance(payload, dict):
+        return int(sum(_payload_bytes(v) for v in payload.values()))
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 8
+    return len(repr(payload).encode("utf8"))

@@ -1,0 +1,132 @@
+"""Per-rank time accounting: compute, communicate, and overlap ("both").
+
+Figure 5 of the paper breaks the distributed run's wall-clock into the
+fraction of time each rank spends purely computing, purely communicating
+(waiting for or progressing messages with no useful compute available),
+and doing *both* (computation proceeding while transfers are in flight —
+the overlap that asynchronous MPI makes possible).
+
+:class:`RankTimeline` accumulates the three buckets for one rank;
+:class:`PhaseBreakdown` aggregates them across ranks into the normalised
+percentages the figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_non_negative
+
+__all__ = ["RankTimeline", "PhaseBreakdown", "combine_breakdowns"]
+
+
+@dataclass
+class RankTimeline:
+    """Accumulated seconds in each activity class for one rank."""
+
+    rank: int
+    compute: float = 0.0
+    communicate: float = 0.0
+    both: float = 0.0
+
+    def add_compute(self, seconds: float) -> None:
+        check_non_negative("seconds", seconds)
+        self.compute += seconds
+
+    def add_communicate(self, seconds: float) -> None:
+        check_non_negative("seconds", seconds)
+        self.communicate += seconds
+
+    def add_both(self, seconds: float) -> None:
+        check_non_negative("seconds", seconds)
+        self.both += seconds
+
+    def add_overlapped_phase(self, compute_seconds: float,
+                             comm_busy_seconds: float,
+                             wait_seconds: float) -> None:
+        """Account one phase given its raw compute / in-flight / wait times.
+
+        ``comm_busy_seconds`` is the time during which transfers involving
+        this rank were in flight; the part of it that coincides with
+        computation is "both", computation with no transfer in flight is
+        "compute", and ``wait_seconds`` (idle, waiting for data after local
+        compute finished) plus any non-overlappable message overhead is
+        "communicate".
+        """
+        check_non_negative("compute_seconds", compute_seconds)
+        check_non_negative("comm_busy_seconds", comm_busy_seconds)
+        check_non_negative("wait_seconds", wait_seconds)
+        overlap = min(compute_seconds, comm_busy_seconds)
+        self.both += overlap
+        self.compute += compute_seconds - overlap
+        # Transfer time extending beyond the compute window surfaces as wait
+        # time on whichever rank ends up blocked on it, so only the explicit
+        # wait is charged here (no double counting).
+        self.communicate += wait_seconds
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.communicate + self.both
+
+    def fractions(self) -> Dict[str, float]:
+        """Normalised shares; all zeros map to 100% compute."""
+        total = self.total
+        if total <= 0:
+            return {"compute": 1.0, "both": 0.0, "communicate": 0.0}
+        return {
+            "compute": self.compute / total,
+            "both": self.both / total,
+            "communicate": self.communicate / total,
+        }
+
+
+@dataclass
+class PhaseBreakdown:
+    """Aggregate compute / both / communicate shares across ranks."""
+
+    compute: float
+    both: float
+    communicate: float
+
+    def __post_init__(self):
+        total = self.compute + self.both + self.communicate
+        if total <= 0:
+            raise ValidationError("breakdown must have positive total time")
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.both + self.communicate
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        return {
+            "compute": self.compute / total,
+            "both": self.both / total,
+            "communicate": self.communicate / total,
+        }
+
+    @classmethod
+    def from_timelines(cls, timelines: Iterable[RankTimeline]) -> "PhaseBreakdown":
+        timelines = list(timelines)
+        if not timelines:
+            raise ValidationError("cannot aggregate zero timelines")
+        return cls(
+            compute=float(sum(t.compute for t in timelines)),
+            both=float(sum(t.both for t in timelines)),
+            communicate=float(sum(t.communicate for t in timelines)),
+        )
+
+
+def combine_breakdowns(breakdowns: Iterable[PhaseBreakdown]) -> PhaseBreakdown:
+    """Sum several breakdowns (e.g. one per iteration) into one."""
+    breakdowns = list(breakdowns)
+    if not breakdowns:
+        raise ValidationError("cannot combine zero breakdowns")
+    return PhaseBreakdown(
+        compute=float(sum(b.compute for b in breakdowns)),
+        both=float(sum(b.both for b in breakdowns)),
+        communicate=float(sum(b.communicate for b in breakdowns)),
+    )

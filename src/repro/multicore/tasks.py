@@ -1,0 +1,54 @@
+"""Task-set construction for the multicore performance study.
+
+One Gibbs sweep consists of two parallel phases — update all movies, then
+update all users — separated by the (serial, cheap) hyperparameter draws.
+These helpers turn a rating matrix into the per-phase
+:class:`~repro.parallel.simulator.SimTask` lists the simulated schedulers
+consume, using the dataset's *real* degree sequences so load imbalance is
+inherited from the data, not synthesised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.updates import HybridUpdatePolicy
+from repro.parallel.cost_model import DEFAULT_COST_MODEL, UpdateCostModel
+from repro.parallel.simulator import SimTask, tasks_from_degrees
+from repro.sparse.csr import RatingMatrix
+
+__all__ = ["phase_tasks", "sweep_tasks"]
+
+
+def phase_tasks(
+    ratings: RatingMatrix,
+    phase: str,
+    num_latent: int,
+    cost_model: UpdateCostModel | None = None,
+    policy: HybridUpdatePolicy | None = None,
+) -> List[SimTask]:
+    """Tasks for one phase (``"movies"`` or ``"users"``) of a sweep."""
+    cost_model = cost_model or DEFAULT_COST_MODEL
+    if phase == "movies":
+        degrees = ratings.movie_degrees()
+        offset = 0
+    elif phase == "users":
+        degrees = ratings.user_degrees()
+        offset = ratings.n_movies
+    else:
+        raise ValueError(f"phase must be 'movies' or 'users', got {phase!r}")
+    return tasks_from_degrees(degrees, num_latent, cost_model=cost_model,
+                              policy=policy, tag=phase, id_offset=offset)
+
+
+def sweep_tasks(
+    ratings: RatingMatrix,
+    num_latent: int,
+    cost_model: UpdateCostModel | None = None,
+    policy: HybridUpdatePolicy | None = None,
+) -> Tuple[List[SimTask], List[SimTask]]:
+    """Both phases of one sweep: ``(movie_tasks, user_tasks)``."""
+    return (
+        phase_tasks(ratings, "movies", num_latent, cost_model, policy),
+        phase_tasks(ratings, "users", num_latent, cost_model, policy),
+    )

@@ -1,0 +1,56 @@
+"""Sparse rating-matrix substrate.
+
+BPMF operates on a very sparse ``users x movies`` rating matrix ``R``.  The
+Gibbs sampler needs two access patterns:
+
+* for every user ``u``: the movies rated by ``u`` and the rating values
+  (a CSR row view), and
+* for every movie ``m``: the users that rated ``m`` and the values
+  (a CSC column view).
+
+This package provides a small, self-contained sparse-matrix implementation
+(built from COO triplets, stored in both CSR and CSC form), train/test
+splitting, and the row/column reordering used by the distributed
+partitioner to improve locality and balance.
+"""
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import CompressedAxis, RatingMatrix
+from repro.sparse.split import train_test_split
+from repro.sparse.io import (
+    save_ratings_text,
+    load_ratings_text,
+    save_ratings_npz,
+    load_ratings_npz,
+    save_split_npz,
+    load_split_npz,
+)
+from repro.sparse.reorder import (
+    degree_order,
+    identity_order,
+    bandwidth,
+    reverse_cuthill_mckee,
+    bipartite_rcm,
+    apply_permutation,
+    balanced_block_order,
+)
+
+__all__ = [
+    "CooMatrix",
+    "CompressedAxis",
+    "RatingMatrix",
+    "train_test_split",
+    "save_ratings_text",
+    "load_ratings_text",
+    "save_ratings_npz",
+    "load_ratings_npz",
+    "save_split_npz",
+    "load_split_npz",
+    "degree_order",
+    "identity_order",
+    "bandwidth",
+    "reverse_cuthill_mckee",
+    "bipartite_rcm",
+    "apply_permutation",
+    "balanced_block_order",
+]

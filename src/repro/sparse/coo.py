@@ -1,0 +1,190 @@
+"""Coordinate-format (triplet) sparse matrix builder.
+
+``CooMatrix`` is the mutable ingestion format: dataset generators and file
+loaders append ``(row, col, value)`` triplets, then convert once to the
+immutable :class:`repro.sparse.csr.RatingMatrix` used by the samplers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_non_negative, check_positive
+
+__all__ = ["CooMatrix"]
+
+
+@dataclass
+class CooMatrix:
+    """Sparse matrix in coordinate (COO) form.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Dense dimensions of the matrix (users x movies).
+    rows, cols, values:
+        Parallel arrays of triplets.  Duplicate ``(row, col)`` entries are
+        allowed at construction; they are de-duplicated (last write wins)
+        during conversion, matching how rating files are typically cleaned.
+    """
+
+    n_rows: int
+    n_cols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def empty(cls, n_rows: int, n_cols: int) -> "CooMatrix":
+        """An empty COO matrix of the given dense shape (zero extents allowed)."""
+        check_non_negative("n_rows", n_rows)
+        check_non_negative("n_cols", n_cols)
+        return cls(
+            n_rows=n_rows,
+            n_cols=n_cols,
+            rows=np.empty(0, dtype=np.int64),
+            cols=np.empty(0, dtype=np.int64),
+            values=np.empty(0, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_triplets(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        triplets: Iterable[Tuple[int, int, float]],
+    ) -> "CooMatrix":
+        """Build from an iterable of ``(row, col, value)`` tuples."""
+        triplets = list(triplets)
+        if triplets:
+            rows, cols, values = map(np.asarray, zip(*triplets))
+        else:
+            rows = cols = np.empty(0, dtype=np.int64)
+            values = np.empty(0, dtype=np.float64)
+        return cls(
+            n_rows=n_rows,
+            n_cols=n_cols,
+            rows=rows.astype(np.int64),
+            cols=cols.astype(np.int64),
+            values=values.astype(np.float64),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+    ) -> "CooMatrix":
+        """Build from parallel numpy arrays (copied and validated)."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if not (rows.shape == cols.shape == values.shape):
+            raise ValidationError(
+                f"rows/cols/values must have identical length, got "
+                f"{rows.shape}, {cols.shape}, {values.shape}"
+            )
+        matrix = cls(n_rows=n_rows, n_cols=n_cols, rows=rows.copy(),
+                     cols=cols.copy(), values=values.copy())
+        matrix.validate()
+        return matrix
+
+    # -- mutation ---------------------------------------------------------
+
+    def append(self, rows, cols, values) -> "CooMatrix":
+        """Append triplets (arrays or scalars); returns ``self`` for chaining."""
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        cols = np.atleast_1d(np.asarray(cols, dtype=np.int64))
+        values = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        if not (rows.shape == cols.shape == values.shape):
+            raise ValidationError("appended rows/cols/values must align")
+        self.rows = np.concatenate([self.rows, rows])
+        self.cols = np.concatenate([self.cols, cols])
+        self.values = np.concatenate([self.values, values])
+        return self
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets (before de-duplication)."""
+        return int(self.rows.shape[0])
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells with a stored entry."""
+        return self.nnz / float(self.n_rows * self.n_cols)
+
+    def validate(self) -> None:
+        """Raise :class:`ValidationError` on out-of-range indices or NaNs."""
+        if self.nnz == 0:
+            return
+        if self.rows.min() < 0 or self.rows.max() >= self.n_rows:
+            raise ValidationError(
+                f"row indices out of range [0, {self.n_rows}): "
+                f"min={self.rows.min()}, max={self.rows.max()}"
+            )
+        if self.cols.min() < 0 or self.cols.max() >= self.n_cols:
+            raise ValidationError(
+                f"column indices out of range [0, {self.n_cols}): "
+                f"min={self.cols.min()}, max={self.cols.max()}"
+            )
+        if np.isnan(self.values).any():
+            raise ValidationError("rating values contain NaN")
+
+    def deduplicate(self) -> "CooMatrix":
+        """Return a copy with duplicate ``(row, col)`` entries removed.
+
+        The *last* occurrence wins, matching typical rating-log semantics
+        where a later rating by the same user overrides an earlier one.
+        """
+        if self.nnz == 0:
+            return CooMatrix.empty(self.n_rows, self.n_cols)
+        keys = self.rows * np.int64(self.n_cols) + self.cols
+        # stable sort keeps insertion order within equal keys; take the last.
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        is_last = np.ones(self.nnz, dtype=bool)
+        is_last[:-1] = sorted_keys[:-1] != sorted_keys[1:]
+        keep = order[is_last]
+        keep.sort()
+        return CooMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            rows=self.rows[keep].copy(),
+            cols=self.cols[keep].copy(),
+            values=self.values[keep].copy(),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Dense array with unobserved entries as ``nan`` (small matrices only)."""
+        dense = np.full((self.n_rows, self.n_cols), np.nan)
+        dedup = self.deduplicate()
+        dense[dedup.rows, dedup.cols] = dedup.values
+        return dense
+
+    def transpose(self) -> "CooMatrix":
+        """Swap rows and columns."""
+        return CooMatrix(
+            n_rows=self.n_cols,
+            n_cols=self.n_rows,
+            rows=self.cols.copy(),
+            cols=self.rows.copy(),
+            values=self.values.copy(),
+        )
+
+    def copy(self) -> "CooMatrix":
+        return CooMatrix(self.n_rows, self.n_cols, self.rows.copy(),
+                         self.cols.copy(), self.values.copy())

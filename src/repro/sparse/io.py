@@ -1,0 +1,152 @@
+"""Reading and writing rating matrices.
+
+Two interchange formats are supported:
+
+* a plain-text coordinate format (one ``user movie value`` triplet per
+  line, with a small header), human-readable and close to the MatrixMarket
+  coordinate format that public recommendation datasets ship in;
+* a compressed ``.npz`` binary format for fast round-tripping of large
+  matrices and train/test splits.
+
+These are the entry points a user with the *real* ChEMBL or MovieLens
+exports would use to run the reproduction on the original data.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.sparse.csr import RatingMatrix
+from repro.sparse.split import RatingSplit
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "save_ratings_text",
+    "load_ratings_text",
+    "save_ratings_npz",
+    "load_ratings_npz",
+    "save_split_npz",
+    "load_split_npz",
+]
+
+PathLike = Union[str, os.PathLike]
+
+_TEXT_HEADER = "%%repro-ratings coordinate"
+
+
+def save_ratings_text(ratings: RatingMatrix, path: PathLike,
+                      comment: str = "") -> None:
+    """Write a rating matrix in the plain-text coordinate format.
+
+    The file starts with a format line, an optional ``%`` comment, and a
+    ``n_users n_movies nnz`` size line, followed by one whitespace-separated
+    ``user movie value`` triplet per line (0-based indices).
+    """
+    path = Path(path)
+    users, movies, values = ratings.triplets()
+    with path.open("w", encoding="utf8") as handle:
+        handle.write(f"{_TEXT_HEADER}\n")
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"% {line}\n")
+        handle.write(f"{ratings.n_users} {ratings.n_movies} {ratings.nnz}\n")
+        for user, movie, value in zip(users, movies, values):
+            handle.write(f"{int(user)} {int(movie)} {float(value)!r}\n")
+
+
+def load_ratings_text(path: PathLike) -> RatingMatrix:
+    """Read a rating matrix written by :func:`save_ratings_text`."""
+    path = Path(path)
+    with path.open("r", encoding="utf8") as handle:
+        first = handle.readline().strip()
+        if not first.startswith("%%"):
+            raise ValidationError(
+                f"{path} does not start with a coordinate-format header line")
+        size_line = None
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            size_line = stripped
+            break
+        if size_line is None:
+            raise ValidationError(f"{path} has no size line")
+        parts = size_line.split()
+        if len(parts) != 3:
+            raise ValidationError(f"malformed size line {size_line!r} in {path}")
+        n_users, n_movies, nnz = (int(part) for part in parts)
+
+        users = np.empty(nnz, dtype=np.int64)
+        movies = np.empty(nnz, dtype=np.int64)
+        values = np.empty(nnz, dtype=np.float64)
+        index = 0
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            if index >= nnz:
+                raise ValidationError(f"{path} contains more triplets than declared")
+            user, movie, value = stripped.split()
+            users[index] = int(user)
+            movies[index] = int(movie)
+            values[index] = float(value)
+            index += 1
+        if index != nnz:
+            raise ValidationError(
+                f"{path} declares {nnz} triplets but contains {index}")
+    return RatingMatrix.from_arrays(n_users, n_movies, users, movies, values)
+
+
+def save_ratings_npz(ratings: RatingMatrix, path: PathLike) -> None:
+    """Write a rating matrix as a compressed ``.npz`` archive."""
+    users, movies, values = ratings.triplets()
+    np.savez_compressed(
+        Path(path),
+        format=np.array("repro-ratings-v1"),
+        shape=np.array(ratings.shape, dtype=np.int64),
+        users=users, movies=movies, values=values,
+    )
+
+
+def load_ratings_npz(path: PathLike) -> RatingMatrix:
+    """Read a rating matrix written by :func:`save_ratings_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if str(archive["format"]) != "repro-ratings-v1":
+            raise ValidationError(f"{path} is not a repro ratings archive")
+        shape = archive["shape"]
+        return RatingMatrix.from_arrays(int(shape[0]), int(shape[1]),
+                                        archive["users"], archive["movies"],
+                                        archive["values"])
+
+
+def save_split_npz(split: RatingSplit, path: PathLike) -> None:
+    """Write a train/test split (training matrix plus held-out triplets)."""
+    users, movies, values = split.train.triplets()
+    np.savez_compressed(
+        Path(path),
+        format=np.array("repro-split-v1"),
+        shape=np.array(split.train.shape, dtype=np.int64),
+        train_users=users, train_movies=movies, train_values=values,
+        test_users=split.test_users, test_movies=split.test_movies,
+        test_values=split.test_values,
+    )
+
+
+def load_split_npz(path: PathLike) -> RatingSplit:
+    """Read a split written by :func:`save_split_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if str(archive["format"]) != "repro-split-v1":
+            raise ValidationError(f"{path} is not a repro split archive")
+        shape = archive["shape"]
+        train = RatingMatrix.from_arrays(int(shape[0]), int(shape[1]),
+                                         archive["train_users"],
+                                         archive["train_movies"],
+                                         archive["train_values"])
+        return RatingSplit(train=train,
+                           test_users=archive["test_users"].copy(),
+                           test_movies=archive["test_movies"].copy(),
+                           test_values=archive["test_values"].copy())

@@ -1,0 +1,45 @@
+"""Minimal logging facade.
+
+The library logs through the standard :mod:`logging` module under the
+``"repro"`` namespace so applications embedding it keep full control of
+handlers; ``set_verbosity`` is a convenience for scripts and examples.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "set_verbosity"]
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger in the library namespace (``repro`` or ``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int | str = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a stream handler to the library root logger at ``level``.
+
+    Safe to call repeatedly; only one handler is installed.
+    """
+    global _configured
+    logger = logging.getLogger(_ROOT_NAME)
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logger.setLevel(level)
+    if not _configured:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+        _configured = True
+    return logger

@@ -1,0 +1,85 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper's figures are line plots; the reproduction prints the underlying
+series as aligned text tables (one row per x-value, one column per series)
+so the "who wins, by what factor, where is the crossover" shape can be read
+directly from benchmark output without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_float", "render_table", "Table"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format a float compactly: fixed-point for mid magnitudes, scientific otherwise."""
+    if value != value:  # NaN
+        return "nan"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 10 ** (digits + 2) or magnitude < 10 ** (-digits):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}g}"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(format_float(cell))
+            else:
+                cells.append(str(cell))
+        str_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """A small mutable table builder used by the experiment drivers."""
+
+    headers: List[str]
+    title: str | None = None
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> "Table":
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+        return self
+
+    def column(self, name: str) -> List[object]:
+        """Return one column by header name."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        return render_table(self.headers, self.rows, title=self.title)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,59 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ValidationError",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_shape",
+    "check_in",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when a public-API argument fails validation."""
+
+
+def check_positive(name: str, value) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not (0.0 <= value <= 1.0):
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_shape(name: str, array: np.ndarray, shape: Tuple[int, ...]) -> None:
+    """Require an exact array shape; ``-1`` in ``shape`` matches any extent."""
+    actual = np.asarray(array).shape
+    if len(actual) != len(shape):
+        raise ValidationError(
+            f"{name} must have {len(shape)} dimensions, got shape {actual}"
+        )
+    for want, got in zip(shape, actual):
+        if want != -1 and want != got:
+            raise ValidationError(f"{name} must have shape {shape}, got {actual}")
+
+
+def check_in(name: str, value, allowed: Iterable) -> None:
+    """Require membership in an allowed set (reported sorted for stable messages)."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValidationError(
+            f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}"
+        )

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures are deliberately tiny (tens of users/movies, a handful of Gibbs
+sweeps) so the whole suite stays fast; statistical assertions use loose
+tolerances appropriate for those sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.priors import BPMFConfig
+from repro.datasets.chembl import ChemblLikeConfig, make_chembl_like
+from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
+from repro.sparse.coo import CooMatrix
+from repro.sparse.csr import RatingMatrix
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Ground-truth low-rank dataset small enough for per-test Gibbs runs."""
+    return make_low_rank_dataset(SyntheticConfig(
+        n_users=40, n_movies=30, rank=3, density=0.3, noise_std=0.25,
+        test_fraction=0.2, seed=101))
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """Slightly larger dataset for accuracy-oriented tests."""
+    return make_low_rank_dataset(SyntheticConfig(
+        n_users=120, n_movies=90, rank=5, density=0.15, noise_std=0.3,
+        test_fraction=0.2, seed=202))
+
+
+@pytest.fixture(scope="session")
+def chembl_tiny():
+    """A ChEMBL-like workload with heavy-tailed target degrees."""
+    return make_chembl_like(ChemblLikeConfig(scale=400.0, seed=11))
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """A BPMF configuration sized for the tiny dataset."""
+    return BPMFConfig(num_latent=3, burn_in=3, n_samples=5, alpha=4.0)
+
+
+@pytest.fixture
+def simple_ratings():
+    """A hand-written 4x3 rating matrix with a known pattern.
+
+    ::
+
+        users\\movies   0     1     2
+            0          5.0   3.0    -
+            1          4.0    -    1.0
+            2           -    2.0   4.5
+            3          1.0   1.5    -
+    """
+    coo = CooMatrix.from_triplets(4, 3, [
+        (0, 0, 5.0), (0, 1, 3.0),
+        (1, 0, 4.0), (1, 2, 1.0),
+        (2, 1, 2.0), (2, 2, 4.5),
+        (3, 0, 1.0), (3, 1, 1.5),
+    ])
+    return RatingMatrix.from_coo(coo)

@@ -1,0 +1,224 @@
+"""Unit tests for the BPMF priors and Normal–Wishart sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.priors import BPMFConfig, GaussianPrior, NormalWishartPrior
+from repro.core.wishart import (
+    normal_wishart_posterior,
+    normal_wishart_posterior_from_stats,
+    sample_hyperparameters,
+    sample_normal_wishart,
+    sample_wishart,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestGaussianPrior:
+    def test_standard(self):
+        prior = GaussianPrior.standard(4)
+        np.testing.assert_array_equal(prior.mean, np.zeros(4))
+        np.testing.assert_array_equal(prior.precision, np.eye(4))
+        assert prior.num_latent == 4
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            GaussianPrior(mean=np.zeros((2, 2)), precision=np.eye(2))
+        with pytest.raises(ValidationError):
+            GaussianPrior(mean=np.zeros(3), precision=np.eye(2))
+
+    def test_copy_is_deep(self):
+        prior = GaussianPrior.standard(3)
+        clone = prior.copy()
+        clone.mean[0] = 5.0
+        assert prior.mean[0] == 0.0
+
+
+class TestNormalWishartPrior:
+    def test_uninformative_defaults(self):
+        prior = NormalWishartPrior.uninformative(5)
+        assert prior.nu0 == 5.0
+        assert prior.beta0 == 2.0
+        np.testing.assert_array_equal(prior.W0, np.eye(5))
+
+    def test_nu0_lower_bound(self):
+        with pytest.raises(ValidationError):
+            NormalWishartPrior(mu0=np.zeros(4), beta0=1.0, W0=np.eye(4), nu0=3.0)
+
+    def test_shape_checks(self):
+        with pytest.raises(ValidationError):
+            NormalWishartPrior(mu0=np.zeros(3), beta0=1.0, W0=np.eye(4), nu0=4.0)
+        with pytest.raises(ValidationError):
+            NormalWishartPrior(mu0=np.zeros(3), beta0=-1.0, W0=np.eye(3), nu0=3.0)
+
+
+class TestBPMFConfig:
+    def test_defaults_build_hyperpriors(self):
+        config = BPMFConfig(num_latent=8)
+        assert config.user_hyperprior.num_latent == 8
+        assert config.movie_hyperprior.num_latent == 8
+        assert config.total_iterations == config.burn_in + config.n_samples
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            BPMFConfig(num_latent=4,
+                       user_hyperprior=NormalWishartPrior.uninformative(5))
+
+    def test_invalid_values(self):
+        with pytest.raises(Exception):
+            BPMFConfig(num_latent=0)
+        with pytest.raises(Exception):
+            BPMFConfig(alpha=-1.0)
+        with pytest.raises(Exception):
+            BPMFConfig(burn_in=-1)
+
+
+class TestSampleWishart:
+    def test_output_is_symmetric_positive_definite(self, rng):
+        scale = np.eye(4)
+        sample = sample_wishart(scale, dof=6.0, rng=rng)
+        np.testing.assert_allclose(sample, sample.T, atol=1e-12)
+        assert (np.linalg.eigvalsh(sample) > 0).all()
+
+    def test_mean_is_dof_times_scale(self):
+        rng = np.random.default_rng(0)
+        scale = np.array([[2.0, 0.3], [0.3, 1.0]])
+        dof = 7.0
+        samples = [sample_wishart(scale, dof, rng) for _ in range(4000)]
+        np.testing.assert_allclose(np.mean(samples, axis=0), dof * scale, rtol=0.08)
+
+    def test_deterministic_given_seed(self):
+        a = sample_wishart(np.eye(3), 5.0, rng=42)
+        b = sample_wishart(np.eye(3), 5.0, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_dof_below_dimension_rejected(self):
+        with pytest.raises(ValidationError):
+            sample_wishart(np.eye(4), 3.0)
+
+    def test_non_square_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            sample_wishart(np.ones((2, 3)), 4.0)
+
+    def test_matches_scipy_moments(self):
+        """Cross-check second moments against scipy's Wishart."""
+        from scipy.stats import wishart as scipy_wishart
+        scale = np.array([[1.5, 0.2], [0.2, 0.8]])
+        dof = 6.0
+        rng = np.random.default_rng(1)
+        ours = np.array([sample_wishart(scale, dof, rng) for _ in range(3000)])
+        theirs = scipy_wishart(df=dof, scale=scale).rvs(size=3000, random_state=2)
+        np.testing.assert_allclose(ours.mean(axis=0), theirs.mean(axis=0), rtol=0.1)
+        np.testing.assert_allclose(ours.std(axis=0), theirs.std(axis=0), rtol=0.15)
+
+
+class TestSampleNormalWishart:
+    def test_returns_valid_gaussian_prior(self, rng):
+        prior = NormalWishartPrior.uninformative(5)
+        draw = sample_normal_wishart(prior, rng)
+        assert draw.num_latent == 5
+        assert (np.linalg.eigvalsh(draw.precision) > 0).all()
+
+    def test_mean_concentrates_with_large_beta0(self):
+        rng = np.random.default_rng(0)
+        prior = NormalWishartPrior(mu0=np.full(3, 2.0), beta0=1e6,
+                                   W0=np.eye(3), nu0=10.0)
+        draws = np.array([sample_normal_wishart(prior, rng).mean for _ in range(200)])
+        np.testing.assert_allclose(draws.mean(axis=0), np.full(3, 2.0), atol=0.05)
+
+
+class TestNormalWishartPosterior:
+    def test_posterior_counts(self):
+        prior = NormalWishartPrior.uninformative(3)
+        factors = np.random.default_rng(0).normal(size=(50, 3))
+        posterior = normal_wishart_posterior(factors, prior)
+        assert posterior.beta0 == pytest.approx(prior.beta0 + 50)
+        assert posterior.nu0 == pytest.approx(prior.nu0 + 50)
+
+    def test_posterior_mean_shrinks_towards_data(self):
+        prior = NormalWishartPrior.uninformative(2)
+        factors = np.full((1000, 2), 5.0) + np.random.default_rng(0).normal(
+            scale=0.1, size=(1000, 2))
+        posterior = normal_wishart_posterior(factors, prior)
+        np.testing.assert_allclose(posterior.mu0, [5.0, 5.0], atol=0.1)
+
+    def test_zero_rows_returns_prior(self):
+        prior = NormalWishartPrior.uninformative(3)
+        assert normal_wishart_posterior(np.empty((0, 3)), prior) is prior
+
+    def test_dimension_mismatch(self):
+        prior = NormalWishartPrior.uninformative(3)
+        with pytest.raises(ValidationError):
+            normal_wishart_posterior(np.zeros((5, 4)), prior)
+
+    def test_posterior_precision_reflects_data_covariance(self):
+        """Tight data -> large posterior precision expectation."""
+        prior = NormalWishartPrior.uninformative(2)
+        rng = np.random.default_rng(1)
+        tight = rng.normal(scale=0.05, size=(500, 2))
+        loose = rng.normal(scale=5.0, size=(500, 2))
+        post_tight = normal_wishart_posterior(tight, prior)
+        post_loose = normal_wishart_posterior(loose, prior)
+        # E[Lambda] = nu * W; compare the trace of W.
+        assert np.trace(post_tight.W0) > np.trace(post_loose.W0)
+
+
+class TestPosteriorFromStats:
+    def test_matches_centered_computation(self):
+        prior = NormalWishartPrior.uninformative(4)
+        factors = np.random.default_rng(3).normal(size=(120, 4))
+        direct = normal_wishart_posterior(factors, prior)
+        from_stats = normal_wishart_posterior_from_stats(
+            factors.shape[0], factors.sum(axis=0), factors.T @ factors, prior)
+        np.testing.assert_allclose(from_stats.mu0, direct.mu0, atol=1e-10)
+        np.testing.assert_allclose(from_stats.W0, direct.W0, atol=1e-8)
+        assert from_stats.beta0 == pytest.approx(direct.beta0)
+        assert from_stats.nu0 == pytest.approx(direct.nu0)
+
+    def test_partial_sums_combine_like_full_matrix(self):
+        """Summing per-rank statistics equals the single-matrix posterior."""
+        prior = NormalWishartPrior.uninformative(3)
+        rng = np.random.default_rng(4)
+        chunks = [rng.normal(size=(n, 3)) for n in (10, 25, 7)]
+        full = np.vstack(chunks)
+        n = sum(c.shape[0] for c in chunks)
+        total_sum = sum((c.sum(axis=0) for c in chunks), start=np.zeros(3))
+        total_outer = sum((c.T @ c for c in chunks), start=np.zeros((3, 3)))
+        combined = normal_wishart_posterior_from_stats(n, total_sum, total_outer, prior)
+        direct = normal_wishart_posterior(full, prior)
+        np.testing.assert_allclose(combined.W0, direct.W0, atol=1e-8)
+
+    def test_zero_count_returns_prior(self):
+        prior = NormalWishartPrior.uninformative(3)
+        out = normal_wishart_posterior_from_stats(0, np.zeros(3), np.zeros((3, 3)), prior)
+        assert out is prior
+
+    def test_bad_shapes_rejected(self):
+        prior = NormalWishartPrior.uninformative(3)
+        with pytest.raises(ValidationError):
+            normal_wishart_posterior_from_stats(5, np.zeros(2), np.zeros((3, 3)), prior)
+        with pytest.raises(ValidationError):
+            normal_wishart_posterior_from_stats(-1, np.zeros(3), np.zeros((3, 3)), prior)
+
+
+class TestSampleHyperparameters:
+    def test_recovers_generating_mean(self):
+        """The hyperparameter Gibbs step should track the factor population."""
+        rng = np.random.default_rng(0)
+        true_mean = np.array([1.0, -2.0, 0.5])
+        factors = rng.normal(loc=true_mean, scale=0.3, size=(2000, 3))
+        prior = NormalWishartPrior.uninformative(3)
+        draws = np.array([sample_hyperparameters(factors, prior, rng).mean
+                          for _ in range(50)])
+        np.testing.assert_allclose(draws.mean(axis=0), true_mean, atol=0.1)
+
+    def test_precision_scale_tracks_factor_spread(self):
+        rng = np.random.default_rng(1)
+        prior = NormalWishartPrior.uninformative(2)
+        tight = rng.normal(scale=0.1, size=(500, 2))
+        loose = rng.normal(scale=3.0, size=(500, 2))
+        precision_tight = sample_hyperparameters(tight, prior, rng).precision
+        precision_loose = sample_hyperparameters(loose, prior, rng).precision
+        assert np.trace(precision_tight) > np.trace(precision_loose)

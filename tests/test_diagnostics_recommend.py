@@ -1,0 +1,196 @@
+"""Tests for MCMC diagnostics and the top-N recommendation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    ChainDiagnostics,
+    effective_sample_size,
+    potential_scale_reduction,
+    run_chains,
+)
+from repro.core.priors import BPMFConfig
+from repro.core.recommend import (
+    ranking_metrics,
+    recommend_batch,
+    recommend_for_user,
+)
+from repro.core.state import BPMFState, initialize_state
+from repro.utils.validation import ValidationError
+
+
+# ---------------------------------------------------------------------------
+# diagnostics
+# ---------------------------------------------------------------------------
+
+class TestPotentialScaleReduction:
+    def test_identical_chains_give_one(self, rng):
+        chain = rng.normal(size=60)
+        chains = np.stack([chain, chain + 1e-12 * rng.normal(size=60)])
+        assert potential_scale_reduction(chains) == pytest.approx(1.0, abs=0.05)
+
+    def test_well_mixed_chains_near_one(self, rng):
+        chains = rng.normal(size=(4, 200))
+        assert potential_scale_reduction(chains) < 1.1
+
+    def test_diverged_chains_large(self, rng):
+        chains = np.stack([rng.normal(size=100), rng.normal(size=100) + 10.0])
+        assert potential_scale_reduction(chains) > 3.0
+
+    def test_constant_chains(self):
+        assert potential_scale_reduction(np.ones((3, 10))) == 1.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValidationError):
+            potential_scale_reduction(np.ones(10))
+        with pytest.raises(ValidationError):
+            potential_scale_reduction(np.ones((1, 10)))
+        with pytest.raises(ValidationError):
+            potential_scale_reduction(np.ones((2, 1)))
+
+
+class TestEffectiveSampleSize:
+    def test_iid_samples_have_high_ess(self, rng):
+        trace = rng.normal(size=400)
+        assert effective_sample_size(trace) > 200
+
+    def test_highly_correlated_samples_have_low_ess(self, rng):
+        # An AR(1) chain with strong autocorrelation.
+        n = 400
+        trace = np.empty(n)
+        trace[0] = 0.0
+        for i in range(1, n):
+            trace[i] = 0.98 * trace[i - 1] + rng.normal(scale=0.1)
+        assert effective_sample_size(trace) < 0.25 * n
+
+    def test_constant_trace(self):
+        assert effective_sample_size(np.ones(50)) == 50.0
+
+    def test_bounds(self, rng):
+        trace = rng.normal(size=100)
+        ess = effective_sample_size(trace)
+        assert 1.0 <= ess <= 100.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            effective_sample_size(np.array([1.0]))
+
+
+class TestRunChains:
+    def test_summary_fields(self, tiny_dataset):
+        config = BPMFConfig(num_latent=3, burn_in=2, n_samples=6, alpha=4.0)
+        diagnostics = run_chains(tiny_dataset.split.train, tiny_dataset.split,
+                                 config, n_chains=3)
+        assert diagnostics.n_chains == 3
+        assert diagnostics.traces.shape == (3, 6)
+        summary = diagnostics.summary()
+        assert summary["r_hat"] > 0.8
+        assert 1.0 <= summary["min_ess"] <= 6.0
+        assert summary["std_final_rmse"] < 0.3
+
+    def test_converged_chains_have_reasonable_r_hat(self, small_dataset):
+        config = BPMFConfig(num_latent=4, burn_in=6, n_samples=10, alpha=8.0)
+        diagnostics = run_chains(small_dataset.split.train, small_dataset.split,
+                                 config, n_chains=2, seeds=(1, 2))
+        # Short chains, loose bound: the point is that independent seeds land
+        # in the same region of RMSE space.
+        assert diagnostics.r_hat < 2.0
+
+    def test_validation(self, tiny_dataset, tiny_config):
+        with pytest.raises(ValidationError):
+            run_chains(tiny_dataset.split.train, tiny_dataset.split, tiny_config,
+                       n_chains=1)
+        with pytest.raises(ValidationError):
+            run_chains(tiny_dataset.split.train, tiny_dataset.split, tiny_config,
+                       n_chains=3, seeds=(1, 2))
+
+
+# ---------------------------------------------------------------------------
+# recommendation
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def fitted_state(tiny_dataset, tiny_config):
+    """A (not converged, but deterministic) state for ranking tests."""
+    return initialize_state(tiny_dataset.split.train, tiny_config, 3)
+
+
+class TestRecommendForUser:
+    def test_returns_n_items_sorted_by_score(self, fitted_state):
+        recommendation = recommend_for_user(fitted_state, user=0, n=5)
+        assert len(recommendation) == 5
+        scores = recommendation.scores
+        assert all(a >= b for a, b in zip(scores, scores[1:]))
+
+    def test_excludes_already_rated_items(self, fitted_state, tiny_dataset):
+        train = tiny_dataset.split.train
+        seen, _ = train.user_ratings(0)
+        recommendation = recommend_for_user(fitted_state, user=0, n=30,
+                                            exclude=train)
+        assert not set(recommendation.items.tolist()) & set(seen.tolist())
+
+    def test_offset_shifts_scores(self, fitted_state):
+        base = recommend_for_user(fitted_state, user=1, n=3)
+        shifted = recommend_for_user(fitted_state, user=1, n=3, offset=10.0)
+        np.testing.assert_array_equal(base.items, shifted.items)
+        np.testing.assert_allclose(shifted.scores, base.scores + 10.0)
+
+    def test_candidate_restriction(self, fitted_state):
+        candidates = np.array([1, 3, 5])
+        recommendation = recommend_for_user(fitted_state, user=2, n=10,
+                                            candidates=candidates)
+        assert set(recommendation.items.tolist()) <= {1, 3, 5}
+
+    def test_empty_candidates(self, fitted_state):
+        recommendation = recommend_for_user(fitted_state, user=0, n=5,
+                                            candidates=np.array([], dtype=int))
+        assert len(recommendation) == 0
+
+    def test_ranks_true_preferences_highly(self):
+        """With known factors the top recommendation is the true best item."""
+        user_factors = np.array([[1.0, 0.0]])
+        movie_factors = np.array([[0.1, 0.0], [5.0, 0.0], [2.0, 0.0]])
+        state = BPMFState(user_factors=user_factors, movie_factors=movie_factors,
+                          user_prior=None, movie_prior=None)
+        recommendation = recommend_for_user(state, user=0, n=2)
+        assert recommendation.items[0] == 1
+        assert recommendation.items[1] == 2
+
+    def test_invalid_user(self, fitted_state):
+        with pytest.raises(ValidationError):
+            recommend_for_user(fitted_state, user=10_000)
+
+    def test_as_pairs(self, fitted_state):
+        pairs = recommend_for_user(fitted_state, user=0, n=3).as_pairs()
+        assert len(pairs) == 3
+        assert isinstance(pairs[0][0], int)
+
+
+class TestRankingMetrics:
+    def test_perfect_recommendations(self):
+        from repro.sparse.csr import RatingMatrix
+        held_out = RatingMatrix.from_arrays(2, 4, [0, 0, 1], [1, 2, 3],
+                                            [5.0, 4.0, 5.0])
+        user_factors = np.eye(2)
+        movie_factors = np.array([[0.0, 0.0], [1.0, 0.0], [0.9, 0.0], [0.0, 1.0]])
+        state = BPMFState(user_factors=user_factors, movie_factors=movie_factors,
+                          user_prior=None, movie_prior=None)
+        recommendations = recommend_batch(state, [0, 1], n=2)
+        metrics = ranking_metrics(recommendations, held_out, relevant_threshold=3.0)
+        assert metrics["recall"] > 0.7
+        assert metrics["mrr"] == pytest.approx(1.0)
+        assert metrics["n_users_evaluated"] == 2
+
+    def test_no_relevant_items_rejected(self, fitted_state, tiny_dataset):
+        from repro.sparse.csr import RatingMatrix
+        empty = RatingMatrix.from_arrays(40, 30, [], [], [])
+        recommendations = recommend_batch(fitted_state, [0, 1], n=3)
+        with pytest.raises(ValidationError):
+            ranking_metrics(recommendations, empty)
+
+    def test_batch_shape(self, fitted_state):
+        recommendations = recommend_batch(fitted_state, [0, 1, 2], n=4)
+        assert set(recommendations) == {0, 1, 2}
+        assert all(len(rec) == 4 for rec in recommendations.values())

@@ -1,0 +1,116 @@
+"""Correctness tests for the distributed (and bulk-synchronous) samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs import GibbsSampler
+from repro.core.priors import BPMFConfig
+from repro.distributed.sampler import DistributedGibbsSampler, DistributedOptions
+from repro.distributed.sync_sampler import BulkSynchronousGibbsSampler
+from repro.utils.validation import ValidationError
+
+
+class TestDistributedSamplerParity:
+    def test_gather_mode_bitwise_parity_with_sequential(self, tiny_dataset, tiny_config):
+        """With gathered hyperparameters the distributed chain is identical
+        to the sequential one — the strongest form of the paper's accuracy
+        parity claim."""
+        seq = GibbsSampler(tiny_config).run(tiny_dataset.split.train,
+                                            tiny_dataset.split, seed=21)
+        dist, _ = DistributedGibbsSampler(
+            tiny_config, DistributedOptions(n_ranks=4, hyper_mode="gather",
+                                            buffer_capacity=8)
+        ).run(tiny_dataset.split.train, tiny_dataset.split, seed=21)
+        np.testing.assert_allclose(dist.state.user_factors, seq.state.user_factors)
+        np.testing.assert_allclose(dist.state.movie_factors, seq.state.movie_factors)
+        assert dist.final_rmse == pytest.approx(seq.final_rmse)
+
+    def test_stats_mode_statistical_parity(self, tiny_dataset, tiny_config):
+        seq = GibbsSampler(tiny_config).run(tiny_dataset.split.train,
+                                            tiny_dataset.split, seed=21)
+        dist, _ = DistributedGibbsSampler(
+            tiny_config, DistributedOptions(n_ranks=3, hyper_mode="stats")
+        ).run(tiny_dataset.split.train, tiny_dataset.split, seed=21)
+        assert abs(dist.final_rmse - seq.final_rmse) < 0.1
+
+    def test_rank_count_does_not_change_gather_results(self, tiny_dataset, tiny_config):
+        results = []
+        for n_ranks in (1, 2, 5):
+            result, _ = DistributedGibbsSampler(
+                tiny_config, DistributedOptions(n_ranks=n_ranks, hyper_mode="gather")
+            ).run(tiny_dataset.split.train, tiny_dataset.split, seed=8)
+            results.append(result)
+        for result in results[1:]:
+            np.testing.assert_allclose(result.state.user_factors,
+                                       results[0].state.user_factors, atol=1e-8)
+
+    def test_buffer_capacity_does_not_change_results(self, tiny_dataset, tiny_config):
+        small_buffers, _ = DistributedGibbsSampler(
+            tiny_config, DistributedOptions(n_ranks=3, buffer_capacity=1,
+                                            hyper_mode="gather")
+        ).run(tiny_dataset.split.train, tiny_dataset.split, seed=5)
+        large_buffers, _ = DistributedGibbsSampler(
+            tiny_config, DistributedOptions(n_ranks=3, buffer_capacity=1000,
+                                            hyper_mode="gather")
+        ).run(tiny_dataset.split.train, tiny_dataset.split, seed=5)
+        np.testing.assert_allclose(small_buffers.state.user_factors,
+                                   large_buffers.state.user_factors)
+
+    def test_bulk_synchronous_sampler_same_samples_fewer_messages(self, tiny_dataset,
+                                                                  tiny_config):
+        options = DistributedOptions(n_ranks=4, buffer_capacity=4, hyper_mode="gather")
+        streaming, streaming_info = DistributedGibbsSampler(tiny_config, options).run(
+            tiny_dataset.split.train, tiny_dataset.split, seed=13)
+        bulk, bulk_info = BulkSynchronousGibbsSampler(tiny_config, options).run(
+            tiny_dataset.split.train, tiny_dataset.split, seed=13)
+        np.testing.assert_allclose(bulk.state.user_factors,
+                                   streaming.state.user_factors)
+        assert bulk_info.buffer_stats.n_messages < streaming_info.buffer_stats.n_messages
+        # The caller's options object must not have been mutated.
+        assert options.buffer_capacity == 4
+
+
+class TestDistributedDiagnostics:
+    def test_run_info_traffic_consistency(self, tiny_dataset, tiny_config):
+        result, info = DistributedGibbsSampler(
+            tiny_config, DistributedOptions(n_ranks=4, buffer_capacity=8)
+        ).run(tiny_dataset.split.train, tiny_dataset.split, seed=2)
+        # Every item exchange planned must have happened each iteration.
+        expected_items = info.items_exchanged_per_iteration * tiny_config.total_iterations
+        assert info.buffer_stats.n_items == expected_items
+        assert info.n_messages > 0
+        assert info.bytes_sent > 0
+        assert result.items_updated == tiny_config.total_iterations * (
+            tiny_dataset.split.train.n_users + tiny_dataset.split.train.n_movies)
+
+    def test_partition_can_be_supplied(self, tiny_dataset, tiny_config):
+        from repro.distributed.partition import partition_ratings
+        partition = partition_ratings(tiny_dataset.split.train, 2)
+        result, info = DistributedGibbsSampler(
+            tiny_config, DistributedOptions(n_ranks=2)
+        ).run(tiny_dataset.split.train, tiny_dataset.split, seed=2,
+              partition=partition)
+        assert info.partition is partition
+
+    def test_partition_rank_mismatch_rejected(self, tiny_dataset, tiny_config):
+        from repro.distributed.partition import partition_ratings
+        partition = partition_ratings(tiny_dataset.split.train, 3)
+        with pytest.raises(ValidationError):
+            DistributedGibbsSampler(
+                tiny_config, DistributedOptions(n_ranks=2)
+            ).run(tiny_dataset.split.train, tiny_dataset.split, partition=partition)
+
+    def test_invalid_options(self):
+        with pytest.raises(Exception):
+            DistributedOptions(n_ranks=0)
+        with pytest.raises(Exception):
+            DistributedOptions(hyper_mode="nonsense")
+
+    def test_accuracy_on_low_rank_signal(self, small_dataset):
+        config = BPMFConfig(num_latent=5, burn_in=5, n_samples=8, alpha=8.0)
+        result, _ = DistributedGibbsSampler(
+            config, DistributedOptions(n_ranks=4)
+        ).run(small_dataset.split.train, small_dataset.split, seed=3)
+        assert result.final_rmse < 2.5 * small_dataset.config.noise_std

@@ -1,0 +1,116 @@
+"""Unit tests for rating-matrix serialization (text and npz formats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.io import (
+    load_ratings_npz,
+    load_ratings_text,
+    load_split_npz,
+    save_ratings_npz,
+    save_ratings_text,
+    save_split_npz,
+)
+from repro.sparse.split import train_test_split
+from repro.utils.validation import ValidationError
+
+
+def assert_matrices_equal(a, b):
+    assert a.shape == b.shape
+    assert a.nnz == b.nnz
+    np.testing.assert_allclose(np.nan_to_num(a.to_dense()),
+                               np.nan_to_num(b.to_dense()))
+
+
+class TestTextFormat:
+    def test_roundtrip(self, simple_ratings, tmp_path):
+        path = tmp_path / "ratings.txt"
+        save_ratings_text(simple_ratings, path, comment="hand-written fixture")
+        loaded = load_ratings_text(path)
+        assert_matrices_equal(simple_ratings, loaded)
+
+    def test_comment_lines_preserved_in_file(self, simple_ratings, tmp_path):
+        path = tmp_path / "ratings.txt"
+        save_ratings_text(simple_ratings, path, comment="line one\nline two")
+        text = path.read_text()
+        assert "% line one" in text and "% line two" in text
+
+    def test_roundtrip_preserves_exact_values(self, tmp_path, small_dataset):
+        path = tmp_path / "ratings.txt"
+        save_ratings_text(small_dataset.ratings, path)
+        loaded = load_ratings_text(path)
+        np.testing.assert_array_equal(loaded.triplets()[2],
+                                      small_dataset.ratings.triplets()[2])
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3 3 1\n0 0 1.0\n")
+        with pytest.raises(ValidationError):
+            load_ratings_text(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "short.txt"
+        path.write_text("%%repro-ratings coordinate\n3 3 2\n0 0 1.0\n")
+        with pytest.raises(ValidationError):
+            load_ratings_text(path)
+
+    def test_extra_triplets_rejected(self, tmp_path):
+        path = tmp_path / "long.txt"
+        path.write_text("%%repro-ratings coordinate\n3 3 1\n0 0 1.0\n1 1 2.0\n")
+        with pytest.raises(ValidationError):
+            load_ratings_text(path)
+
+    def test_malformed_size_line_rejected(self, tmp_path):
+        path = tmp_path / "bad_size.txt"
+        path.write_text("%%repro-ratings coordinate\n3 3\n")
+        with pytest.raises(ValidationError):
+            load_ratings_text(path)
+
+    def test_empty_matrix_roundtrip(self, tmp_path):
+        from repro.sparse.csr import RatingMatrix
+        empty = RatingMatrix.from_arrays(5, 4, [], [], [])
+        path = tmp_path / "empty.txt"
+        save_ratings_text(empty, path)
+        loaded = load_ratings_text(path)
+        assert loaded.shape == (5, 4)
+        assert loaded.nnz == 0
+
+
+class TestNpzFormat:
+    def test_roundtrip(self, simple_ratings, tmp_path):
+        path = tmp_path / "ratings.npz"
+        save_ratings_npz(simple_ratings, path)
+        assert_matrices_equal(simple_ratings, load_ratings_npz(path))
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez_compressed(path, format=np.array("something-else"))
+        with pytest.raises(ValidationError):
+            load_ratings_npz(path)
+
+    def test_split_roundtrip(self, small_dataset, tmp_path):
+        split = train_test_split(small_dataset.ratings, test_fraction=0.25, seed=1)
+        path = tmp_path / "split.npz"
+        save_split_npz(split, path)
+        loaded = load_split_npz(path)
+        assert_matrices_equal(split.train, loaded.train)
+        np.testing.assert_array_equal(loaded.test_users, split.test_users)
+        np.testing.assert_array_equal(loaded.test_values, split.test_values)
+
+    def test_split_wrong_archive_rejected(self, simple_ratings, tmp_path):
+        path = tmp_path / "ratings.npz"
+        save_ratings_npz(simple_ratings, path)
+        with pytest.raises(ValidationError):
+            load_split_npz(path)
+
+    def test_loaded_split_usable_for_training(self, small_dataset, tmp_path):
+        from repro.core import BPMFConfig, GibbsSampler
+        split = train_test_split(small_dataset.ratings, test_fraction=0.2, seed=2)
+        path = tmp_path / "split.npz"
+        save_split_npz(split, path)
+        loaded = load_split_npz(path)
+        result = GibbsSampler(BPMFConfig(num_latent=3, burn_in=1, n_samples=2)).run(
+            loaded.train, loaded, seed=0)
+        assert result.final_rmse > 0

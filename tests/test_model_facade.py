@@ -1,0 +1,137 @@
+"""Tests for the high-level BPMF estimator facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gibbs import GibbsSampler
+from repro.core.model import BPMF
+from repro.core.priors import BPMFConfig
+from repro.core.sideinfo import SideInfo
+from repro.datasets import make_movielens_like
+from repro.utils.validation import ValidationError
+
+
+class TestFitPredict:
+    def test_basic_fit_and_predict(self, tiny_dataset):
+        model = BPMF(num_latent=3, burn_in=2, n_samples=4, alpha=4.0).fit(
+            tiny_dataset.split.train, tiny_dataset.split, seed=0)
+        assert model.is_fitted
+        predictions = model.predict(tiny_dataset.split.test_users,
+                                    tiny_dataset.split.test_movies)
+        assert predictions.shape == tiny_dataset.split.test_values.shape
+        assert np.isfinite(predictions).all()
+        assert model.test_rmse > 0
+
+    def test_unfitted_model_raises(self, tiny_dataset):
+        model = BPMF(num_latent=3)
+        assert not model.is_fitted
+        with pytest.raises(ValidationError):
+            model.predict([0], [0])
+        with pytest.raises(ValidationError):
+            _ = model.state
+        with pytest.raises(ValidationError):
+            model.recommend(0)
+
+    def test_centering_restores_scale(self):
+        data = make_movielens_like(scale=1500, seed=4)
+        model = BPMF(num_latent=4, burn_in=2, n_samples=4, alpha=2.0,
+                     center=True).fit(data.split.train, data.split, seed=0)
+        predictions = model.predict(data.split.test_users, data.split.test_movies)
+        # Star-scale data: centred sampling plus mean restoration keeps the
+        # predictions on the original scale.
+        assert 1.0 < predictions.mean() < 5.5
+        assert model.offset == pytest.approx(data.split.train.mean_rating())
+
+    def test_centering_beats_uncentered_on_shifted_data(self):
+        data = make_movielens_like(scale=1500, seed=4)
+        kwargs = dict(num_latent=4, burn_in=3, n_samples=6, alpha=2.0)
+        centred = BPMF(center=True, **kwargs).fit(data.split.train, data.split, seed=0)
+        uncentred = BPMF(center=False, **kwargs).fit(data.split.train, data.split,
+                                                     seed=0)
+        centred_rmse = np.sqrt(np.mean((centred.predict(
+            data.split.test_users, data.split.test_movies)
+            - data.split.test_values) ** 2))
+        uncentred_rmse = np.sqrt(np.mean((uncentred.predict(
+            data.split.test_users, data.split.test_movies)
+            - data.split.test_values) ** 2))
+        assert centred_rmse < uncentred_rmse
+
+    def test_clipping(self, tiny_dataset):
+        model = BPMF(num_latent=3, burn_in=1, n_samples=2, clip=(0.0, 1.0)).fit(
+            tiny_dataset.split.train, tiny_dataset.split, seed=0)
+        predictions = model.predict(tiny_dataset.split.test_users,
+                                    tiny_dataset.split.test_movies)
+        assert predictions.min() >= 0.0 and predictions.max() <= 1.0
+
+    def test_predict_matrix_shape(self, tiny_dataset):
+        model = BPMF(num_latent=3, burn_in=1, n_samples=2).fit(
+            tiny_dataset.split.train, tiny_dataset.split, seed=0)
+        block = model.predict_matrix([0, 1, 2], [0, 5])
+        assert block.shape == (3, 2)
+        np.testing.assert_allclose(block[1, 1], model.predict([1], [5])[0])
+
+    def test_sequential_backend_matches_raw_sampler(self, tiny_dataset, tiny_config):
+        """center=False, sequential backend == using GibbsSampler directly."""
+        model = BPMF(num_latent=tiny_config.num_latent, alpha=tiny_config.alpha,
+                     burn_in=tiny_config.burn_in, n_samples=tiny_config.n_samples,
+                     center=False).fit(tiny_dataset.split.train, tiny_dataset.split,
+                                       seed=9)
+        raw = GibbsSampler(tiny_config).run(tiny_dataset.split.train,
+                                            tiny_dataset.split, seed=9)
+        np.testing.assert_allclose(model.state.user_factors, raw.state.user_factors)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend,kwargs", [
+        ("multicore", {"n_threads": 2}),
+        ("distributed", {"n_ranks": 3}),
+    ])
+    def test_parallel_backends_match_sequential(self, tiny_dataset, backend, kwargs):
+        common = dict(num_latent=3, burn_in=2, n_samples=4, alpha=4.0, center=True)
+        sequential = BPMF(backend="sequential", **common).fit(
+            tiny_dataset.split.train, tiny_dataset.split, seed=1)
+        parallel = BPMF(backend=backend, **common, **kwargs).fit(
+            tiny_dataset.split.train, tiny_dataset.split, seed=1)
+        # The distributed backend's default hyper_mode is "stats", so allow a
+        # tiny numerical difference; multicore must be exact.
+        tolerance = 0.0 if backend == "multicore" else 0.05
+        assert abs(parallel.test_rmse - sequential.test_rmse) <= tolerance + 1e-12
+
+    def test_sideinfo_backend(self, rng, tiny_dataset):
+        features = rng.normal(size=(tiny_dataset.ratings.n_movies, 3))
+        model = BPMF(num_latent=3, burn_in=2, n_samples=3, backend="sideinfo",
+                     movie_side=SideInfo(features)).fit(
+            tiny_dataset.split.train, tiny_dataset.split, seed=0)
+        assert model.is_fitted
+
+    def test_sideinfo_backend_requires_features(self):
+        with pytest.raises(ValidationError):
+            BPMF(backend="sideinfo")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            BPMF(backend="gpu")
+
+
+class TestRecommend:
+    def test_recommend_excludes_training_items(self, tiny_dataset):
+        model = BPMF(num_latent=3, burn_in=1, n_samples=2).fit(
+            tiny_dataset.split.train, tiny_dataset.split, seed=0)
+        recommendation = model.recommend(user=0, n=5)
+        seen, _ = tiny_dataset.split.train.user_ratings(0)
+        assert not set(recommendation.items.tolist()) & set(seen.tolist())
+
+    def test_recommend_with_clip(self, tiny_dataset):
+        model = BPMF(num_latent=3, burn_in=1, n_samples=2, clip=(0.5, 5.0)).fit(
+            tiny_dataset.split.train, tiny_dataset.split, seed=0)
+        recommendation = model.recommend(user=1, n=3)
+        assert recommendation.scores.max() <= 5.0
+        assert recommendation.scores.min() >= 0.5
+
+    def test_recommend_can_include_rated(self, tiny_dataset):
+        model = BPMF(num_latent=3, burn_in=1, n_samples=2).fit(
+            tiny_dataset.split.train, tiny_dataset.split, seed=0)
+        everything = model.recommend(user=0, n=30, exclude_rated=False)
+        assert len(everything) == 30

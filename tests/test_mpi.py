@@ -1,0 +1,349 @@
+"""Unit tests for the simulated MPI substrate (world, buffers, network, trace)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.buffers import BufferStats, SendBuffer
+from repro.mpi.network import ClusterSpec, NetworkModel
+from repro.mpi.simmpi import ANY_SOURCE, ANY_TAG, ReduceOp, SimCommWorld
+from repro.mpi.trace import PhaseBreakdown, RankTimeline, combine_breakdowns
+from repro.utils.validation import ValidationError
+
+
+# ---------------------------------------------------------------------------
+# SimCommWorld
+# ---------------------------------------------------------------------------
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        world = SimCommWorld(2)
+        sender, receiver = world.comms()
+        payload = np.arange(5.0)
+        sender.isend(payload, dest=1, tag=7)
+        received = receiver.recv(source=0, tag=7)
+        np.testing.assert_array_equal(received, payload)
+
+    def test_recv_matches_tag_and_source(self):
+        world = SimCommWorld(3)
+        comms = world.comms()
+        comms[0].isend("from0-tagA", dest=2, tag=1)
+        comms[1].isend("from1-tagB", dest=2, tag=2)
+        assert comms[2].recv(source=1, tag=2) == "from1-tagB"
+        assert comms[2].recv(source=ANY_SOURCE, tag=ANY_TAG) == "from0-tagA"
+
+    def test_recv_without_message_raises(self):
+        world = SimCommWorld(2)
+        with pytest.raises(ValidationError):
+            world.comm(1).recv(source=0)
+
+    def test_irecv_polls_until_available(self):
+        world = SimCommWorld(2)
+        request = world.comm(1).irecv(source=0, tag=5)
+        assert not request.test()
+        world.comm(0).isend(42, dest=1, tag=5)
+        assert request.test()
+        assert request.wait() == 42
+
+    def test_wait_on_unposted_message_raises(self):
+        world = SimCommWorld(2)
+        request = world.comm(1).irecv(source=0)
+        with pytest.raises(ValidationError):
+            request.wait()
+
+    def test_iprobe_and_drain(self):
+        world = SimCommWorld(2)
+        for value in range(3):
+            world.comm(0).isend(value, dest=1, tag=9)
+        assert world.comm(1).iprobe(tag=9)
+        assert world.comm(1).drain(tag=9) == [0, 1, 2]
+        assert not world.comm(1).iprobe(tag=9)
+
+    def test_invalid_destination(self):
+        world = SimCommWorld(2)
+        with pytest.raises(ValidationError):
+            world.comm(0).isend(1, dest=5)
+        with pytest.raises(ValidationError):
+            world.comm(9)
+
+    def test_message_ordering_preserved_per_pair(self):
+        world = SimCommWorld(2)
+        for value in range(5):
+            world.comm(0).isend(value, dest=1, tag=1)
+        received = [world.comm(1).recv(source=0, tag=1) for _ in range(5)]
+        assert received == list(range(5))
+
+
+class TestAudit:
+    def test_message_log_and_traffic_matrix(self):
+        world = SimCommWorld(3)
+        world.comm(0).isend(np.zeros(10), dest=1)
+        world.comm(0).isend(np.zeros(20), dest=2)
+        world.comm(2).isend(np.zeros(5), dest=1)
+        matrix = world.traffic_matrix()
+        assert matrix[0, 1] == 80
+        assert matrix[0, 2] == 160
+        assert matrix[2, 1] == 40
+        assert len(world.message_log) == 3
+
+    def test_pending_messages_counter(self):
+        world = SimCommWorld(2)
+        world.comm(0).isend("x", dest=1)
+        assert world.pending_messages() == 1
+        world.comm(1).recv()
+        assert world.pending_messages() == 0
+
+    def test_payload_size_estimates(self):
+        world = SimCommWorld(2)
+        world.comm(0).isend((np.zeros(4), np.zeros((2, 3))), dest=1)
+        world.comm(0).isend({"a": np.zeros(2)}, dest=1)
+        world.comm(0).isend(3.14, dest=1)
+        sizes = [record.n_bytes for record in world.message_log]
+        assert sizes[0] == 32 + 48
+        assert sizes[1] == 16
+        assert sizes[2] == 8
+
+    def test_reset_log(self):
+        world = SimCommWorld(2)
+        world.comm(0).isend(1, dest=1)
+        world.reset_log()
+        assert world.message_log == []
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        world = SimCommWorld(3)
+        comms = world.comms()
+        key = "stats"
+        results = [comms[rank].allreduce(np.full(4, float(rank + 1)), key=key)
+                   for rank in range(3)]
+        # Only the last contributor gets the value directly.
+        assert results[0] is None and results[1] is None
+        np.testing.assert_allclose(results[2], np.full(4, 6.0))
+        np.testing.assert_allclose(comms[0].fetch_allreduce(key), np.full(4, 6.0))
+        np.testing.assert_allclose(comms[1].fetch_allreduce(key), np.full(4, 6.0))
+
+    def test_allreduce_max_and_min(self):
+        arrays = [np.array([1.0, 5.0]), np.array([3.0, 2.0])]
+        assert ReduceOp.apply(ReduceOp.MAX, arrays).tolist() == [3.0, 5.0]
+        assert ReduceOp.apply(ReduceOp.MIN, arrays).tolist() == [1.0, 2.0]
+        with pytest.raises(ValidationError):
+            ReduceOp.apply("product", arrays)
+
+    def test_allreduce_single_rank(self):
+        world = SimCommWorld(1)
+        result = world.comm(0).allreduce(np.array([2.0, 3.0]), key="solo")
+        np.testing.assert_allclose(result, [2.0, 3.0])
+
+    def test_double_contribution_rejected(self):
+        world = SimCommWorld(2)
+        world.comm(0).allreduce(np.zeros(2), key="k")
+        with pytest.raises(ValidationError):
+            world.comm(0).allreduce(np.zeros(2), key="k")
+
+    def test_fetch_before_completion_raises(self):
+        world = SimCommWorld(2)
+        world.comm(0).allreduce(np.zeros(2), key="incomplete")
+        with pytest.raises(ValidationError):
+            world.comm(0).fetch_allreduce(key="incomplete")
+
+    def test_bcast(self):
+        world = SimCommWorld(3)
+        comms = world.comms()
+        assert comms[0].bcast("hello", root=0) == "hello"
+        assert comms[1].bcast(None, root=0) == "hello"
+        assert comms[2].bcast(None, root=0) == "hello"
+
+    def test_barrier_is_noop(self):
+        SimCommWorld(2).comm(0).barrier()
+
+
+# ---------------------------------------------------------------------------
+# send buffers
+# ---------------------------------------------------------------------------
+
+class TestSendBuffer:
+    def test_flushes_when_full(self):
+        flushed = []
+        buffer = SendBuffer(destination=3, capacity=2, num_latent=4,
+                            on_flush=lambda dest, ids, payload: flushed.append(
+                                (dest, ids.copy(), payload.copy())))
+        assert not buffer.add(1, np.ones(4))
+        assert buffer.add(2, np.full(4, 2.0))
+        assert len(flushed) == 1
+        dest, ids, payload = flushed[0]
+        assert dest == 3
+        assert ids.tolist() == [1, 2]
+        assert payload.shape == (2, 4)
+
+    def test_partial_flush(self):
+        buffer = SendBuffer(destination=0, capacity=10, num_latent=2)
+        buffer.add(5, np.zeros(2))
+        ids, payload = buffer.flush()
+        assert ids.tolist() == [5]
+        assert buffer.empty
+        assert buffer.stats.n_flushes_partial == 1
+
+    def test_flush_empty_is_noop(self):
+        buffer = SendBuffer(destination=0, capacity=4, num_latent=2)
+        assert buffer.flush() is None
+        assert buffer.stats.n_messages == 0
+
+    def test_stats_counters(self):
+        buffer = SendBuffer(destination=0, capacity=2, num_latent=2)
+        for item in range(5):
+            buffer.add(item, np.zeros(2))
+        buffer.flush()
+        assert buffer.stats.n_items == 5
+        assert buffer.stats.n_messages == 3
+        assert buffer.stats.n_flushes_full == 2
+        assert buffer.stats.n_flushes_partial == 1
+        assert buffer.stats.items_per_message == pytest.approx(5 / 3)
+
+    def test_wrong_factor_shape(self):
+        buffer = SendBuffer(destination=0, capacity=2, num_latent=3)
+        with pytest.raises(ValueError):
+            buffer.add(0, np.zeros(4))
+
+    def test_stats_merge(self):
+        a = BufferStats(n_items=3, n_messages=1)
+        b = BufferStats(n_items=2, n_messages=2, n_flushes_partial=1)
+        merged = a.merge(b)
+        assert merged.n_items == 5 and merged.n_messages == 3
+
+    def test_capacity_one_is_per_item_messaging(self):
+        buffer = SendBuffer(destination=0, capacity=1, num_latent=2)
+        for item in range(4):
+            buffer.add(item, np.zeros(2))
+        assert buffer.stats.n_messages == 4
+
+
+# ---------------------------------------------------------------------------
+# network / cluster model
+# ---------------------------------------------------------------------------
+
+class TestClusterSpec:
+    def test_rack_assignment(self):
+        cluster = ClusterSpec(rack_size=4)
+        assert cluster.rack_of(0) == 0
+        assert cluster.rack_of(3) == 0
+        assert cluster.rack_of(4) == 1
+        assert cluster.same_rack(1, 3)
+        assert not cluster.same_rack(3, 4)
+        assert cluster.n_racks(9) == 3
+
+    def test_cache_factor_limits(self):
+        cluster = ClusterSpec(cache_bytes=1000, cache_speedup=1.5)
+        assert cluster.cache_factor(100) == pytest.approx(1.5)
+        assert cluster.cache_factor(1000) == pytest.approx(1.5)
+        assert cluster.cache_factor(8001) == pytest.approx(1.0)
+        middle = cluster.cache_factor(3000)
+        assert 1.0 < middle < 1.5
+
+    def test_cache_factor_monotone(self):
+        cluster = ClusterSpec(cache_bytes=1000, cache_speedup=1.4)
+        sizes = [10, 500, 1500, 3000, 6000, 10_000]
+        factors = [cluster.cache_factor(size) for size in sizes]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_cache_disabled(self):
+        cluster = ClusterSpec(cache_speedup=1.0)
+        assert cluster.cache_factor(1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ClusterSpec(cores_per_node=0)
+        with pytest.raises(Exception):
+            ClusterSpec(cache_speedup=0.5)
+        with pytest.raises(Exception):
+            ClusterSpec(node_compute_efficiency=0.0)
+
+
+class TestNetworkModel:
+    def test_intra_rack_cheaper_than_inter_rack(self):
+        cluster = ClusterSpec(rack_size=4)
+        network = NetworkModel()
+        intra = network.transfer_time(cluster, 0, 1, 1_000_000)
+        inter = network.transfer_time(cluster, 0, 5, 1_000_000)
+        assert intra < inter
+
+    def test_transfer_time_components(self):
+        cluster = ClusterSpec(rack_size=32)
+        network = NetworkModel(intra_latency=1e-6, intra_bandwidth=1e9)
+        assert network.transfer_time(cluster, 0, 1, 1e6) == pytest.approx(
+            1e-6 + 1e6 / 1e9)
+
+    def test_message_bytes(self):
+        network = NetworkModel(item_header_bytes=8)
+        assert network.message_bytes(10, 16) == 10 * (16 * 8 + 8)
+
+    def test_allreduce_time_grows_logarithmically(self):
+        cluster = ClusterSpec(rack_size=32)
+        network = NetworkModel()
+        t1 = network.allreduce_time(cluster, 1, 1024)
+        t8 = network.allreduce_time(cluster, 8, 1024)
+        t64 = network.allreduce_time(cluster, 64, 1024)
+        assert t1 == 0.0
+        # 64 nodes need twice the rounds of 8 nodes and cross racks, so the
+        # cost grows — but far more slowly than the 8x node-count increase.
+        assert t8 < t64 < 8 * t8
+
+    def test_uplink_serialization(self):
+        network = NetworkModel(uplink_bandwidth=1e9)
+        assert network.uplink_serialization(2e9) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            NetworkModel(intra_bandwidth=0.0)
+        with pytest.raises(Exception):
+            NetworkModel(per_message_overhead=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+class TestTrace:
+    def test_rank_timeline_fractions(self):
+        timeline = RankTimeline(rank=0)
+        timeline.add_compute(6.0)
+        timeline.add_both(2.0)
+        timeline.add_communicate(2.0)
+        fractions = timeline.fractions()
+        assert fractions["compute"] == pytest.approx(0.6)
+        assert fractions["both"] == pytest.approx(0.2)
+        assert fractions["communicate"] == pytest.approx(0.2)
+
+    def test_empty_timeline_defaults_to_compute(self):
+        assert RankTimeline(rank=0).fractions()["compute"] == 1.0
+
+    def test_overlapped_phase_accounting(self):
+        timeline = RankTimeline(rank=0)
+        timeline.add_overlapped_phase(compute_seconds=10.0, comm_busy_seconds=4.0,
+                                      wait_seconds=1.0)
+        assert timeline.both == pytest.approx(4.0)
+        assert timeline.compute == pytest.approx(6.0)
+        assert timeline.communicate == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(Exception):
+            RankTimeline(rank=0).add_compute(-1.0)
+
+    def test_breakdown_from_timelines_and_combine(self):
+        timelines = [RankTimeline(0, compute=3.0, communicate=1.0, both=1.0),
+                     RankTimeline(1, compute=1.0, communicate=3.0, both=1.0)]
+        breakdown = PhaseBreakdown.from_timelines(timelines)
+        assert breakdown.total == pytest.approx(10.0)
+        combined = combine_breakdowns([breakdown, breakdown])
+        assert combined.compute == pytest.approx(8.0)
+        fractions = combined.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_breakdown_requires_positive_total(self):
+        with pytest.raises(ValidationError):
+            PhaseBreakdown(compute=0.0, both=0.0, communicate=0.0)
+        with pytest.raises(ValidationError):
+            PhaseBreakdown.from_timelines([])
+        with pytest.raises(ValidationError):
+            combine_breakdowns([])
