@@ -21,6 +21,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment names (default: all)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
+    parser.add_argument("--quick", action="store_true",
+                        help="run reduced-size versions of every experiment "
+                             "(the CI smoke configuration)")
     args = parser.parse_args(argv)
 
     registry = available_experiments()
@@ -37,7 +40,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     for name in names:
-        outcome = run_experiment(name)
+        outcome = run_experiment(name, quick=args.quick)
         print(outcome.render())
         print()
     return 0

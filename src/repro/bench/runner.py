@@ -34,7 +34,7 @@ class ExperimentResult:
 def _experiments() -> Dict[str, Tuple[Callable[[], object], Callable[[object], Table], str]]:
     # Imported lazily to keep `import repro.bench.runner` cheap.
     from repro.bench.accuracy import run_accuracy_parity
-    from repro.bench.fig2_update_methods import run_fig2
+    from repro.bench.fig2_update_methods import run_fig2, run_fig2_batched
     from repro.bench.fig3_multicore import run_fig3
     from repro.bench.fig4_strong_scaling import run_fig4
     from repro.bench.fig5_overlap import run_fig5
@@ -43,6 +43,8 @@ def _experiments() -> Dict[str, Tuple[Callable[[], object], Callable[[object], T
     return {
         "fig2": (run_fig2, lambda r: r.to_table("modelled"),
                  "Figure 2: per-item update time vs rating count"),
+        "fig2-batched": (run_fig2_batched, lambda r: r.to_table(),
+                         "Figure 2 variant: batched engine vs per-item loop"),
         "fig3": (run_fig3, lambda r: r.to_table(),
                  "Figure 3: multicore throughput vs threads"),
         "fig4": (run_fig4, lambda r: r.to_table(),
@@ -56,16 +58,45 @@ def _experiments() -> Dict[str, Tuple[Callable[[], object], Callable[[object], T
     }
 
 
+def _quick_overrides() -> Dict[str, Dict[str, object]]:
+    """Reduced-size kwargs so every experiment finishes in seconds.
+
+    Used by ``python -m repro.bench --quick`` — the CI smoke target.  The
+    overrides shrink sweep ranges and workload sizes; they never change the
+    code paths exercised.
+    """
+    from repro.core.priors import BPMFConfig
+
+    return {
+        "fig2": dict(degrees=(1, 8, 64, 512), repeats=1,
+                     max_rank_one_degree=64),
+        "fig2-batched": dict(degrees=(1, 8, 64), batch_size=64,
+                             n_source=512, repeats=1),
+        "fig3": dict(chembl_scale=10.0, thread_counts=(1, 2)),
+        "fig4": dict(n_ratings=100_000, node_counts=(1, 4)),
+        "fig5": dict(n_ratings=100_000, node_counts=(1, 4)),
+        "accuracy": dict(config=BPMFConfig(num_latent=4, burn_in=2,
+                                           n_samples=3, alpha=4.0)),
+        "speedup": dict(chembl_scale=10.0, n_iterations=5),
+    }
+
+
 def available_experiments() -> Dict[str, str]:
     """Mapping of experiment name to a one-line description."""
     return {name: description for name, (_, _, description) in _experiments().items()}
 
 
-def run_experiment(name: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by name (``fig2`` .. ``fig5``, ``accuracy``, ``speedup``)."""
+def run_experiment(name: str, quick: bool = False, **kwargs) -> ExperimentResult:
+    """Run one experiment by name (``fig2`` .. ``fig5``, ``accuracy``, ``speedup``).
+
+    ``quick=True`` applies the reduced-size kwargs used by the CI smoke run
+    (explicit ``kwargs`` still win over the quick defaults).
+    """
     registry = _experiments()
     check_in("name", name, registry.keys())
     runner, tabulate, _ = registry[name]
+    if quick:
+        kwargs = {**_quick_overrides().get(name, {}), **kwargs}
     watch = Stopwatch().start()
     result = runner(**kwargs)
     seconds = watch.stop()

@@ -40,6 +40,13 @@ from repro.core.updates import (
     cholesky_rank_one_update,
 )
 from repro.core.state import BPMFState, initialize_state
+from repro.core.batch_engine import (
+    UpdateEngine,
+    ReferenceUpdateEngine,
+    BatchedUpdateEngine,
+    available_engines,
+    make_update_engine,
+)
 from repro.core.gibbs import GibbsSampler, SamplerOptions, BPMFResult
 from repro.core.predict import PosteriorPredictor, predict_ratings
 from repro.core.metrics import rmse, mae, coverage_interval
@@ -77,6 +84,11 @@ __all__ = [
     "cholesky_rank_one_update",
     "BPMFState",
     "initialize_state",
+    "UpdateEngine",
+    "ReferenceUpdateEngine",
+    "BatchedUpdateEngine",
+    "available_engines",
+    "make_update_engine",
     "GibbsSampler",
     "SamplerOptions",
     "BPMFResult",

@@ -17,11 +17,12 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.core.batch_engine import UpdateEngine, make_update_engine
 from repro.core.metrics import rmse
 from repro.core.predict import PosteriorPredictor
 from repro.core.priors import BPMFConfig
 from repro.core.state import BPMFState, initialize_state
-from repro.core.updates import HybridUpdatePolicy, UpdateMethod, sample_item
+from repro.core.updates import HybridUpdatePolicy, UpdateMethod
 from repro.core.wishart import sample_hyperparameters
 from repro.sparse.csr import RatingMatrix
 from repro.sparse.split import RatingSplit
@@ -39,14 +40,35 @@ class SamplerOptions:
     """Execution options orthogonal to the statistical model.
 
     ``update_method`` forces one of the three kernels for every item;
-    ``None`` (default) uses the hybrid policy, as the paper does.
+    ``None`` (default) uses the hybrid policy, as the paper does.  Under
+    the ``"reference"`` engine the forced kernel is executed literally;
+    the ``"batched"`` engine always factorises the stacked Gram matrices
+    and honours the method only as accumulation structure (blocked for
+    ``PARALLEL_CHOLESKY``, single-pass otherwise — a forced ``RANK_ONE``
+    runs the single-pass Gram path).  All kernels sample the same
+    distribution, so this changes cost profile, never statistics; use
+    ``engine="reference"`` when per-kernel timing fidelity matters (as
+    the Figure 2 driver does).
+
+    ``engine`` selects how a phase's item updates are *executed*:
+    ``"batched"`` (default) runs them through the stacked-BLAS
+    :class:`repro.core.batch_engine.BatchedUpdateEngine`, ``"reference"``
+    keeps the historical per-item loop.  Both consume the same random
+    stream, so the two engines sample from identical chains up to
+    floating-point rounding (see ``tests/test_batch_engine_parity.py``).
     """
 
     update_method: Optional[UpdateMethod] = None
     policy: HybridUpdatePolicy = field(default_factory=HybridUpdatePolicy)
+    engine: str = "batched"
     keep_sample_predictions: bool = False
     verbose: bool = False
     callback: Optional[Callable[["BPMFState", int], None]] = None
+
+    def make_engine(self) -> UpdateEngine:
+        """Build the configured :class:`UpdateEngine` instance."""
+        return make_update_engine(self.engine, update_method=self.update_method,
+                                  policy=self.policy)
 
 
 @dataclass
@@ -113,8 +135,14 @@ class GibbsSampler:
                  options: SamplerOptions | None = None):
         self.config = config or BPMFConfig()
         self.options = options or SamplerOptions()
+        self._engine = self.options.make_engine()
 
-    # -- single building blocks (reused by parallel samplers) --------------
+    @property
+    def engine(self) -> UpdateEngine:
+        """The update engine executing this sampler's item phases."""
+        return self._engine
+
+    # -- single building blocks --------------------------------------------
 
     def resample_hyperparameters(self, state: BPMFState,
                                  rng: np.random.Generator) -> None:
@@ -124,42 +152,31 @@ class GibbsSampler:
         state.user_prior = sample_hyperparameters(
             state.user_factors, self.config.user_hyperprior, rng)
 
-    def update_movie(self, state: BPMFState, ratings: RatingMatrix, movie: int,
-                     rng: np.random.Generator,
-                     noise: Optional[np.ndarray] = None) -> None:
-        """Resample one movie's factor from the users that rated it."""
-        user_idx, values = ratings.movie_ratings(movie)
-        state.movie_factors[movie] = sample_item(
-            state.user_factors[user_idx], values, state.movie_prior,
-            self.config.alpha, rng=rng, noise=noise,
-            method=self.options.update_method, policy=self.options.policy)
-
-    def update_user(self, state: BPMFState, ratings: RatingMatrix, user: int,
-                    rng: np.random.Generator,
-                    noise: Optional[np.ndarray] = None) -> None:
-        """Resample one user's factor from the movies they rated."""
-        movie_idx, values = ratings.user_ratings(user)
-        state.user_factors[user] = sample_item(
-            state.movie_factors[movie_idx], values, state.user_prior,
-            self.config.alpha, rng=rng, noise=noise,
-            method=self.options.update_method, policy=self.options.policy)
-
     def sweep(self, state: BPMFState, ratings: RatingMatrix,
               rng: np.random.Generator) -> int:
         """One full Gibbs sweep over hyperparameters, movies and users.
 
         Returns the number of item updates performed (used for the
         items/second throughput metric of Figures 3 and 4).
+
+        The phase noise is pre-drawn in canonical item order before the
+        engine runs, so the random stream (and hence the chain) is the same
+        for every engine and execution backend.
         """
+        k = self.config.num_latent
         # Movies first, as in Algorithm 1 of the paper.
         state.movie_prior = sample_hyperparameters(
             state.movie_factors, self.config.movie_hyperprior, rng)
-        for movie in range(ratings.n_movies):
-            self.update_movie(state, ratings, movie, rng)
+        movie_noise = rng.standard_normal((ratings.n_movies, k))
+        self._engine.update_items(
+            state.movie_factors, state.user_factors, ratings.by_movie,
+            state.movie_prior, self.config.alpha, movie_noise)
         state.user_prior = sample_hyperparameters(
             state.user_factors, self.config.user_hyperprior, rng)
-        for user in range(ratings.n_users):
-            self.update_user(state, ratings, user, rng)
+        user_noise = rng.standard_normal((ratings.n_users, k))
+        self._engine.update_items(
+            state.user_factors, state.movie_factors, ratings.by_user,
+            state.user_prior, self.config.alpha, user_noise)
         state.iteration += 1
         return ratings.n_movies + ratings.n_users
 

@@ -31,12 +31,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.batch_engine import make_update_engine
 from repro.core.gibbs import BPMFResult
 from repro.core.metrics import rmse
 from repro.core.predict import PosteriorPredictor
 from repro.core.priors import BPMFConfig, GaussianPrior
 from repro.core.state import BPMFState, initialize_state
-from repro.core.updates import HybridUpdatePolicy, UpdateMethod, sample_item
+from repro.core.updates import HybridUpdatePolicy, UpdateMethod
 from repro.core.wishart import (
     normal_wishart_posterior,
     normal_wishart_posterior_from_stats,
@@ -67,6 +68,7 @@ class DistributedOptions:
     hyper_mode: str = "stats"  # "stats" (allreduce) or "gather" (exact parity)
     update_method: Optional[UpdateMethod] = None
     policy: HybridUpdatePolicy = field(default_factory=HybridUpdatePolicy)
+    engine: str = "batched"  # update execution strategy (see core.batch_engine)
     workload: WorkloadModel = field(default_factory=WorkloadModel)
     keep_sample_predictions: bool = False
 
@@ -104,6 +106,13 @@ class DistributedGibbsSampler:
                  options: DistributedOptions | None = None):
         self.config = config or BPMFConfig()
         self.options = options or DistributedOptions()
+        # One engine shared by all simulated ranks: the bucket plans it
+        # caches are keyed per (axis, owned-items) pair, so each rank's
+        # subset gets its own plan while the arithmetic stays per-item
+        # deterministic (identical rows to a full-matrix plan).
+        self._engine = make_update_engine(self.options.engine,
+                                          update_method=self.options.update_method,
+                                          policy=self.options.policy)
 
     # ------------------------------------------------------------------ #
     # hyperparameter step
@@ -190,11 +199,11 @@ class DistributedGibbsSampler:
         if entity == "movies":
             owned_of = partition.movies_of
             destinations = plan.movie_destinations
-            neighbours_of = ratings.movie_ratings
+            axis = ratings.by_movie
         else:
             owned_of = partition.users_of
             destinations = plan.user_destinations
-            neighbours_of = ratings.user_ratings
+            axis = ratings.by_user
 
         updated = 0
         for rank, state in enumerate(rank_states):
@@ -208,13 +217,17 @@ class DistributedGibbsSampler:
                 _comm.isend((ids, payload), dest=dest, tag=_tag,
                             description=f"{entity}-update")
 
-            for item in owned_of(rank):
-                idx, values = neighbours_of(int(item))
-                target[item] = sample_item(
-                    source[idx], values, prior, self.config.alpha,
-                    noise=noise[item], method=self.options.update_method,
-                    policy=self.options.policy)
-                updated += 1
+            # Update all of this rank's items through the engine, then
+            # stream the refreshed rows into the per-destination buffers.
+            # Within a phase an item's conditional never reads same-class
+            # factors, so updating before enqueueing sends the same values
+            # (and the same message pattern) as the old interleaved loop.
+            owned = np.asarray(owned_of(rank), dtype=np.int64)
+            updated += self._engine.update_items(
+                target, source, axis, prior, self.config.alpha, noise,
+                items=owned)
+            for item in owned:
+                item = int(item)
                 for dest in destinations[item]:
                     dest = int(dest)
                     if dest not in buffers:
@@ -320,15 +333,15 @@ class DistributedGibbsSampler:
         for iteration in range(self.config.total_iterations):
             movie_prior = self._sample_prior("movies", rank_states, partition,
                                              comms, rng, iteration)
-            movie_noise = np.stack([rng.standard_normal(self.config.num_latent)
-                                    for _ in range(train.n_movies)])
+            movie_noise = rng.standard_normal((train.n_movies,
+                                               self.config.num_latent))
             items_updated += self._run_phase("movies", train, rank_states, partition,
                                              plan, comms, movie_prior, movie_noise,
                                              buffer_stats)
             user_prior = self._sample_prior("users", rank_states, partition,
                                             comms, rng, iteration)
-            user_noise = np.stack([rng.standard_normal(self.config.num_latent)
-                                   for _ in range(train.n_users)])
+            user_noise = rng.standard_normal((train.n_users,
+                                              self.config.num_latent))
             items_updated += self._run_phase("users", train, rank_states, partition,
                                              plan, comms, user_prior, user_noise,
                                              buffer_stats)

@@ -43,6 +43,7 @@ class BulkSynchronousGibbsSampler(DistributedGibbsSampler):
             hyper_mode=options.hyper_mode,
             update_method=options.update_method,
             policy=options.policy,
+            engine=options.engine,
             workload=options.workload,
             keep_sample_predictions=options.keep_sample_predictions,
         )

@@ -20,12 +20,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.gibbs import BPMFResult, GibbsSampler, SamplerOptions
+from repro.core.batch_engine import BatchedUpdateEngine, make_update_engine
+from repro.core.gibbs import BPMFResult
 from repro.core.metrics import rmse
 from repro.core.predict import PosteriorPredictor
 from repro.core.priors import BPMFConfig
 from repro.core.state import BPMFState, initialize_state
-from repro.core.updates import HybridUpdatePolicy, UpdateMethod, sample_item
+from repro.core.updates import HybridUpdatePolicy, UpdateMethod
 from repro.core.wishart import sample_hyperparameters
 from repro.parallel.thread_backend import ThreadPoolBackend
 from repro.sparse.csr import RatingMatrix
@@ -38,12 +39,19 @@ __all__ = ["MulticoreOptions", "MulticoreGibbsSampler"]
 
 @dataclass
 class MulticoreOptions:
-    """Execution options of the multicore sampler."""
+    """Execution options of the multicore sampler.
+
+    ``engine`` selects the update execution strategy (see
+    :class:`repro.core.batch_engine.UpdateEngine`).  With ``"batched"``
+    (default) the thread pool maps over degree buckets — each a stacked
+    LAPACK call over disjoint items — instead of over individual items.
+    """
 
     n_threads: int = 1
     chunk_size: int = 64
     update_method: Optional[UpdateMethod] = None
     policy: HybridUpdatePolicy = field(default_factory=HybridUpdatePolicy)
+    engine: str = "batched"
     keep_sample_predictions: bool = False
 
 
@@ -59,8 +67,16 @@ class MulticoreGibbsSampler:
                  options: MulticoreOptions | None = None):
         self.config = config or BPMFConfig()
         self.options = options or MulticoreOptions()
-        self._backend = ThreadPoolBackend(self.options.n_threads,
-                                          self.options.chunk_size)
+        self._engine = make_update_engine(self.options.engine,
+                                          update_method=self.options.update_method,
+                                          policy=self.options.policy)
+        # chunk_size is tuned for per-item mapping; the batched engine's
+        # parallel units are degree buckets (typically a few dozen per
+        # phase), which must be submitted one per task or every bucket
+        # lands in a single chunk on a single thread.
+        chunk = 1 if isinstance(self._engine, BatchedUpdateEngine) \
+            else self.options.chunk_size
+        self._backend = ThreadPoolBackend(self.options.n_threads, chunk)
 
     # -- one parallel phase -------------------------------------------------
 
@@ -72,27 +88,21 @@ class MulticoreGibbsSampler:
             prior = state.movie_prior
             source = state.user_factors
             target = state.movie_factors
-            neighbours_of = ratings.movie_ratings
+            axis = ratings.by_movie
         else:
             n_items = ratings.n_users
             prior = state.user_prior
             source = state.movie_factors
             target = state.user_factors
-            neighbours_of = ratings.user_ratings
+            axis = ratings.by_user
 
         # Pre-draw the per-item noise in canonical order so the result does
         # not depend on thread interleaving and matches the sequential
         # sampler's random stream exactly.
-        noise = [rng.standard_normal(self.config.num_latent) for _ in range(n_items)]
-
-        def update(item: int) -> None:
-            idx, values = neighbours_of(item)
-            target[item] = sample_item(
-                source[idx], values, prior, self.config.alpha,
-                noise=noise[item], method=self.options.update_method,
-                policy=self.options.policy)
-
-        self._backend.map_items(update, range(n_items))
+        noise = rng.standard_normal((n_items, self.config.num_latent))
+        self._engine.update_items(target, source, axis, prior,
+                                  self.config.alpha, noise,
+                                  parallel_map=self._backend.map_items)
         return n_items
 
     def sweep(self, state: BPMFState, ratings: RatingMatrix,

@@ -16,6 +16,7 @@ partitioner to improve locality and balance.
 
 from repro.sparse.coo import CooMatrix
 from repro.sparse.csr import CompressedAxis, RatingMatrix
+from repro.sparse.buckets import DegreeBucket, BucketPlan, build_bucket_plan
 from repro.sparse.split import train_test_split
 from repro.sparse.io import (
     save_ratings_text,
@@ -39,6 +40,9 @@ __all__ = [
     "CooMatrix",
     "CompressedAxis",
     "RatingMatrix",
+    "DegreeBucket",
+    "BucketPlan",
+    "build_bucket_plan",
     "train_test_split",
     "save_ratings_text",
     "load_ratings_text",

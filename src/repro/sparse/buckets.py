@@ -1,0 +1,128 @@
+"""Degree-bucket planning for batched conditional updates.
+
+The batched update engine (:mod:`repro.core.batch_engine`) replaces the
+per-item Python loop with stacked BLAS/LAPACK calls.  Stacking requires
+rectangular gathers: every item in a batch must contribute the same number
+of neighbour rows.  This module groups the elements of a
+:class:`repro.sparse.csr.CompressedAxis` by their exact degree (rating
+count) and precomputes, for every group, the index matrices needed to
+gather the neighbour factor blocks and rating values in one fancy-indexing
+operation.
+
+The plan is purely structural — it depends only on the sparsity pattern,
+never on factor values — so it is built once per rating matrix (or per
+rank-owned subset in the distributed sampler) and reused for every Gibbs
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CompressedAxis
+from repro.utils.validation import ValidationError
+
+__all__ = ["DegreeBucket", "BucketPlan", "build_bucket_plan"]
+
+
+@dataclass(frozen=True)
+class DegreeBucket:
+    """All axis elements that share one exact degree.
+
+    Attributes
+    ----------
+    degree:
+        Number of stored entries of every item in this bucket.
+    items:
+        ``(m,)`` axis indices of the bucket members (ascending).
+    neighbours:
+        ``(m, degree)`` other-axis indices: row ``i`` lists the rating
+        partners of ``items[i]``.  Gathering ``factors[neighbours]`` yields
+        the stacked ``(m, degree, K)`` factor blocks in one operation.
+    values:
+        ``(m, degree)`` rating values aligned with ``neighbours``.
+    """
+
+    degree: int
+    items: np.ndarray
+    neighbours: np.ndarray
+    values: np.ndarray
+
+    @property
+    def n_items(self) -> int:
+        return int(self.items.shape[0])
+
+
+@dataclass(frozen=True)
+class BucketPlan:
+    """The complete degree-bucket decomposition of one compressed axis.
+
+    ``buckets`` are ordered by ascending degree and partition the planned
+    items exactly: every item appears in exactly one bucket.
+    """
+
+    n_items: int
+    buckets: Tuple[DegreeBucket, ...]
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def n_planned_items(self) -> int:
+        """Number of items covered by the plan (== subset size)."""
+        return int(sum(bucket.n_items for bucket in self.buckets))
+
+    def degrees(self) -> np.ndarray:
+        """Distinct degrees present, ascending."""
+        return np.array([bucket.degree for bucket in self.buckets], dtype=np.int64)
+
+
+def build_bucket_plan(axis: CompressedAxis,
+                      items: Optional[np.ndarray] = None) -> BucketPlan:
+    """Group ``axis`` elements (or a subset) into exact-degree buckets.
+
+    Parameters
+    ----------
+    axis:
+        The compressed axis to plan over (``by_movie`` for the movie phase,
+        ``by_user`` for the user phase).
+    items:
+        Optional subset of axis indices to plan (the distributed sampler
+        passes each rank's owned items); defaults to all of them.
+
+    Returns
+    -------
+    A :class:`BucketPlan` whose buckets jointly cover ``items`` exactly
+    once each, ordered by ascending degree.
+    """
+    if items is None:
+        items = np.arange(axis.n, dtype=np.int64)
+    else:
+        items = np.asarray(items, dtype=np.int64)
+        if items.ndim != 1:
+            raise ValidationError("items must be a 1-D index array")
+        if items.size and (items.min() < 0 or items.max() >= axis.n):
+            raise ValidationError(
+                f"items contains indices outside [0, {axis.n})")
+        if np.unique(items).shape[0] != items.shape[0]:
+            raise ValidationError("items contains duplicate indices")
+
+    degrees = np.diff(axis.indptr)[items] if items.size else np.empty(0, np.int64)
+    buckets: List[DegreeBucket] = []
+    for degree in np.unique(degrees):
+        degree = int(degree)
+        members = np.sort(items[degrees == degree])
+        starts = axis.indptr[members].astype(np.int64)
+        # (m, degree) flat positions into indices/values; empty for degree 0.
+        gather = starts[:, None] + np.arange(degree, dtype=np.int64)[None, :]
+        buckets.append(DegreeBucket(
+            degree=degree,
+            items=members,
+            neighbours=axis.indices[gather],
+            values=axis.values[gather],
+        ))
+    return BucketPlan(n_items=axis.n, buckets=tuple(buckets))

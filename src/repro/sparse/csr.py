@@ -35,6 +35,9 @@ class CompressedAxis:
     def __post_init__(self):
         if self.indptr.ndim != 1 or self.indices.ndim != 1 or self.values.ndim != 1:
             raise ValidationError("CompressedAxis arrays must be one-dimensional")
+        if self.indptr.shape[0] < 1:
+            raise ValidationError(
+                "indptr must have at least one entry (length n + 1)")
         if self.indices.shape != self.values.shape:
             raise ValidationError("indices and values must have the same length")
         if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:

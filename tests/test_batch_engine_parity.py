@@ -1,0 +1,253 @@
+"""Parity harness: the batched engine must match the per-item reference.
+
+Every test feeds both engines identical inputs and identical pre-drawn
+noise and requires factor-for-factor agreement to floating-point
+tolerance.  This is the contract that lets later scaling PRs refactor the
+hot path fearlessly: as long as this file passes, an execution-strategy
+change has not changed the sampled chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch_engine import (
+    BatchedUpdateEngine,
+    ReferenceUpdateEngine,
+    available_engines,
+    make_update_engine,
+)
+from repro.core.gibbs import GibbsSampler, SamplerOptions
+from repro.core.priors import BPMFConfig, GaussianPrior
+from repro.core.updates import HybridUpdatePolicy, UpdateMethod
+from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
+from repro.sparse.buckets import build_bucket_plan
+from repro.sparse.csr import CompressedAxis, RatingMatrix
+from repro.utils.validation import ValidationError
+
+#: Engine-vs-engine tolerance.  The two paths share per-item arithmetic up
+#: to the solver used (``cho_solve`` vs LU), so they agree far tighter than
+#: this in practice; the bound leaves room for other BLAS builds.
+TOL = dict(rtol=1e-7, atol=1e-9)
+
+
+def _random_axis(rng, n_items, n_source, degrees) -> CompressedAxis:
+    """A compressed axis with the requested per-item degrees."""
+    degrees = np.asarray(degrees, dtype=np.int64)
+    assert degrees.shape[0] == n_items
+    indptr = np.concatenate([[0], np.cumsum(degrees)]).astype(np.int64)
+    nnz = int(indptr[-1])
+    return CompressedAxis(
+        indptr=indptr,
+        indices=rng.integers(0, n_source, size=nnz).astype(np.int64),
+        values=rng.normal(size=nnz),
+    )
+
+
+def _run_both(axis, n_source, k, method=None, policy=None, items=None, seed=0):
+    """Run one phase through both engines on identical inputs."""
+    rng = np.random.default_rng(seed)
+    source = rng.normal(size=(n_source, k))
+    prior = GaussianPrior(mean=rng.normal(size=k),
+                          precision=np.eye(k) * rng.uniform(0.5, 3.0))
+    noise = rng.standard_normal((axis.n, k))
+    outputs = []
+    for engine_cls in (ReferenceUpdateEngine, BatchedUpdateEngine):
+        engine = engine_cls(update_method=method, policy=policy)
+        target = np.zeros((axis.n, k))
+        engine.update_items(target, source, axis, prior, 2.0, noise,
+                            items=items)
+        outputs.append(target)
+    return outputs
+
+
+class TestPhaseParity:
+    """Engine-level parity on one phase over crafted sparsity patterns."""
+
+    @pytest.mark.parametrize("k", [1, 8, 32])
+    @pytest.mark.parametrize("method", [None, UpdateMethod.RANK_ONE,
+                                        UpdateMethod.SERIAL_CHOLESKY,
+                                        UpdateMethod.PARALLEL_CHOLESKY])
+    def test_mixed_degrees_all_methods(self, k, method):
+        """Heterogeneous degrees spanning all three policy regimes."""
+        rng = np.random.default_rng(7)
+        # Policy with tiny thresholds so every regime is exercised cheaply.
+        policy = HybridUpdatePolicy(parallel_threshold=12,
+                                    rank_one_threshold=4, block_grain=5)
+        degrees = rng.integers(0, 25, size=30)
+        axis = _random_axis(rng, 30, 40, degrees)
+        reference, batched = _run_both(axis, 40, k, method=method,
+                                       policy=policy, seed=k)
+        np.testing.assert_allclose(batched, reference, **TOL)
+
+    @pytest.mark.parametrize("k", [1, 8, 32])
+    def test_degenerate_shapes(self, k):
+        """Items with zero ratings and single-rating items."""
+        rng = np.random.default_rng(3)
+        degrees = np.array([0, 1, 0, 1, 1, 0, 2, 0])
+        axis = _random_axis(rng, 8, 10, degrees)
+        reference, batched = _run_both(axis, 10, k, seed=k + 100)
+        np.testing.assert_allclose(batched, reference, **TOL)
+        # Zero-degree items draw from the bare prior — still finite rows.
+        assert np.isfinite(batched).all()
+
+    def test_all_items_zero_degree(self):
+        """An entirely empty axis (no ratings at all)."""
+        rng = np.random.default_rng(5)
+        axis = _random_axis(rng, 6, 4, np.zeros(6, dtype=np.int64))
+        reference, batched = _run_both(axis, 4, 8)
+        np.testing.assert_allclose(batched, reference, **TOL)
+
+    def test_subset_items_match_full_plan_rows(self):
+        """Distributed-style subsets produce the same rows as the full plan."""
+        rng = np.random.default_rng(11)
+        degrees = rng.integers(0, 15, size=24)
+        axis = _random_axis(rng, 24, 30, degrees)
+        subset = np.array([1, 4, 5, 9, 17, 23])
+
+        full_ref, full_bat = _run_both(axis, 30, 8, seed=42)
+        sub_ref, sub_bat = _run_both(axis, 30, 8, items=subset, seed=42)
+        np.testing.assert_allclose(sub_bat[subset], sub_ref[subset], **TOL)
+        # Subset rows are bitwise identical to the full-plan rows: stacked
+        # LAPACK applies one routine per slice, so an item's sample cannot
+        # depend on which other items share its bucket.
+        np.testing.assert_array_equal(sub_bat[subset], full_bat[subset])
+        # Non-subset rows were never touched.
+        untouched = np.setdiff1d(np.arange(24), subset)
+        assert (sub_bat[untouched] == 0).all()
+
+    def test_noise_rows_consumed_by_global_item_id(self):
+        """Item ``i`` consumes ``noise[i]`` regardless of bucket order."""
+        rng = np.random.default_rng(2)
+        degrees = np.array([3, 1, 3, 1])  # buckets: {1,3} items interleaved
+        axis = _random_axis(rng, 4, 6, degrees)
+        source = rng.normal(size=(6, 5))
+        prior = GaussianPrior.standard(5)
+        noise = rng.standard_normal((4, 5))
+        engine = BatchedUpdateEngine()
+        base = np.zeros((4, 5))
+        engine.update_items(base, source, axis, prior, 2.0, noise)
+        # Perturbing one item's noise row changes only that item's sample.
+        noise2 = noise.copy()
+        noise2[2] += 1.0
+        perturbed = np.zeros((4, 5))
+        BatchedUpdateEngine().update_items(perturbed, source, axis, prior,
+                                           2.0, noise2)
+        assert not np.allclose(perturbed[2], base[2])
+        np.testing.assert_array_equal(perturbed[[0, 1, 3]], base[[0, 1, 3]])
+
+
+class TestSamplerParity:
+    """Full-sweep parity through the sequential sampler."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return make_low_rank_dataset(SyntheticConfig(
+            n_users=50, n_movies=35, rank=3, density=0.3, noise_std=0.25,
+            test_fraction=0.2, seed=77))
+
+    @pytest.mark.parametrize("k", [1, 8, 32])
+    def test_sweep_parity(self, data, k):
+        """Two sweeps, same seed: identical factors to float tolerance."""
+        config = BPMFConfig(num_latent=k, burn_in=1, n_samples=1, alpha=4.0)
+        ref = GibbsSampler(config, SamplerOptions(engine="reference")).run(
+            data.split.train, data.split, seed=5)
+        bat = GibbsSampler(config, SamplerOptions(engine="batched")).run(
+            data.split.train, data.split, seed=5)
+        np.testing.assert_allclose(bat.state.user_factors,
+                                   ref.state.user_factors, rtol=1e-6, atol=1e-8)
+        np.testing.assert_allclose(bat.state.movie_factors,
+                                   ref.state.movie_factors, rtol=1e-6, atol=1e-8)
+        assert bat.final_rmse == pytest.approx(ref.final_rmse, rel=1e-6)
+
+    @pytest.mark.parametrize("method", list(UpdateMethod))
+    def test_sweep_parity_forced_methods(self, data, method):
+        config = BPMFConfig(num_latent=8, burn_in=0, n_samples=1, alpha=4.0)
+        ref = GibbsSampler(config, SamplerOptions(
+            engine="reference", update_method=method)).run(
+            data.split.train, data.split, seed=1)
+        bat = GibbsSampler(config, SamplerOptions(
+            engine="batched", update_method=method)).run(
+            data.split.train, data.split, seed=1)
+        np.testing.assert_allclose(bat.state.user_factors,
+                                   ref.state.user_factors, rtol=1e-6, atol=1e-8)
+
+    def test_rows_with_no_ratings_in_matrix(self):
+        """A rating matrix containing empty users and single-rating movies."""
+        matrix = RatingMatrix.from_arrays(
+            5, 4,
+            np.array([0, 0, 2, 2, 4]), np.array([0, 1, 1, 2, 3]),
+            np.array([4.0, 3.0, 2.0, 5.0, 1.0]))
+        assert (matrix.user_degrees() == 0).any()
+        assert (matrix.movie_degrees() == 1).any()
+        config = BPMFConfig(num_latent=4, burn_in=0, n_samples=1, alpha=2.0)
+        ref = GibbsSampler(config, SamplerOptions(engine="reference")).run(
+            matrix, seed=0)
+        bat = GibbsSampler(config, SamplerOptions(engine="batched")).run(
+            matrix, seed=0)
+        np.testing.assert_allclose(bat.state.user_factors,
+                                   ref.state.user_factors, rtol=1e-6, atol=1e-8)
+        assert np.isfinite(bat.state.user_factors).all()
+
+
+class TestEngineSelection:
+    def test_available_engines(self):
+        assert set(available_engines()) == {"reference", "batched"}
+
+    def test_default_engine_is_batched(self):
+        assert SamplerOptions().engine == "batched"
+        assert isinstance(GibbsSampler().engine, BatchedUpdateEngine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValidationError):
+            make_update_engine("vectorised-harder")
+        with pytest.raises(ValidationError):
+            GibbsSampler(options=SamplerOptions(engine="nope"))
+
+    def test_bucket_plan_cached_per_axis_and_subset(self):
+        rng = np.random.default_rng(0)
+        axis = _random_axis(rng, 10, 12, rng.integers(0, 5, size=10))
+        engine = BatchedUpdateEngine()
+        plan_a = engine._plan_for(axis, None)
+        plan_b = engine._plan_for(axis, None)
+        assert plan_a is plan_b
+        subset = np.array([1, 2, 3])
+        plan_c = engine._plan_for(axis, subset)
+        assert plan_c is not plan_a
+        assert plan_c is engine._plan_for(axis, subset.copy())
+
+
+class TestBucketPlan:
+    def test_plan_partitions_items_exactly(self):
+        rng = np.random.default_rng(9)
+        degrees = rng.integers(0, 6, size=20)
+        axis = _random_axis(rng, 20, 15, degrees)
+        plan = build_bucket_plan(axis)
+        covered = np.concatenate([b.items for b in plan.buckets])
+        assert sorted(covered.tolist()) == list(range(20))
+        for bucket in plan.buckets:
+            assert bucket.neighbours.shape == (bucket.n_items, bucket.degree)
+            assert bucket.values.shape == (bucket.n_items, bucket.degree)
+            np.testing.assert_array_equal(
+                np.diff(axis.indptr)[bucket.items], bucket.degree)
+
+    def test_plan_gathers_match_slices(self):
+        rng = np.random.default_rng(13)
+        axis = _random_axis(rng, 12, 9, rng.integers(0, 7, size=12))
+        plan = build_bucket_plan(axis)
+        for bucket in plan.buckets:
+            for row, item in enumerate(bucket.items):
+                idx, values = axis.slice(int(item))
+                np.testing.assert_array_equal(bucket.neighbours[row], idx)
+                np.testing.assert_array_equal(bucket.values[row], values)
+
+    def test_plan_rejects_bad_subsets(self):
+        rng = np.random.default_rng(1)
+        axis = _random_axis(rng, 5, 5, rng.integers(0, 3, size=5))
+        with pytest.raises(ValidationError):
+            build_bucket_plan(axis, np.array([0, 0]))
+        with pytest.raises(ValidationError):
+            build_bucket_plan(axis, np.array([7]))
+        with pytest.raises(ValidationError):
+            build_bucket_plan(axis, np.array([[0, 1]]))

@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
+from repro.core.batch_engine import BatchedUpdateEngine, ReferenceUpdateEngine
 from repro.core.priors import GaussianPrior, NormalWishartPrior
 from repro.core.updates import (
     cholesky_rank_one_update,
@@ -159,6 +160,76 @@ class TestNumericProperties:
         mean, chol = conditional_distribution(neighbours, ratings, prior, 2.0)
         assert np.isfinite(mean).all()
         assert (np.diag(chol) > 0).all()
+
+    @COMMON_SETTINGS
+    @given(st.integers(1, 6), st.integers(0, 40), st.integers(0, 2**31 - 1),
+           st.floats(0.1, 10.0))
+    def test_conditional_precision_spd_and_symmetric(self, k, n_ratings, seed,
+                                                     alpha):
+        """The posterior precision ``L L^T`` is symmetric positive-definite.
+
+        ``conditional_distribution`` returns the Cholesky factor; the
+        reconstructed precision must be exactly the prior-plus-Gram matrix,
+        symmetric, and with strictly positive eigenvalues — for any rating
+        configuration, including items with zero ratings.
+        """
+        rng = np.random.default_rng(seed)
+        neighbours = rng.normal(size=(n_ratings, k))
+        ratings = rng.normal(size=n_ratings)
+        prior = GaussianPrior(mean=rng.normal(size=k),
+                              precision=np.eye(k) * rng.uniform(0.5, 3.0))
+        _, chol = conditional_distribution(neighbours, ratings, prior, alpha)
+        precision = chol @ chol.T
+        expected = prior.precision + alpha * (neighbours.T @ neighbours)
+        np.testing.assert_allclose(precision, expected, rtol=1e-8, atol=1e-8)
+        np.testing.assert_allclose(precision, precision.T, atol=1e-10)
+        assert (np.linalg.eigvalsh(precision) > 0).all()
+
+    @COMMON_SETTINGS
+    @given(st.integers(1, 6), st.integers(0, 20), st.integers(0, 2**31 - 1),
+           st.floats(0.1, 10.0))
+    def test_rank_one_chain_equals_one_shot_gram(self, k, n_ratings, seed,
+                                                 alpha):
+        """A chain of rank-one updates factorises the same Gram matrix.
+
+        Starting from ``chol(Lambda)`` and applying one update per rating
+        row ``sqrt(alpha) * v_j`` must land on the Cholesky factor of
+        ``Lambda + alpha * V^T V`` — the rank-one kernel's whole premise.
+        """
+        rng = np.random.default_rng(seed)
+        neighbours = rng.normal(size=(n_ratings, k))
+        prior_precision = np.eye(k) * rng.uniform(0.5, 3.0)
+        chol = np.linalg.cholesky(prior_precision)
+        for row in neighbours:
+            chol = cholesky_rank_one_update(chol, np.sqrt(alpha) * row)
+        one_shot = np.linalg.cholesky(
+            prior_precision + alpha * (neighbours.T @ neighbours))
+        np.testing.assert_allclose(chol, one_shot, rtol=1e-6, atol=1e-8)
+
+    @COMMON_SETTINGS
+    @given(st.integers(1, 6), st.integers(2, 12), st.integers(0, 2**31 - 1))
+    def test_batched_engine_matches_reference_engine(self, k, n_items, seed):
+        """Randomised engine parity: stacked kernels == per-item loop."""
+        from repro.sparse.csr import CompressedAxis
+
+        rng = np.random.default_rng(seed)
+        degrees = rng.integers(0, 8, size=n_items)
+        indptr = np.concatenate([[0], np.cumsum(degrees)]).astype(np.int64)
+        n_source = 10
+        axis = CompressedAxis(
+            indptr=indptr,
+            indices=rng.integers(0, n_source, size=int(indptr[-1])).astype(np.int64),
+            values=rng.normal(size=int(indptr[-1])))
+        source = rng.normal(size=(n_source, k))
+        prior = GaussianPrior.standard(k)
+        noise = rng.standard_normal((n_items, k))
+        reference = np.zeros((n_items, k))
+        batched = np.zeros((n_items, k))
+        ReferenceUpdateEngine().update_items(reference, source, axis, prior,
+                                             2.0, noise)
+        BatchedUpdateEngine().update_items(batched, source, axis, prior,
+                                           2.0, noise)
+        np.testing.assert_allclose(batched, reference, rtol=1e-7, atol=1e-9)
 
     @COMMON_SETTINGS
     @given(st.integers(1, 5), st.integers(0, 2**31 - 1))

@@ -111,6 +111,21 @@ class TestCompressedAxis:
             CompressedAxis(indptr=np.array([0, 1]), indices=np.array([0]),
                            values=np.array([1.0, 2.0]))
 
+    def test_empty_indptr_rejected(self):
+        """Length-0 indptr must raise ValidationError, not IndexError."""
+        with pytest.raises(ValidationError):
+            CompressedAxis(indptr=np.empty(0, dtype=np.int64),
+                           indices=np.empty(0, dtype=np.int64),
+                           values=np.empty(0))
+
+    def test_minimal_indptr_is_an_empty_axis(self):
+        """indptr == [0] is the valid empty axis (n == 0, nnz == 0)."""
+        axis = CompressedAxis(indptr=np.zeros(1, dtype=np.int64),
+                              indices=np.empty(0, dtype=np.int64),
+                              values=np.empty(0))
+        assert axis.n == 0
+        assert axis.nnz == 0
+
     def test_degree_and_slice(self, simple_ratings):
         axis = simple_ratings.by_user
         assert axis.n == 4
