@@ -27,6 +27,7 @@ Package map
 ``repro.multicore``     shared-memory parallel BPMF (Figure 3)
 ``repro.mpi``           simulated MPI world, network model, tracing
 ``repro.distributed``   distributed BPMF and the strong-scaling model (Figures 4-5)
+``repro.serving``       posterior snapshots, exact resume, online serving
 ``repro.bench``         one driver per figure/claim of the paper
 """
 
@@ -58,6 +59,14 @@ from repro.distributed import (
     strong_scaling_study,
 )
 from repro.multicore import MulticoreGibbsSampler, MulticoreOptions, multicore_thread_sweep
+from repro.serving import (
+    CheckpointConfig,
+    PredictionService,
+    Snapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot_from_result,
+)
 from repro.sparse import RatingMatrix, train_test_split
 
 __version__ = "1.0.0"
@@ -91,6 +100,12 @@ __all__ = [
     "MulticoreGibbsSampler",
     "MulticoreOptions",
     "multicore_thread_sweep",
+    "CheckpointConfig",
+    "PredictionService",
+    "Snapshot",
+    "load_snapshot",
+    "save_snapshot",
+    "snapshot_from_result",
     "RatingMatrix",
     "train_test_split",
 ]

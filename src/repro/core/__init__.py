@@ -48,7 +48,11 @@ from repro.core.batch_engine import (
     make_update_engine,
 )
 from repro.core.gibbs import GibbsSampler, SamplerOptions, BPMFResult
-from repro.core.predict import PosteriorPredictor, predict_ratings
+from repro.core.predict import (
+    FactorMeanAccumulator,
+    PosteriorPredictor,
+    predict_ratings,
+)
 from repro.core.metrics import rmse, mae, coverage_interval
 from repro.core.diagnostics import (
     ChainDiagnostics,
@@ -93,6 +97,7 @@ __all__ = [
     "SamplerOptions",
     "BPMFResult",
     "PosteriorPredictor",
+    "FactorMeanAccumulator",
     "predict_ratings",
     "rmse",
     "mae",

@@ -12,14 +12,15 @@ against.  One sweep:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Union
 
 import numpy as np
 
 from repro.core.batch_engine import UpdateEngine, make_update_engine
 from repro.core.metrics import rmse
-from repro.core.predict import PosteriorPredictor
+from repro.core.predict import FactorMeanAccumulator, PosteriorPredictor
 from repro.core.priors import BPMFConfig
 from repro.core.state import BPMFState, initialize_state
 from repro.core.updates import HybridUpdatePolicy, UpdateMethod
@@ -30,7 +31,13 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import ValidationError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving -> core)
+    from repro.serving.checkpoint import CheckpointConfig, Snapshot
+
 __all__ = ["SamplerOptions", "BPMFResult", "GibbsSampler"]
+
+#: A resume source: an in-memory snapshot or a path to a saved one.
+ResumeLike = Union["Snapshot", str, "os.PathLike"]
 
 logger = get_logger("core.gibbs")
 
@@ -56,6 +63,10 @@ class SamplerOptions:
     keeps the historical per-item loop.  Both consume the same random
     stream, so the two engines sample from identical chains up to
     floating-point rounding (see ``tests/test_batch_engine_parity.py``).
+
+    ``checkpoint`` (a :class:`repro.serving.checkpoint.CheckpointConfig`)
+    enables save-every-k-sweeps posterior snapshots; a run resumed from one
+    (``run(..., resume=...)``) is bit-identical to an uninterrupted run.
     """
 
     update_method: Optional[UpdateMethod] = None
@@ -64,6 +75,7 @@ class SamplerOptions:
     keep_sample_predictions: bool = False
     verbose: bool = False
     callback: Optional[Callable[["BPMFState", int], None]] = None
+    checkpoint: Optional["CheckpointConfig"] = None
 
     def make_engine(self) -> UpdateEngine:
         """Build the configured :class:`UpdateEngine` instance."""
@@ -91,6 +103,10 @@ class BPMFResult:
         Final posterior-mean predictions for the test points.
     sample_predictions:
         Per-sample prediction matrix when requested, else ``None``.
+    factor_means:
+        Running posterior-mean factor accumulator over the post-burn-in
+        samples — what a snapshot serves from; ``None`` when no sample was
+        accumulated (burn-in-only runs).
     """
 
     config: BPMFConfig
@@ -101,6 +117,7 @@ class BPMFResult:
     predictions: np.ndarray
     sample_predictions: Optional[np.ndarray] = None
     items_updated: int = 0
+    factor_means: Optional[FactorMeanAccumulator] = None
 
     @property
     def final_rmse(self) -> float:
@@ -183,7 +200,8 @@ class GibbsSampler:
     # -- full run -----------------------------------------------------------
 
     def run(self, train: RatingMatrix, split: RatingSplit | None = None,
-            seed: SeedLike = 0, state: BPMFState | None = None) -> BPMFResult:
+            seed: SeedLike = 0, state: BPMFState | None = None,
+            resume: Optional[ResumeLike] = None) -> BPMFResult:
         """Run burn-in plus sampling sweeps and return the result bundle.
 
         Parameters
@@ -198,8 +216,19 @@ class GibbsSampler:
             Random seed or generator.
         state:
             Optional pre-initialised state (used by warm-start experiments).
+        resume:
+            Snapshot (or path to one) to continue from: the chain restarts
+            at the checkpointed sweep with the checkpointed generator state
+            and accumulators, so the completed run is bit-identical to one
+            that never stopped.  ``keep_sample_predictions`` only collects
+            post-resume samples (per-sample vectors are not checkpointed).
         """
+        # Imported lazily: repro.serving depends on repro.core, so the
+        # checkpoint layer cannot be a module-level import here.
+        from repro.serving.checkpoint import TrainingCheckpointer
+
         rng = as_generator(seed)
+        snapshot, state, rng = TrainingCheckpointer.open_resume(resume, state, rng)
         if state is None:
             state = initialize_state(train, self.config, rng)
         if state.n_users != train.n_users or state.n_movies != train.n_movies:
@@ -213,37 +242,40 @@ class GibbsSampler:
         predictor = PosteriorPredictor(
             test_users, test_movies,
             keep_samples=self.options.keep_sample_predictions)
-        rmse_burn_in: List[float] = []
-        rmse_per_sample: List[float] = []
-        rmse_running_mean: List[float] = []
-        items_updated = 0
+        checkpointer = TrainingCheckpointer(self.config, self.options.checkpoint,
+                                            snapshot, state, predictor)
 
-        for iteration in range(self.config.total_iterations):
-            items_updated += self.sweep(state, train, rng)
+        for iteration in range(checkpointer.start_iteration,
+                               self.config.total_iterations):
+            checkpointer.items_updated += self.sweep(state, train, rng)
             sample_pred = state.predict(test_users, test_movies)
-            if iteration < self.config.burn_in:
-                rmse_burn_in.append(rmse(sample_pred, test_values))
-            else:
+            if iteration >= self.config.burn_in:
                 predictor.accumulate(state)
-                rmse_per_sample.append(rmse(sample_pred, test_values))
-                rmse_running_mean.append(
-                    rmse(predictor.mean_prediction(), test_values))
+                mean_rmse = rmse(predictor.mean_prediction(), test_values)
+            else:
+                mean_rmse = None
+            checkpointer.record(iteration, state,
+                                rmse(sample_pred, test_values), mean_rmse)
             if self.options.verbose:
                 phase = "burn-in" if iteration < self.config.burn_in else "sample"
-                latest = (rmse_burn_in or rmse_running_mean)[-1] \
-                    if iteration < self.config.burn_in else rmse_running_mean[-1]
+                latest = (checkpointer.rmse_burn_in
+                          if iteration < self.config.burn_in
+                          else checkpointer.rmse_running_mean)[-1]
                 logger.info("iter %d (%s): rmse=%.4f", iteration, phase, latest)
             if self.options.callback is not None:
                 self.options.callback(state, iteration)
+            checkpointer.maybe_save(iteration, state, rng, predictor)
 
         return BPMFResult(
             config=self.config,
             state=state,
-            rmse_per_sample=rmse_per_sample,
-            rmse_running_mean=rmse_running_mean,
-            rmse_burn_in=rmse_burn_in,
+            rmse_per_sample=checkpointer.rmse_per_sample,
+            rmse_running_mean=checkpointer.rmse_running_mean,
+            rmse_burn_in=checkpointer.rmse_burn_in,
             predictions=predictor.mean_prediction(),
             sample_predictions=(predictor.sample_matrix()
                                 if self.options.keep_sample_predictions else None),
-            items_updated=items_updated,
+            items_updated=checkpointer.items_updated,
+            factor_means=(checkpointer.factor_means
+                          if checkpointer.factor_means.n_samples else None),
         )

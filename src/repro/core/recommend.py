@@ -104,19 +104,27 @@ def ranking_metrics(
     recommendations: Dict[int, Recommendation],
     held_out: RatingMatrix,
     relevant_threshold: float = 0.0,
+    strict: bool = True,
 ) -> Dict[str, float]:
     """Precision@N, recall@N and MRR of recommendations against held-out ratings.
 
     An item is *relevant* for a user when it appears in ``held_out`` for that
     user with a value strictly greater than ``relevant_threshold`` (use the
-    user's mean or e.g. 3.5 stars for rating data).  Users with no relevant
-    held-out items are skipped.
+    user's mean or e.g. 3.5 stars for rating data).  Users with zero held-out
+    items — including users outside ``held_out``'s row range, such as fold-in
+    users added after training — are skipped, never averaged in as NaN.
+    When *no* user is evaluable the default is to raise; ``strict=False``
+    instead returns all-zero metrics with ``n_users_evaluated == 0`` (what a
+    monitoring pipeline wants for an empty evaluation window).
     """
     precisions: List[float] = []
     recalls: List[float] = []
     reciprocal_ranks: List[float] = []
     for user, recommendation in recommendations.items():
-        items, values = held_out.user_ratings(int(user))
+        user = int(user)
+        if not 0 <= user < held_out.n_users:
+            continue
+        items, values = held_out.user_ratings(user)
         relevant = set(items[values > relevant_threshold].tolist())
         if not relevant:
             continue
@@ -128,7 +136,10 @@ def ranking_metrics(
                      if item in relevant), None)
         reciprocal_ranks.append(1.0 / rank if rank else 0.0)
     if not precisions:
-        raise ValidationError("no user had relevant held-out items to evaluate")
+        if strict:
+            raise ValidationError("no user had relevant held-out items to evaluate")
+        return {"precision": 0.0, "recall": 0.0, "mrr": 0.0,
+                "n_users_evaluated": 0.0}
     return {
         "precision": float(np.mean(precisions)),
         "recall": float(np.mean(recalls)),

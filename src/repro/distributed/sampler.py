@@ -27,12 +27,12 @@ sequential reference — the accuracy-parity tests exploit exactly this.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.batch_engine import make_update_engine
-from repro.core.gibbs import BPMFResult
+from repro.core.gibbs import BPMFResult, ResumeLike
 from repro.core.metrics import rmse
 from repro.core.predict import PosteriorPredictor
 from repro.core.priors import BPMFConfig, GaussianPrior
@@ -53,6 +53,9 @@ from repro.sparse.split import RatingSplit
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import ValidationError, check_in, check_positive
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving -> core)
+    from repro.serving.checkpoint import CheckpointConfig
+
 __all__ = ["DistributedOptions", "DistributedGibbsSampler", "DistributedRunInfo"]
 
 _PHASE_TAGS = {"movies": 1, "users": 2}
@@ -60,7 +63,15 @@ _PHASE_TAGS = {"movies": 1, "users": 2}
 
 @dataclass
 class DistributedOptions:
-    """Execution options of the distributed sampler."""
+    """Execution options of the distributed sampler.
+
+    ``checkpoint`` enables save-every-k-sweeps posterior snapshots of the
+    authoritative gathered state.  At a sweep boundary every rank's copy of
+    each factor row it will read next sweep equals the authoritative row
+    (they were exchanged at the end of the phase that last wrote them), so
+    resuming by handing all ranks the gathered state reproduces the
+    uninterrupted chain exactly.
+    """
 
     n_ranks: int = 4
     buffer_capacity: int = 64
@@ -71,6 +82,7 @@ class DistributedOptions:
     engine: str = "batched"  # update execution strategy (see core.batch_engine)
     workload: WorkloadModel = field(default_factory=WorkloadModel)
     keep_sample_predictions: bool = False
+    checkpoint: Optional["CheckpointConfig"] = None
 
     def __post_init__(self):
         check_positive("n_ranks", self.n_ranks)
@@ -291,11 +303,30 @@ class DistributedGibbsSampler:
     # ------------------------------------------------------------------ #
 
     def run(self, train: RatingMatrix, split: RatingSplit | None = None,
-            seed: SeedLike = 0,
-            partition: Partition | None = None) -> Tuple[BPMFResult, DistributedRunInfo]:
-        """Run the distributed sampler; returns ``(result, diagnostics)``."""
+            seed: SeedLike = 0, partition: Partition | None = None,
+            resume: Optional[ResumeLike] = None) -> Tuple[BPMFResult, DistributedRunInfo]:
+        """Run the distributed sampler; returns ``(result, diagnostics)``.
+
+        ``resume`` continues a checkpointed chain: every rank is seeded with
+        the snapshot's authoritative factor matrices (exactly what its own
+        copies held at that sweep boundary — see :class:`DistributedOptions`)
+        and the generator state is restored, so the completed run matches an
+        uninterrupted one bit for bit.  Traffic diagnostics
+        (:class:`DistributedRunInfo`) restart from zero at the resume point.
+        """
+        from repro.serving.checkpoint import TrainingCheckpointer
+
         rng = as_generator(seed)
-        reference_state = initialize_state(train, self.config, rng)
+        snapshot, resumed_state, rng = TrainingCheckpointer.open_resume(
+            resume, None, rng)
+        if resumed_state is not None:
+            if resumed_state.n_users != train.n_users \
+                    or resumed_state.n_movies != train.n_movies:
+                raise ValidationError(
+                    "snapshot shape does not match the rating matrix")
+            reference_state = resumed_state
+        else:
+            reference_state = initialize_state(train, self.config, rng)
 
         if partition is None:
             partition = partition_ratings(
@@ -320,41 +351,42 @@ class DistributedGibbsSampler:
         predictor = PosteriorPredictor(
             test_users, test_movies,
             keep_samples=self.options.keep_sample_predictions)
+        checkpointer = TrainingCheckpointer(self.config, self.options.checkpoint,
+                                            snapshot, reference_state, predictor)
 
-        rmse_burn_in: List[float] = []
-        rmse_per_sample: List[float] = []
-        rmse_running_mean: List[float] = []
         buffer_stats = BufferStats()
-        items_updated = 0
         user_prior = GaussianPrior.standard(self.config.num_latent)
         movie_prior = GaussianPrior.standard(self.config.num_latent)
-        gathered = None
+        gathered = reference_state if snapshot is not None else None
 
-        for iteration in range(self.config.total_iterations):
+        for iteration in range(checkpointer.start_iteration,
+                               self.config.total_iterations):
             movie_prior = self._sample_prior("movies", rank_states, partition,
                                              comms, rng, iteration)
             movie_noise = rng.standard_normal((train.n_movies,
                                                self.config.num_latent))
-            items_updated += self._run_phase("movies", train, rank_states, partition,
-                                             plan, comms, movie_prior, movie_noise,
-                                             buffer_stats)
+            checkpointer.items_updated += self._run_phase(
+                "movies", train, rank_states, partition, plan, comms,
+                movie_prior, movie_noise, buffer_stats)
             user_prior = self._sample_prior("users", rank_states, partition,
                                             comms, rng, iteration)
             user_noise = rng.standard_normal((train.n_users,
                                               self.config.num_latent))
-            items_updated += self._run_phase("users", train, rank_states, partition,
-                                             plan, comms, user_prior, user_noise,
-                                             buffer_stats)
+            checkpointer.items_updated += self._run_phase(
+                "users", train, rank_states, partition, plan, comms,
+                user_prior, user_noise, buffer_stats)
 
             gathered = self._gather_state(rank_states, partition, comms,
                                           user_prior, movie_prior, iteration + 1)
             sample_pred = gathered.predict(test_users, test_movies)
-            if iteration < self.config.burn_in:
-                rmse_burn_in.append(rmse(sample_pred, test_values))
-            else:
+            if iteration >= self.config.burn_in:
                 predictor.accumulate(gathered)
-                rmse_per_sample.append(rmse(sample_pred, test_values))
-                rmse_running_mean.append(rmse(predictor.mean_prediction(), test_values))
+                mean_rmse = rmse(predictor.mean_prediction(), test_values)
+            else:
+                mean_rmse = None
+            checkpointer.record(iteration, gathered,
+                                rmse(sample_pred, test_values), mean_rmse)
+            checkpointer.maybe_save(iteration, gathered, rng, predictor)
 
         if world.pending_messages():
             raise ValidationError(
@@ -365,13 +397,15 @@ class DistributedGibbsSampler:
         result = BPMFResult(
             config=self.config,
             state=gathered,
-            rmse_per_sample=rmse_per_sample,
-            rmse_running_mean=rmse_running_mean,
-            rmse_burn_in=rmse_burn_in,
+            rmse_per_sample=checkpointer.rmse_per_sample,
+            rmse_running_mean=checkpointer.rmse_running_mean,
+            rmse_burn_in=checkpointer.rmse_burn_in,
             predictions=predictor.mean_prediction(),
             sample_predictions=(predictor.sample_matrix()
                                 if self.options.keep_sample_predictions else None),
-            items_updated=items_updated,
+            items_updated=checkpointer.items_updated,
+            factor_means=(checkpointer.factor_means
+                          if checkpointer.factor_means.n_samples else None),
         )
         info = DistributedRunInfo(
             partition=partition,

@@ -16,12 +16,12 @@ random state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.core.batch_engine import BatchedUpdateEngine, make_update_engine
-from repro.core.gibbs import BPMFResult
+from repro.core.gibbs import BPMFResult, ResumeLike
 from repro.core.metrics import rmse
 from repro.core.predict import PosteriorPredictor
 from repro.core.priors import BPMFConfig
@@ -34,6 +34,9 @@ from repro.sparse.split import RatingSplit
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import ValidationError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving -> core)
+    from repro.serving.checkpoint import CheckpointConfig
+
 __all__ = ["MulticoreOptions", "MulticoreGibbsSampler"]
 
 
@@ -45,6 +48,11 @@ class MulticoreOptions:
     :class:`repro.core.batch_engine.UpdateEngine`).  With ``"batched"``
     (default) the thread pool maps over degree buckets — each a stacked
     LAPACK call over disjoint items — instead of over individual items.
+
+    ``checkpoint`` enables save-every-k-sweeps posterior snapshots, exactly
+    as in :class:`repro.core.gibbs.SamplerOptions`; because the parallel
+    sampler consumes the same random stream as the sequential one, a chain
+    checkpointed under one backend can resume under the other.
     """
 
     n_threads: int = 1
@@ -53,6 +61,7 @@ class MulticoreOptions:
     policy: HybridUpdatePolicy = field(default_factory=HybridUpdatePolicy)
     engine: str = "batched"
     keep_sample_predictions: bool = False
+    checkpoint: Optional["CheckpointConfig"] = None
 
 
 class MulticoreGibbsSampler:
@@ -120,9 +129,13 @@ class MulticoreGibbsSampler:
     # -- full run -------------------------------------------------------------
 
     def run(self, train: RatingMatrix, split: RatingSplit | None = None,
-            seed: SeedLike = 0, state: BPMFState | None = None) -> BPMFResult:
+            seed: SeedLike = 0, state: BPMFState | None = None,
+            resume: Optional[ResumeLike] = None) -> BPMFResult:
         """Run the sampler; mirrors :meth:`repro.core.gibbs.GibbsSampler.run`."""
+        from repro.serving.checkpoint import TrainingCheckpointer
+
         rng = as_generator(seed)
+        snapshot, state, rng = TrainingCheckpointer.open_resume(resume, state, rng)
         if state is None:
             state = initialize_state(train, self.config, rng)
         if state.n_users != train.n_users or state.n_movies != train.n_movies:
@@ -136,29 +149,32 @@ class MulticoreGibbsSampler:
         predictor = PosteriorPredictor(
             test_users, test_movies,
             keep_samples=self.options.keep_sample_predictions)
-        rmse_burn_in: List[float] = []
-        rmse_per_sample: List[float] = []
-        rmse_running_mean: List[float] = []
-        items_updated = 0
+        checkpointer = TrainingCheckpointer(self.config, self.options.checkpoint,
+                                            snapshot, state, predictor)
 
-        for iteration in range(self.config.total_iterations):
-            items_updated += self.sweep(state, train, rng)
+        for iteration in range(checkpointer.start_iteration,
+                               self.config.total_iterations):
+            checkpointer.items_updated += self.sweep(state, train, rng)
             sample_pred = state.predict(test_users, test_movies)
-            if iteration < self.config.burn_in:
-                rmse_burn_in.append(rmse(sample_pred, test_values))
-            else:
+            if iteration >= self.config.burn_in:
                 predictor.accumulate(state)
-                rmse_per_sample.append(rmse(sample_pred, test_values))
-                rmse_running_mean.append(rmse(predictor.mean_prediction(), test_values))
+                mean_rmse = rmse(predictor.mean_prediction(), test_values)
+            else:
+                mean_rmse = None
+            checkpointer.record(iteration, state,
+                                rmse(sample_pred, test_values), mean_rmse)
+            checkpointer.maybe_save(iteration, state, rng, predictor)
 
         return BPMFResult(
             config=self.config,
             state=state,
-            rmse_per_sample=rmse_per_sample,
-            rmse_running_mean=rmse_running_mean,
-            rmse_burn_in=rmse_burn_in,
+            rmse_per_sample=checkpointer.rmse_per_sample,
+            rmse_running_mean=checkpointer.rmse_running_mean,
+            rmse_burn_in=checkpointer.rmse_burn_in,
             predictions=predictor.mean_prediction(),
             sample_predictions=(predictor.sample_matrix()
                                 if self.options.keep_sample_predictions else None),
-            items_updated=items_updated,
+            items_updated=checkpointer.items_updated,
+            factor_means=(checkpointer.factor_means
+                          if checkpointer.factor_means.n_samples else None),
         )

@@ -1,0 +1,47 @@
+"""Posterior snapshot store + online serving subsystem.
+
+The training side of this repository ends with a fitted posterior in
+memory; this package is what happens *after* training in a production
+recommender:
+
+* :mod:`repro.serving.checkpoint` — versioned, integrity-checked ``.npz``
+  posterior snapshots with exact-resume support (the samplers' checkpoint
+  hook lives here too);
+* :mod:`repro.serving.service` — :class:`PredictionService`: predictions,
+  micro-batched lookups and top-N ranked retrieval over one or more
+  snapshots, with an LRU score cache;
+* :mod:`repro.serving.foldin` — conditional-Gaussian fold-in for
+  cold-start users, executed through the batched block-Cholesky engine;
+* ``python -m repro.serving`` — train → snapshot → serve → query from the
+  command line.
+"""
+
+from repro.serving.checkpoint import (
+    SNAPSHOT_FORMAT,
+    CheckpointConfig,
+    Snapshot,
+    coerce_snapshot,
+    load_snapshot,
+    restore_generator,
+    save_snapshot,
+    snapshot_from_result,
+)
+from repro.serving.foldin import fold_in_posterior, fold_in_user, fold_in_users
+from repro.serving.service import MicroBatcher, PendingPrediction, PredictionService
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "CheckpointConfig",
+    "Snapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "coerce_snapshot",
+    "restore_generator",
+    "snapshot_from_result",
+    "fold_in_users",
+    "fold_in_user",
+    "fold_in_posterior",
+    "PredictionService",
+    "MicroBatcher",
+    "PendingPrediction",
+]

@@ -1,0 +1,162 @@
+"""Cold-start fold-in: conditional posteriors for users unseen at training.
+
+A new user with observed ratings ``r`` on items ``X`` has the same
+conditional Gaussian as any training user,
+
+.. math::
+
+    U_u \\mid \\cdot \\sim \\mathcal{N}\\big(\\Lambda_*^{-1} m_*,
+    \\Lambda_*^{-1}\\big), \\quad
+    \\Lambda_* = \\Lambda_U + \\alpha X^\\top X, \\quad
+    m_* = \\Lambda_U \\mu_U + \\alpha X^\\top r,
+
+evaluated against the *fixed* posterior item factors — the PMF-style
+fold-in.  Rather than reimplementing that linear algebra, this module
+builds a one-phase :class:`~repro.sparse.csr.CompressedAxis` over the new
+users' ratings and pushes it through the batched block-Cholesky engine
+(:class:`~repro.core.batch_engine.BatchedUpdateEngine`): with zero noise
+the engine's ``mean + L^{-T} z`` sample *is* the posterior mean, and with
+real noise it is a posterior sample.  Folding in a thousand cold-start
+users therefore costs one stacked LAPACK pass per distinct degree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batch_engine import BatchedUpdateEngine
+from repro.core.priors import GaussianPrior
+from repro.core.updates import conditional_distribution
+from repro.sparse.csr import CompressedAxis
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["fold_in_users", "fold_in_user", "fold_in_posterior"]
+
+
+def _ragged_axis(item_lists: Sequence[np.ndarray],
+                 value_lists: Sequence[np.ndarray],
+                 n_items: int) -> CompressedAxis:
+    """Compress per-user ragged rating lists into one phase axis."""
+    if len(item_lists) != len(value_lists):
+        raise ValidationError("item_lists and value_lists must align")
+    indices = [np.asarray(items, dtype=np.int64).ravel()
+               for items in item_lists]
+    values = [np.asarray(vals, dtype=np.float64).ravel()
+              for vals in value_lists]
+    for user, (idx, val) in enumerate(zip(indices, values)):
+        if idx.shape != val.shape:
+            raise ValidationError(
+                f"fold-in user {user}: {idx.shape[0]} items but "
+                f"{val.shape[0]} values")
+        if idx.size and (idx.min() < 0 or idx.max() >= n_items):
+            raise ValidationError(
+                f"fold-in user {user}: item index outside [0, {n_items})")
+    lengths = np.array([idx.shape[0] for idx in indices], dtype=np.int64)
+    indptr = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    return CompressedAxis(
+        indptr=indptr,
+        indices=(np.concatenate(indices) if indices
+                 else np.empty(0, dtype=np.int64)),
+        values=(np.concatenate(values) if values
+                else np.empty(0, dtype=np.float64)),
+    )
+
+
+def fold_in_users(
+    item_factors: np.ndarray,
+    prior: GaussianPrior,
+    alpha: float,
+    item_lists: Sequence[np.ndarray],
+    value_lists: Sequence[np.ndarray],
+    noise: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Posterior factor rows for a batch of unseen users.
+
+    Parameters
+    ----------
+    item_factors:
+        ``(n_items, K)`` posterior item factors (a snapshot's mean factors
+        or the last Gibbs sample).
+    prior:
+        The user-class Gaussian prior ``(mu_U, Lambda_U)`` from the same
+        snapshot.
+    alpha:
+        Observation precision the chain was trained with.
+    item_lists, value_lists:
+        Per-user ragged arrays of rated item indices and rating values
+        (already on the training scale, i.e. with any offset removed).
+        A user with no ratings folds in to the prior mean.
+    noise:
+        Optional ``(n_new, K)`` standard-normal rows.  Default (``None``)
+        uses zeros, which makes every returned row the exact conditional
+        posterior *mean*; pass real noise to draw posterior *samples*
+        instead.
+
+    Returns
+    -------
+    ``(n_new, K)`` factor rows, one per folded-in user.
+    """
+    check_positive("alpha", alpha)
+    item_factors = np.asarray(item_factors, dtype=np.float64)
+    if item_factors.ndim != 2:
+        raise ValidationError("item_factors must be 2-D (n_items x K)")
+    k = prior.num_latent
+    if item_factors.shape[1] != k:
+        raise ValidationError(
+            f"item_factors have K={item_factors.shape[1]} but the prior "
+            f"has K={k}")
+
+    axis = _ragged_axis(item_lists, value_lists, item_factors.shape[0])
+    n_new = axis.n
+    if noise is None:
+        noise = np.zeros((n_new, k))
+    else:
+        noise = np.asarray(noise, dtype=np.float64)
+        if noise.shape != (n_new, k):
+            raise ValidationError(
+                f"noise must have shape ({n_new}, {k}), got {noise.shape}")
+
+    target = np.zeros((n_new, k))
+    BatchedUpdateEngine().update_items(target, item_factors, axis, prior,
+                                       alpha, noise)
+    return target
+
+
+def fold_in_user(
+    item_factors: np.ndarray,
+    prior: GaussianPrior,
+    alpha: float,
+    items: np.ndarray,
+    values: np.ndarray,
+    noise: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Posterior factor row for one unseen user (see :func:`fold_in_users`)."""
+    noise_rows = None if noise is None else np.asarray(noise)[None, :]
+    return fold_in_users(item_factors, prior, alpha, [items], [values],
+                         noise=noise_rows)[0]
+
+
+def fold_in_posterior(
+    item_factors: np.ndarray,
+    prior: GaussianPrior,
+    alpha: float,
+    items: np.ndarray,
+    values: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Full conditional posterior ``(mean, chol_precision)`` for one user.
+
+    For callers that need the posterior *uncertainty* (e.g. exploration
+    bonuses), not just a point estimate.  ``chol_precision`` is the lower
+    Cholesky factor of ``Lambda_* = Lambda + alpha X^T X``.
+    """
+    item_factors = np.asarray(item_factors, dtype=np.float64)
+    items = np.asarray(items, dtype=np.int64).ravel()
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if items.shape != values.shape:
+        raise ValidationError("items and values must align")
+    if items.size and (items.min() < 0 or items.max() >= item_factors.shape[0]):
+        raise ValidationError(
+            f"item index outside [0, {item_factors.shape[0]})")
+    return conditional_distribution(item_factors[items], values, prior, alpha)

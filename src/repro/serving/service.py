@@ -1,0 +1,384 @@
+"""Online prediction/ranking service over persisted posterior snapshots.
+
+:class:`PredictionService` is the read path of the system: it loads one or
+more snapshots (averaging multiple chains when given several), precomputes
+a C-contiguous item-factor block for fast ranked retrieval, and answers
+
+* ``predict(user, item)`` / ``predict_batch`` — rating predictions with
+  the training offset restored and optional clipping;
+* ``top_n(user)`` — ranked recommendations, identical (same selection and
+  tie-breaking) to :func:`repro.core.recommend.recommend_for_user` on the
+  equivalent in-memory state;
+* ``fold_in(items, values)`` — register a cold-start user never seen at
+  training time (:mod:`repro.serving.foldin`) and serve them like any
+  other user.
+
+Two serving-throughput mechanisms are built in:
+
+* a bounded **LRU score cache** of per-user full score vectors, so repeat
+  ``top_n``/score traffic for hot users costs one dict lookup instead of a
+  GEMV;
+* **request micro-batching** (:class:`MicroBatcher`): single-pair lookups
+  are queued and executed as one vectorized gather when the batch fills or
+  a result is demanded — the classic trick for amortizing per-request
+  overhead under heavy traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.priors import GaussianPrior
+from repro.core.recommend import Recommendation
+from repro.core.state import BPMFState
+from repro.serving.checkpoint import PathLike, Snapshot, coerce_snapshot
+from repro.serving.foldin import fold_in_users
+from repro.sparse.csr import RatingMatrix
+from repro.utils.validation import ValidationError, check_in, check_positive
+
+__all__ = ["PredictionService", "MicroBatcher", "PendingPrediction"]
+
+SnapshotLike = Union[Snapshot, PathLike]
+
+
+class PredictionService:
+    """Serves predictions and rankings from posterior snapshots.
+
+    Parameters
+    ----------
+    snapshots:
+        One snapshot (or path), or a sequence of them.  Several snapshots —
+        e.g. independent chains, or snapshots taken along one chain — are
+        combined into a single factor model: ``mode="mean"`` pools their
+        posterior-mean accumulators (weighted by sample counts), while
+        ``mode="last"`` averages their last Gibbs samples.
+    mode:
+        ``"mean"`` (default) serves from posterior-mean factors, falling
+        back to the last sample for snapshots that never left burn-in;
+        ``"last"`` serves from the last Gibbs sample — the mode that
+        reproduces in-memory ``recommend_for_user`` results exactly.
+    train:
+        Optional training rating matrix; when provided, ``top_n`` excludes
+        items the user already rated (the standard serving rule).
+    clip:
+        Optional ``(low, high)`` rating range applied to served scores.
+    cache_size:
+        Maximum number of per-user score vectors kept in the LRU cache.
+    """
+
+    def __init__(self, snapshots: Union[SnapshotLike, Sequence[SnapshotLike]],
+                 mode: str = "mean", train: Optional[RatingMatrix] = None,
+                 clip: Optional[Tuple[float, float]] = None,
+                 cache_size: int = 256):
+        check_in("mode", mode, ("mean", "last"))
+        check_positive("cache_size", cache_size)
+        if isinstance(snapshots, (Snapshot, str)) or hasattr(snapshots, "__fspath__"):
+            snapshots = [snapshots]
+        loaded = [coerce_snapshot(source) for source in snapshots]
+        if not loaded:
+            raise ValidationError("at least one snapshot is required")
+        if clip is not None and clip[0] > clip[1]:
+            raise ValidationError(f"invalid clip range {clip}")
+
+        shapes = {(snap.state.n_users, snap.state.n_movies, snap.state.num_latent)
+                  for snap in loaded}
+        if len(shapes) > 1:
+            raise ValidationError(
+                f"snapshots disagree on factor shapes: {sorted(shapes)}")
+        offsets = {float(snap.offset) for snap in loaded}
+        if len(offsets) > 1:
+            raise ValidationError(
+                f"snapshots disagree on the rating offset: {sorted(offsets)}")
+
+        user_factors, item_factors = self._combine(loaded, mode)
+        self.mode = mode
+        self.offset = float(loaded[0].offset)
+        self.clip = clip
+        # C-contiguous blocks: top_n is one GEMV against the item block.
+        # The user block lives in a geometrically grown buffer so fold-in
+        # registration is amortized O(K), not O(n_users) per request;
+        # `_user_factors` is always the view of the rows in use.
+        self._user_buffer = np.ascontiguousarray(user_factors)
+        self._user_factors = self._user_buffer
+        self._item_factors = np.ascontiguousarray(item_factors)
+        self._n_train_users = int(user_factors.shape[0])
+        self._user_prior: GaussianPrior = loaded[0].state.user_prior.copy()
+        self._movie_prior: GaussianPrior = loaded[0].state.movie_prior.copy()
+        self._alpha = loaded[0].alpha
+        self._train = train
+        if train is not None and (train.n_users != self._n_train_users
+                                  or train.n_movies != self.n_items):
+            raise ValidationError(
+                "train matrix shape does not match the snapshot factors")
+        self._cache_size = int(cache_size)
+        self._score_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.n_snapshots = len(loaded)
+
+    @staticmethod
+    def _combine(loaded: List[Snapshot], mode: str) -> Tuple[np.ndarray, np.ndarray]:
+        if mode == "last":
+            user = np.mean([snap.state.user_factors for snap in loaded], axis=0)
+            item = np.mean([snap.state.movie_factors for snap in loaded], axis=0)
+            return user, item
+        # "mean": pool the running sums so chains with more retained samples
+        # weigh proportionally; snapshots without samples fall back to their
+        # last state with weight 1.
+        user_sum = np.zeros_like(loaded[0].state.user_factors)
+        item_sum = np.zeros_like(loaded[0].state.movie_factors)
+        count = 0
+        for snap in loaded:
+            if snap.mean_count > 0 and snap.mean_user_sum is not None:
+                user_sum += snap.mean_user_sum
+                item_sum += snap.mean_movie_sum
+                count += snap.mean_count
+            else:
+                user_sum += snap.state.user_factors
+                item_sum += snap.state.movie_factors
+                count += 1
+        return user_sum / count, item_sum / count
+
+    # -- shape properties --------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        """Total users served, including folded-in cold-start users."""
+        return int(self._user_factors.shape[0])
+
+    @property
+    def n_train_users(self) -> int:
+        """Users present at training time (fold-in ids start here)."""
+        return self._n_train_users
+
+    @property
+    def n_items(self) -> int:
+        return int(self._item_factors.shape[0])
+
+    @property
+    def num_latent(self) -> int:
+        return int(self._item_factors.shape[1])
+
+    def state(self) -> BPMFState:
+        """The serving factors as a :class:`BPMFState` (parity/diagnostics)."""
+        return BPMFState(
+            user_factors=self._user_factors.copy(),
+            movie_factors=self._item_factors.copy(),
+            user_prior=self._user_prior.copy(),
+            movie_prior=self._movie_prior.copy(),
+        )
+
+    # -- scoring -----------------------------------------------------------
+
+    def _check_users(self, users: np.ndarray) -> None:
+        if users.size and (int(users.min()) < 0
+                           or int(users.max()) >= self.n_users):
+            raise ValidationError(
+                f"user index outside [0, {self.n_users}) "
+                f"({self.n_users - self._n_train_users} folded-in users)")
+
+    def _check_items(self, items: np.ndarray) -> None:
+        if items.size and (int(items.min()) < 0
+                           or int(items.max()) >= self.n_items):
+            raise ValidationError(f"item index outside [0, {self.n_items})")
+
+    def predict_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Predicted ratings for parallel (user, item) index arrays."""
+        users = np.asarray(users, dtype=np.int64).ravel()
+        items = np.asarray(items, dtype=np.int64).ravel()
+        if users.shape != items.shape:
+            raise ValidationError("users and items must align")
+        self._check_users(users)
+        self._check_items(items)
+        scores = np.einsum("ij,ij->i", self._user_factors[users],
+                           self._item_factors[items]) + self.offset
+        if self.clip is not None:
+            scores = np.clip(scores, self.clip[0], self.clip[1])
+        return scores
+
+    def predict(self, user: int, item: int) -> float:
+        """Predicted rating for one (user, item) pair."""
+        return float(self.predict_batch(np.array([user]), np.array([item]))[0])
+
+    def batcher(self, max_batch: int = 256) -> "MicroBatcher":
+        """A micro-batching front-end over this service (see class docs)."""
+        return MicroBatcher(self, max_batch=max_batch)
+
+    # -- ranked retrieval ----------------------------------------------------
+
+    def _user_scores(self, user: int) -> np.ndarray:
+        """Full (LRU-cached) score vector of one user over all items."""
+        cached = self._score_cache.get(user)
+        if cached is not None:
+            self._score_cache.move_to_end(user)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        scores = self._item_factors @ self._user_factors[user] + self.offset
+        scores.setflags(write=False)
+        while len(self._score_cache) >= self._cache_size:
+            self._score_cache.popitem(last=False)
+        self._score_cache[user] = scores
+        return scores
+
+    def top_n(self, user: int, n: int = 10,
+              exclude_seen: bool = True) -> Recommendation:
+        """Top-``n`` items for ``user`` by predicted rating.
+
+        Selection and tie-breaking mirror
+        :func:`repro.core.recommend.recommend_for_user`; with
+        ``exclude_seen`` (and a ``train`` matrix) the user's training-time
+        ratings are excluded.  Folded-in users have no training rows, so
+        all items are candidates for them.
+        """
+        check_positive("n", n)
+        users = np.array([user], dtype=np.int64)
+        self._check_users(users)
+        user = int(user)
+
+        candidates = np.arange(self.n_items, dtype=np.int64)
+        if exclude_seen and self._train is not None \
+                and user < self._n_train_users:
+            seen, _ = self._train.user_ratings(user)
+            candidates = np.setdiff1d(candidates, seen, assume_unique=False)
+        if candidates.shape[0] == 0:
+            return Recommendation(user=user, items=np.empty(0, dtype=np.int64),
+                                  scores=np.empty(0))
+
+        scores = self._user_scores(user)[candidates]
+        n = min(n, candidates.shape[0])
+        top = np.argpartition(-scores, n - 1)[:n]
+        order = top[np.argsort(-scores[top], kind="stable")]
+        items = candidates[order].copy()
+        selected = scores[order].copy()
+        if self.clip is not None:
+            selected = np.clip(selected, self.clip[0], self.clip[1])
+        return Recommendation(user=user, items=items, scores=selected)
+
+    def top_n_batch(self, users: Sequence[int], n: int = 10,
+                    exclude_seen: bool = True) -> Dict[int, Recommendation]:
+        """Ranked lists for several users."""
+        return {int(user): self.top_n(int(user), n=n, exclude_seen=exclude_seen)
+                for user in users}
+
+    # -- cold start ----------------------------------------------------------
+
+    def fold_in(self, items: np.ndarray, values: np.ndarray) -> int:
+        """Register an unseen user from their observed ratings.
+
+        ``values`` are raw ratings on the served scale; the training offset
+        is removed before the conditional posterior is computed.  Returns
+        the new user id (``>= n_train_users``), immediately usable with
+        :meth:`predict` and :meth:`top_n`.
+        """
+        vector = fold_in_users(
+            self._item_factors, self._user_prior, self._alpha,
+            [np.asarray(items, dtype=np.int64)],
+            [np.asarray(values, dtype=np.float64) - self.offset])
+        new_id = self.n_users
+        self._append_user_rows(vector)
+        return new_id
+
+    def fold_in_batch(self, item_lists: Sequence[np.ndarray],
+                      value_lists: Sequence[np.ndarray]) -> List[int]:
+        """Register several unseen users in one stacked fold-in pass."""
+        rows = fold_in_users(
+            self._item_factors, self._user_prior, self._alpha,
+            [np.asarray(items, dtype=np.int64) for items in item_lists],
+            [np.asarray(vals, dtype=np.float64) - self.offset
+             for vals in value_lists])
+        first = self.n_users
+        self._append_user_rows(rows)
+        return list(range(first, first + rows.shape[0]))
+
+    def _append_user_rows(self, rows: np.ndarray) -> None:
+        """Append factor rows, doubling the buffer when it fills."""
+        used, n_new = self.n_users, rows.shape[0]
+        if used + n_new > self._user_buffer.shape[0]:
+            capacity = max(used + n_new, 2 * self._user_buffer.shape[0])
+            buffer = np.empty((capacity, self.num_latent))
+            buffer[:used] = self._user_buffer[:used]
+            self._user_buffer = buffer
+        self._user_buffer[used:used + n_new] = rows
+        self._user_factors = self._user_buffer[:used + n_new]
+
+
+class PendingPrediction:
+    """Handle for one queued prediction (resolved when the batch runs)."""
+
+    __slots__ = ("user", "item", "_value")
+
+    def __init__(self, user: int, item: int):
+        self.user = int(user)
+        self.item = int(item)
+        self._value: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self._value is not None
+
+    def _resolve(self, value: float) -> None:
+        self._value = float(value)
+
+    def result(self) -> float:
+        """The predicted rating; raises if the batch has not run yet."""
+        if self._value is None:
+            raise ValidationError(
+                "prediction is still queued — call MicroBatcher.flush() "
+                "(or use MicroBatcher.result(handle))")
+        return self._value
+
+
+class MicroBatcher:
+    """Queues single-pair requests and executes them as vectorized batches.
+
+    ``submit`` is O(1); the queue drains through one
+    :meth:`PredictionService.predict_batch` call when ``max_batch``
+    requests have accumulated, when :meth:`flush` is called, or when
+    :meth:`result` demands an unresolved handle.
+    """
+
+    def __init__(self, service: PredictionService, max_batch: int = 256):
+        check_positive("max_batch", max_batch)
+        self.service = service
+        self.max_batch = int(max_batch)
+        self._queue: List[PendingPrediction] = []
+        self.n_flushes = 0
+        self.n_requests = 0
+
+    def submit(self, user: int, item: int) -> PendingPrediction:
+        """Queue one request; auto-flushes when the batch is full.
+
+        Indices are validated here, so a bad request fails at submit time
+        instead of poisoning the whole batch at flush time.
+        """
+        pending = PendingPrediction(user, item)
+        self.service._check_users(np.array([pending.user], dtype=np.int64))
+        self.service._check_items(np.array([pending.item], dtype=np.int64))
+        self._queue.append(pending)
+        self.n_requests += 1
+        if len(self._queue) >= self.max_batch:
+            self.flush()
+        return pending
+
+    def flush(self) -> int:
+        """Run every queued request in one vectorized call; returns count."""
+        if not self._queue:
+            return 0
+        batch, self._queue = self._queue, []
+        users = np.array([pending.user for pending in batch], dtype=np.int64)
+        items = np.array([pending.item for pending in batch], dtype=np.int64)
+        values = self.service.predict_batch(users, items)
+        for pending, value in zip(batch, values):
+            pending._resolve(value)
+        self.n_flushes += 1
+        return len(batch)
+
+    def result(self, pending: PendingPrediction) -> float:
+        """Resolve (flushing if needed) and return one request's value."""
+        if not pending.done:
+            self.flush()
+        return pending.result()

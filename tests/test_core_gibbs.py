@@ -144,6 +144,42 @@ class TestPosteriorPredictor:
         with pytest.raises(ValidationError):
             predict_ratings(state, [0], [0], clip=(5.0, 0.5))
 
+    def test_predict_ratings_validates_index_ranges(self, tiny_dataset,
+                                                    tiny_config):
+        """Out-of-range indices raise ValidationError, not raw IndexError."""
+        state = initialize_state(tiny_dataset.split.train, tiny_config, 0)
+        with pytest.raises(ValidationError, match="outside"):
+            predict_ratings(state, [state.n_users], [0])
+        with pytest.raises(ValidationError, match="outside"):
+            predict_ratings(state, [0], [state.n_movies])
+        # Negative indices must not silently wrap around.
+        with pytest.raises(ValidationError, match="outside"):
+            predict_ratings(state, [-1], [0])
+        with pytest.raises(ValidationError):
+            predict_ratings(state, [0, 1], [0])  # misaligned
+
+    def test_predictor_validates_indices(self, tiny_dataset, tiny_config):
+        state = initialize_state(tiny_dataset.split.train, tiny_config, 0)
+        with pytest.raises(ValidationError, match="negative"):
+            PosteriorPredictor(np.array([-1]), np.array([0]))
+        predictor = PosteriorPredictor(np.array([state.n_users]), np.array([0]))
+        with pytest.raises(ValidationError, match="outside"):
+            predictor.accumulate(state)
+
+    def test_predictor_restore_round_trip(self, tiny_dataset, tiny_config):
+        users, movies, _ = tiny_dataset.split.test_triplets()
+        state = initialize_state(tiny_dataset.split.train, tiny_config, 1)
+        source = PosteriorPredictor(users, movies)
+        source.accumulate(state)
+        clone = PosteriorPredictor(users, movies)
+        clone.restore(source.prediction_sum, source.n_samples)
+        np.testing.assert_array_equal(clone.mean_prediction(),
+                                      source.mean_prediction())
+        with pytest.raises(ValidationError):
+            clone.restore(np.zeros(3), 1)  # wrong shape
+        with pytest.raises(ValidationError):
+            clone.restore(source.prediction_sum, -1)
+
 
 # ---------------------------------------------------------------------------
 # the Gibbs sampler

@@ -194,3 +194,29 @@ class TestRankingMetrics:
         recommendations = recommend_batch(fitted_state, [0, 1, 2], n=4)
         assert set(recommendations) == {0, 1, 2}
         assert all(len(rec) == 4 for rec in recommendations.values())
+
+    def test_zero_held_out_users_are_skipped_not_nan(self, fitted_state):
+        """Users with no held-out items (or outside the held-out matrix, as
+        fold-in users are) must be skipped; the metrics of the remaining
+        users must come out finite, never NaN."""
+        from repro.sparse.csr import RatingMatrix
+
+        # Only user 0 has (relevant) held-out items; user 1 has none and
+        # user 35 is beyond the matrix's rows entirely.
+        held_out = RatingMatrix.from_arrays(30, 30, [0, 0], [3, 4], [5.0, 4.0])
+        recommendations = recommend_batch(fitted_state, [0, 1], n=5)
+        recommendations[35] = recommend_for_user(fitted_state, 35, n=5)
+        metrics = ranking_metrics(recommendations, held_out,
+                                  relevant_threshold=3.0)
+        assert metrics["n_users_evaluated"] == 1
+        for value in metrics.values():
+            assert np.isfinite(value)
+
+    def test_all_users_empty_non_strict_returns_zeros(self, fitted_state):
+        from repro.sparse.csr import RatingMatrix
+
+        empty = RatingMatrix.from_arrays(40, 30, [], [], [])
+        recommendations = recommend_batch(fitted_state, [0, 1], n=3)
+        metrics = ranking_metrics(recommendations, empty, strict=False)
+        assert metrics == {"precision": 0.0, "recall": 0.0, "mrr": 0.0,
+                           "n_users_evaluated": 0.0}
