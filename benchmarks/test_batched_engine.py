@@ -10,6 +10,8 @@ overhead per item while the engine pays it per bucket).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -21,6 +23,8 @@ from repro.utils.timing import time_call
 
 NUM_LATENT = 32
 
+AVAILABLE_CORES = os.cpu_count() or 1
+
 
 @pytest.fixture(scope="module")
 def workload():
@@ -30,13 +34,15 @@ def workload():
         test_fraction=0.2, seed=17))
 
 
-def _sweep_seconds(engine: str, data, repeats: int = 2) -> float:
+def _sweep_seconds(engine: str, data, repeats: int = 2,
+                   n_workers: int | None = None) -> float:
     """Best-of-N wall-clock seconds for one full Gibbs sweep."""
     config = BPMFConfig(num_latent=NUM_LATENT, burn_in=0, n_samples=1,
                         alpha=4.0)
 
     def one_run():
-        sampler = GibbsSampler(config, SamplerOptions(engine=engine))
+        sampler = GibbsSampler(config, SamplerOptions(
+            engine=engine, n_workers=n_workers))
         return sampler.run(data.split.train, data.split, seed=5)
 
     seconds, _ = time_call(one_run, repeats=repeats)
@@ -62,6 +68,61 @@ def test_batched_engine_same_chain_on_benchmark_workload(workload):
         workload.split.train, workload.split, seed=5)
     np.testing.assert_allclose(bat.state.user_factors, ref.state.user_factors,
                                rtol=1e-6, atol=1e-8)
+
+
+def _warm_sweep_seconds(engine: str, data, n_workers: int | None = None,
+                        sweeps: int = 3, repeats: int = 3) -> float:
+    """Per-sweep seconds with a persistent engine and warm plans/pool.
+
+    Delegates to the same measurement methodology `python -m repro.bench
+    engines` records to BENCH_*.json (warm-up sweep outside the timing,
+    best-of-repeats), so the floor asserted here is the quantity the
+    recorded ladder reports.
+    """
+    from repro.bench.engines import time_engine_case
+
+    config = BPMFConfig(num_latent=NUM_LATENT, burn_in=0, n_samples=1,
+                        alpha=4.0)
+    return time_engine_case(engine, n_workers, "float64", data.split.train,
+                            config, sweeps, repeats)
+
+
+@pytest.mark.skipif(
+    AVAILABLE_CORES < 4,
+    reason=f"shared-engine speedup floor needs >= 4 cores, "
+           f"have {AVAILABLE_CORES} (the engine cannot beat physics; "
+           "BENCH_pr3.json records the honest single-core overhead)")
+def test_shared_engine_speedup_on_synthetic_workload(workload):
+    """Acceptance criterion: shared@4 workers >= 1.8x over batched@1.
+
+    Perf assertions on shared CI runners are noise-prone, so a miss is
+    re-measured once before failing: a genuine regression fails both
+    rounds, a scheduling hiccup does not.
+    """
+    speedup = 0.0
+    for _attempt in range(2):
+        batched = _warm_sweep_seconds("batched", workload)
+        shared = _warm_sweep_seconds("shared", workload, n_workers=4)
+        speedup = batched / shared
+        print(f"\nfull-sweep K={NUM_LATENT}: batched={batched:.4f}s "
+              f"shared@4={shared:.4f}s speedup={speedup:.2f}x")
+        if speedup >= 1.8:
+            break
+    assert speedup >= 1.8
+
+
+def test_shared_engine_same_chain_on_benchmark_workload(workload):
+    """The process backend samples the identical chain (bit for bit)."""
+    config = BPMFConfig(num_latent=8, burn_in=0, n_samples=1, alpha=4.0)
+    bat = GibbsSampler(config, SamplerOptions(engine="batched")).run(
+        workload.split.train, workload.split, seed=5)
+    shm = GibbsSampler(config, SamplerOptions(engine="shared",
+                                              n_workers=2)).run(
+        workload.split.train, workload.split, seed=5)
+    np.testing.assert_array_equal(shm.state.user_factors,
+                                  bat.state.user_factors)
+    np.testing.assert_array_equal(shm.state.movie_factors,
+                                  bat.state.movie_factors)
 
 
 def test_fig2_batched_ablation_table(benchmark):

@@ -1,15 +1,20 @@
 """Command-line entry point: ``python -m repro.bench [experiment ...]``.
 
 Runs the requested experiments (default: all of them) and prints each
-figure's data table.  Pass ``--list`` to see what is available.
+figure's data table.  Pass ``--list`` to see what is available, and
+``--record [PATH]`` to persist the engine-ladder timings as a
+``BENCH_*.json`` document (default path ``BENCH_pr3.json``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench.runner import available_experiments, run_experiment
+
+DEFAULT_RECORD_PATH = "BENCH_pr3.json"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -24,12 +29,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="run reduced-size versions of every experiment "
                              "(the CI smoke configuration)")
+    parser.add_argument("--record", nargs="?", const=DEFAULT_RECORD_PATH,
+                        default=None, metavar="PATH",
+                        help="write the engine-ladder timings to PATH as "
+                             f"JSON (default {DEFAULT_RECORD_PATH}); adds "
+                             "the 'engines' experiment if not selected")
     args = parser.parse_args(argv)
 
     registry = available_experiments()
     if args.list:
         for name, description in registry.items():
-            print(f"{name:10s} {description}")
+            print(f"{name:12s} {description}")
         return 0
 
     names = args.experiments or list(registry)
@@ -38,11 +48,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(registry)}", file=sys.stderr)
         return 2
+    if args.record and "engines" not in names:
+        names.append("engines")
 
     for name in names:
         outcome = run_experiment(name, quick=args.quick)
         print(outcome.render())
         print()
+        if args.record and name == "engines":
+            payload = outcome.result.to_json_payload()
+            payload["quick"] = bool(args.quick)
+            payload["wall_seconds"] = round(outcome.seconds, 2)
+            with open(args.record, "w", encoding="utf8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"recorded engine timings -> {args.record}")
     return 0
 
 

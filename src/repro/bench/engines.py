@@ -1,0 +1,245 @@
+"""Engine ladder benchmark: reference vs batched vs shared-memory.
+
+PR 1 established that the batched engine beats the per-item loop by one to
+two orders of magnitude; this driver records the *next* rung — the
+zero-copy shared-memory process backend — at several worker counts and
+latent dimensions, on the same synthetic full-sweep workload the
+``benchmarks/test_batched_engine.py`` acceptance tests use.  The result
+carries enough machine metadata (CPU count, Python/numpy versions,
+multiprocessing start method) to make recorded numbers interpretable, and
+serialises to the ``BENCH_*.json`` format via :meth:`to_json_payload`
+(``python -m repro.bench engines --record`` writes ``BENCH_pr3.json``).
+
+Speed-ups are only meaningful relative to the *cores actually available*:
+on a single-core container the shared engine pays IPC overhead for no
+parallelism, and the recorded JSON will honestly show that.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import platform
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.gibbs import GibbsSampler, SamplerOptions
+from repro.core.priors import BPMFConfig
+from repro.core.shared_engine import default_start_method
+from repro.core.state import initialize_state
+from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
+from repro.utils.tables import Table
+from repro.utils.timing import time_call
+from repro.utils.validation import check_positive
+
+__all__ = ["EngineBenchRow", "EngineBenchResult", "run_engine_bench",
+           "time_engine_case"]
+
+
+@dataclass
+class EngineBenchRow:
+    """One timed (engine, workers, dtype, K) configuration."""
+
+    engine: str
+    workers: Optional[int]
+    compute_dtype: str
+    num_latent: int
+    seconds_per_sweep: float
+    items_per_second: float
+    speedup_vs_reference: Optional[float] = None
+    speedup_vs_batched1: Optional[float] = None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "workers": self.workers,
+            "compute_dtype": self.compute_dtype,
+            "num_latent": self.num_latent,
+            "seconds_per_sweep": self.seconds_per_sweep,
+            "items_per_second": self.items_per_second,
+            "speedup_vs_reference": self.speedup_vs_reference,
+            "speedup_vs_batched1": self.speedup_vs_batched1,
+        }
+
+
+@dataclass
+class EngineBenchResult:
+    """All timed configurations plus workload and machine metadata."""
+
+    rows: List[EngineBenchRow]
+    workload: Dict[str, object]
+    environment: Dict[str, object]
+    sweeps: int = 1
+    repeats: int = 1
+
+    def to_table(self) -> Table:
+        table = Table(
+            ["engine", "workers", "dtype", "K", "s/sweep", "items/s",
+             "vs reference", "vs batched@1"],
+            title="Engine ladder — full-sweep wall clock",
+        )
+        for row in self.rows:
+            table.add_row(
+                row.engine,
+                "-" if row.workers is None else row.workers,
+                row.compute_dtype,
+                row.num_latent,
+                round(row.seconds_per_sweep, 5),
+                round(row.items_per_second, 1),
+                ("-" if row.speedup_vs_reference is None
+                 else f"{row.speedup_vs_reference:.1f}x"),
+                ("-" if row.speedup_vs_batched1 is None
+                 else f"{row.speedup_vs_batched1:.2f}x"),
+            )
+        return table
+
+    def to_json_payload(self) -> Dict[str, object]:
+        """The ``BENCH_*.json`` document for this run."""
+        return {
+            "benchmark": "engine-ladder",
+            "created": datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds"),
+            "environment": dict(self.environment),
+            "workload": dict(self.workload),
+            "timing": {"sweeps_per_measurement": self.sweeps,
+                       "repeats": self.repeats,
+                       "estimator": "best-of-repeats"},
+            "results": [row.to_json() for row in self.rows],
+        }
+
+
+def _machine_environment() -> Dict[str, object]:
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "mp_start_method": default_start_method(),
+    }
+
+
+def time_engine_case(engine: str, workers: Optional[int], compute_dtype: str,
+                     train, config: BPMFConfig, sweeps: int,
+                     repeats: int) -> float:
+    """Best-of-``repeats`` per-sweep seconds for one engine configuration.
+
+    Every case starts from an identically seeded state and generator, and
+    runs one untimed warm-up sweep first so plan construction and (for the
+    shared engine) pool spawning are paid outside the measurement — that
+    matches production use, where the pool persists across a whole run.
+    This is the single measurement methodology shared by the recorded
+    ladder and the ``benchmarks/`` speedup-floor test.
+    """
+    options = SamplerOptions(
+        engine=engine, compute_dtype=compute_dtype,
+        n_workers=workers if engine == "shared" else None)
+    sampler = GibbsSampler(config, options)
+    try:
+        state = initialize_state(train, config, np.random.default_rng(1234))
+        rng = np.random.default_rng(5678)
+        sampler.sweep(state, train, rng)  # warm-up
+
+        def measured() -> None:
+            for _ in range(sweeps):
+                sampler.sweep(state, train, rng)
+
+        seconds, _ = time_call(measured, repeats=repeats)
+        return seconds / sweeps
+    finally:
+        sampler.engine.close()
+
+
+def run_engine_bench(
+    n_users: int = 1500,
+    n_movies: int = 1000,
+    density: float = 0.02,
+    num_latents: Sequence[int] = (16, 32),
+    worker_counts: Sequence[int] = (1, 2, 4),
+    sweeps: int = 2,
+    repeats: int = 2,
+    include_reference: bool = True,
+    include_float32: bool = True,
+    seed: int = 99,
+) -> EngineBenchResult:
+    """Time reference vs batched vs shared on one synthetic workload.
+
+    Parameters
+    ----------
+    n_users, n_movies, density:
+        Synthetic low-rank workload shape (larger than the test fixtures so
+        per-sweep times are well above timer noise).
+    num_latents:
+        Latent dimensions to sweep (memory-bandwidth pressure grows with K).
+    worker_counts:
+        Process-pool sizes for the shared engine.
+    sweeps, repeats:
+        Each measurement times ``sweeps`` consecutive sweeps and keeps the
+        best of ``repeats`` runs.
+    include_reference:
+        Also time the per-item loop (slow — the point of the ladder).
+    include_float32:
+        Add float32 variants of the batched engine and the widest shared
+        configuration.
+    """
+    check_positive("sweeps", sweeps)
+    check_positive("repeats", repeats)
+    data = make_low_rank_dataset(SyntheticConfig(
+        n_users=n_users, n_movies=n_movies, rank=5, density=density,
+        noise_std=0.3, test_fraction=0.1, seed=seed))
+    train = data.split.train
+    n_items = train.n_users + train.n_movies
+
+    rows: List[EngineBenchRow] = []
+    for num_latent in num_latents:
+        config = BPMFConfig(num_latent=int(num_latent), burn_in=0,
+                            n_samples=1, alpha=4.0)
+        cases: List[Tuple[str, Optional[int], str]] = []
+        if include_reference:
+            cases.append(("reference", None, "float64"))
+        cases.append(("batched", None, "float64"))
+        cases.extend(("shared", int(workers), "float64")
+                     for workers in worker_counts)
+        if include_float32:
+            cases.append(("batched", None, "float32"))
+            cases.append(("shared", int(max(worker_counts)), "float32"))
+
+        baselines: Dict[str, float] = {}
+        for engine, workers, compute_dtype in cases:
+            seconds = time_engine_case(engine, workers, compute_dtype, train,
+                                       config, sweeps, repeats)
+            if engine == "reference":
+                baselines["reference"] = seconds
+            if engine == "batched" and compute_dtype == "float64":
+                baselines["batched1"] = seconds
+            rows.append(EngineBenchRow(
+                engine=engine,
+                workers=workers,
+                compute_dtype=compute_dtype,
+                num_latent=int(num_latent),
+                seconds_per_sweep=seconds,
+                items_per_second=n_items / seconds,
+                speedup_vs_reference=(
+                    baselines["reference"] / seconds
+                    if "reference" in baselines else None),
+                speedup_vs_batched1=(
+                    baselines["batched1"] / seconds
+                    if "batched1" in baselines else None),
+            ))
+
+    return EngineBenchResult(
+        rows=rows,
+        workload={
+            "dataset": "synthetic-low-rank",
+            "n_users": train.n_users,
+            "n_movies": train.n_movies,
+            "nnz": train.nnz,
+            "density": train.density,
+            "seed": seed,
+        },
+        environment=_machine_environment(),
+        sweeps=sweeps,
+        repeats=repeats,
+    )

@@ -34,6 +34,7 @@ class ExperimentResult:
 def _experiments() -> Dict[str, Tuple[Callable[[], object], Callable[[object], Table], str]]:
     # Imported lazily to keep `import repro.bench.runner` cheap.
     from repro.bench.accuracy import run_accuracy_parity
+    from repro.bench.engines import run_engine_bench
     from repro.bench.fig2_update_methods import run_fig2, run_fig2_batched
     from repro.bench.fig3_multicore import run_fig3
     from repro.bench.fig4_strong_scaling import run_fig4
@@ -45,6 +46,9 @@ def _experiments() -> Dict[str, Tuple[Callable[[], object], Callable[[object], T
                  "Figure 2: per-item update time vs rating count"),
         "fig2-batched": (run_fig2_batched, lambda r: r.to_table(),
                          "Figure 2 variant: batched engine vs per-item loop"),
+        "engines": (run_engine_bench, lambda r: r.to_table(),
+                    "Engine ladder: reference vs batched vs shared-memory "
+                    "process pool (records BENCH_*.json via --record)"),
         "fig3": (run_fig3, lambda r: r.to_table(),
                  "Figure 3: multicore throughput vs threads"),
         "fig4": (run_fig4, lambda r: r.to_table(),
@@ -72,6 +76,10 @@ def _quick_overrides() -> Dict[str, Dict[str, object]]:
                      max_rank_one_degree=64),
         "fig2-batched": dict(degrees=(1, 8, 64), batch_size=64,
                              n_source=512, repeats=1),
+        # The CI smoke entry exercises the shared engine on 2 workers.
+        "engines": dict(n_users=400, n_movies=300, density=0.03,
+                        num_latents=(8,), worker_counts=(1, 2),
+                        sweeps=1, repeats=1),
         "fig3": dict(chembl_scale=10.0, thread_counts=(1, 2)),
         "fig4": dict(n_ratings=100_000, node_counts=(1, 4)),
         "fig5": dict(n_ratings=100_000, node_counts=(1, 4)),

@@ -47,6 +47,7 @@ from repro.core.batch_engine import (
     available_engines,
     make_update_engine,
 )
+from repro.core.shared_engine import SharedMemoryUpdateEngine, WorkerPoolError
 from repro.core.gibbs import GibbsSampler, SamplerOptions, BPMFResult
 from repro.core.predict import (
     FactorMeanAccumulator,
@@ -93,6 +94,8 @@ __all__ = [
     "BatchedUpdateEngine",
     "available_engines",
     "make_update_engine",
+    "SharedMemoryUpdateEngine",
+    "WorkerPoolError",
     "GibbsSampler",
     "SamplerOptions",
     "BPMFResult",

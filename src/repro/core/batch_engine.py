@@ -36,13 +36,13 @@ bitwise-identical rows to the full-matrix plan.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.priors import GaussianPrior
 from repro.core.updates import HybridUpdatePolicy, UpdateMethod, sample_item
-from repro.sparse.buckets import BucketPlan, DegreeBucket, build_bucket_plan
+from repro.sparse.buckets import BucketPlan, DegreeBucket, cached_bucket_plan
 from repro.sparse.csr import CompressedAxis
 from repro.utils.validation import ValidationError
 
@@ -53,6 +53,12 @@ __all__ = [
     "available_engines",
     "make_update_engine",
 ]
+
+#: Dtypes an engine may compute in.  ``float64`` (default) preserves the
+#: bit-exact parity guarantees; ``float32`` halves memory bandwidth on the
+#: stacked kernels at the cost of ~1e-4-relative agreement with the
+#: reference chain.
+COMPUTE_DTYPES = ("float64", "float32")
 
 #: ``parallel_map(func, items)`` calls ``func(item)`` for every item; the
 #: multicore sampler passes its thread backend's ``map_items`` here.
@@ -73,10 +79,37 @@ class UpdateEngine:
     #: Registry name (``SamplerOptions.engine`` value selecting this engine).
     name: str = ""
 
+    #: True when the engine schedules its own parallel execution (the
+    #: shared-memory process backend); samplers must then pass
+    #: ``parallel_map=None`` instead of wrapping it in a thread pool.
+    manages_parallelism: bool = False
+
     def __init__(self, update_method: Optional[UpdateMethod] = None,
-                 policy: Optional[HybridUpdatePolicy] = None):
+                 policy: Optional[HybridUpdatePolicy] = None,
+                 compute_dtype: str = "float64"):
+        if compute_dtype not in COMPUTE_DTYPES:
+            raise ValidationError(
+                f"compute_dtype must be one of {COMPUTE_DTYPES}, "
+                f"got {compute_dtype!r}")
         self.update_method = update_method
         self.policy = policy or HybridUpdatePolicy()
+        self.compute_dtype = compute_dtype
+        self._dtype = np.dtype(compute_dtype)
+
+    def close(self) -> None:
+        """Release engine-owned resources (worker pools, shared memory).
+
+        A no-op for in-process engines.  Safe to call repeatedly; an engine
+        remains usable after ``close`` (resources are re-acquired lazily).
+        The samplers call this in a ``finally`` around their sweep loop so
+        an interrupted run never leaks.
+        """
+
+    def __enter__(self) -> "UpdateEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def update_items(self, target: np.ndarray, source: np.ndarray,
                      axis: CompressedAxis, prior: GaussianPrior, alpha: float,
@@ -123,6 +156,17 @@ class ReferenceUpdateEngine(UpdateEngine):
 
     name = "reference"
 
+    def __init__(self, update_method: Optional[UpdateMethod] = None,
+                 policy: Optional[HybridUpdatePolicy] = None,
+                 compute_dtype: str = "float64"):
+        if compute_dtype != "float64":
+            # The per-item kernels are float64-only; a silently ignored
+            # reduced-precision request would invalidate parity baselines.
+            raise ValidationError(
+                "the reference engine always computes in float64; "
+                f"got compute_dtype={compute_dtype!r}")
+        super().__init__(update_method, policy, compute_dtype)
+
     def update_items(self, target, source, axis, prior, alpha, noise,
                      items=None, parallel_map=None):
         if items is None:
@@ -168,59 +212,45 @@ class BatchedUpdateEngine(UpdateEngine):
     engine.
 
     Bucket plans are structural (sparsity-only) and cached per
-    ``(axis, items)`` pair, so repeated sweeps pay no planning cost.
+    ``(axis, items)`` pair in the module-level cache of
+    :mod:`repro.sparse.buckets`, so repeated sweeps — and *other* engine
+    instances touching the same axis — pay no planning cost.
+
+    ``compute_dtype`` selects the arithmetic precision of the stacked
+    kernels.  ``float64`` (default) is bit-identical to the historical
+    behaviour; ``float32`` halves the memory traffic of the gather and
+    matmul passes and agrees with the float64 chain to single-precision
+    tolerance (factor rows are cast back to the target's dtype on store).
     """
 
     name = "batched"
-
-    #: Most-recently-used (axis, subset) plans kept per engine.  Large
-    #: enough for any one sampler's working set (two axes x the ranks of a
-    #: simulated world); bounds memory when one engine is reused across
-    #: many datasets (e.g. a cross-validation loop), since every cached
-    #: plan pins its axis plus ~2x that axis's rating data in gathers.
-    MAX_CACHED_PLANS = 64
-
-    def __init__(self, update_method: Optional[UpdateMethod] = None,
-                 policy: Optional[HybridUpdatePolicy] = None):
-        super().__init__(update_method, policy)
-        # Cache entries keep a reference to the axis alongside the plan:
-        # id() values are only unique while the object is alive, so holding
-        # the axis prevents a garbage-collected axis's id from being reused
-        # and silently serving a stale plan.
-        self._plans: Dict[Tuple[int, Optional[bytes]],
-                          Tuple[CompressedAxis, BucketPlan]] = {}
 
     # -- planning ---------------------------------------------------------
 
     def _plan_for(self, axis: CompressedAxis,
                   items: Optional[np.ndarray]) -> BucketPlan:
-        key = (id(axis),
-               None if items is None else np.asarray(items, np.int64).tobytes())
-        entry = self._plans.get(key)
-        if entry is None or entry[0] is not axis:
-            entry = (axis, build_bucket_plan(axis, items))
-            while len(self._plans) >= self.MAX_CACHED_PLANS:
-                self._plans.pop(next(iter(self._plans)))
-            self._plans[key] = entry
-        else:
-            # Refresh recency so the eviction above is LRU, not FIFO.
-            self._plans.pop(key)
-            self._plans[key] = entry
-        return entry[1]
+        return cached_bucket_plan(axis, items, value_dtype=self._dtype)
 
     # -- the batched kernel ----------------------------------------------
 
     def _update_bucket(self, bucket: DegreeBucket, target: np.ndarray,
                        source: np.ndarray, prior: GaussianPrior, alpha: float,
                        noise: np.ndarray) -> None:
+        """One stacked update; ``source`` and ``bucket.values`` must already
+        be in the compute dtype (``update_items`` and the shared-memory
+        workers guarantee this)."""
         m, d = bucket.n_items, bucket.degree
         k = prior.num_latent
+        dtype = self._dtype
         # (m, d, K) neighbour factor blocks and (m, d, 1) rating columns.
         blocks = source[bucket.neighbours]
         values = bucket.values[:, :, None]
 
-        precision = np.broadcast_to(prior.precision, (m, k, k)).copy()
-        rhs = np.broadcast_to(prior.precision @ prior.mean, (m, k)).copy()
+        prior_precision = np.asarray(prior.precision, dtype=dtype)
+        prior_mean = np.asarray(prior.mean, dtype=dtype)
+        alpha = dtype.type(alpha)
+        precision = np.broadcast_to(prior_precision, (m, k, k)).copy()
+        rhs = np.broadcast_to(prior_precision @ prior_mean, (m, k)).copy()
         if d:
             method = self._choose_method(d)
             if method is UpdateMethod.PARALLEL_CHOLESKY:
@@ -239,7 +269,7 @@ class BatchedUpdateEngine(UpdateEngine):
         # mean + L^-T z  ==  L^-T (L^-1 rhs + z): two stacked triangular
         # solves reusing the factor just computed, instead of refactorising
         # `precision` for the mean.
-        z = noise[bucket.items][:, :, None]
+        z = np.asarray(noise[bucket.items], dtype=dtype)[:, :, None]
         half = np.linalg.solve(chol, rhs[:, :, None])
         sample = np.linalg.solve(chol.transpose(0, 2, 1), half + z)
         target[bucket.items] = sample[:, :, 0]
@@ -247,6 +277,7 @@ class BatchedUpdateEngine(UpdateEngine):
     def update_items(self, target, source, axis, prior, alpha, noise,
                      items=None, parallel_map=None):
         plan = self._plan_for(axis, items)
+        source = np.asarray(source, dtype=self._dtype)
 
         def run_bucket(index: int) -> None:
             self._update_bucket(plan.buckets[index], target, source,
@@ -261,26 +292,48 @@ class BatchedUpdateEngine(UpdateEngine):
         return plan.n_planned_items
 
 
-_ENGINES = {
-    ReferenceUpdateEngine.name: ReferenceUpdateEngine,
-    BatchedUpdateEngine.name: BatchedUpdateEngine,
-}
+def _engine_registry():
+    # The shared-memory engine subclasses BatchedUpdateEngine, so its module
+    # imports this one; resolving the registry lazily breaks that cycle.
+    from repro.core.shared_engine import SharedMemoryUpdateEngine
+
+    return {
+        ReferenceUpdateEngine.name: ReferenceUpdateEngine,
+        BatchedUpdateEngine.name: BatchedUpdateEngine,
+        SharedMemoryUpdateEngine.name: SharedMemoryUpdateEngine,
+    }
 
 
 def available_engines() -> Tuple[str, ...]:
     """Names accepted by ``SamplerOptions.engine`` and friends."""
-    return tuple(_ENGINES)
+    return tuple(_engine_registry())
 
 
 def make_update_engine(engine: str,
                        update_method: Optional[UpdateMethod] = None,
-                       policy: Optional[HybridUpdatePolicy] = None) -> UpdateEngine:
+                       policy: Optional[HybridUpdatePolicy] = None,
+                       compute_dtype: str = "float64",
+                       n_workers: Optional[int] = None) -> UpdateEngine:
     """Instantiate an update engine by registry name.
 
-    ``engine`` is ``"batched"`` (default everywhere) or ``"reference"``.
+    ``engine`` is ``"batched"`` (default everywhere), ``"reference"`` (the
+    per-item oracle) or ``"shared"`` (the zero-copy shared-memory process
+    backend).  ``compute_dtype`` selects the kernel precision (rejected by
+    the float64-only reference engine); ``n_workers`` is only meaningful
+    for ``"shared"`` and is rejected otherwise rather than silently
+    ignored.
     """
-    if engine not in _ENGINES:
+    registry = _engine_registry()
+    if engine not in registry:
         raise ValidationError(
             f"unknown update engine {engine!r}; "
-            f"available: {', '.join(available_engines())}")
-    return _ENGINES[engine](update_method=update_method, policy=policy)
+            f"available: {', '.join(registry)}")
+    kwargs = dict(update_method=update_method, policy=policy,
+                  compute_dtype=compute_dtype)
+    if registry[engine].manages_parallelism:
+        kwargs["n_workers"] = n_workers
+    elif n_workers is not None:
+        raise ValidationError(
+            f"engine {engine!r} does not take n_workers "
+            "(only the 'shared' process backend does)")
+    return registry[engine](**kwargs)

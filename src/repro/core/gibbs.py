@@ -60,9 +60,17 @@ class SamplerOptions:
     ``engine`` selects how a phase's item updates are *executed*:
     ``"batched"`` (default) runs them through the stacked-BLAS
     :class:`repro.core.batch_engine.BatchedUpdateEngine`, ``"reference"``
-    keeps the historical per-item loop.  Both consume the same random
-    stream, so the two engines sample from identical chains up to
-    floating-point rounding (see ``tests/test_batch_engine_parity.py``).
+    keeps the historical per-item loop, and ``"shared"`` maps the degree
+    buckets across a pool of ``n_workers`` processes over shared memory
+    (:class:`repro.core.shared_engine.SharedMemoryUpdateEngine`).  All
+    engines consume the same random stream, so they sample from identical
+    chains up to floating-point rounding (bit-identical for
+    batched/shared; see ``tests/test_batch_engine_parity.py``).
+
+    ``compute_dtype`` selects the kernel precision of the batched/shared
+    engines (``"float32"`` trades exact parity for halved memory
+    bandwidth); ``n_workers`` sizes the shared engine's process pool and
+    is rejected for engines that cannot use it.
 
     ``checkpoint`` (a :class:`repro.serving.checkpoint.CheckpointConfig`)
     enables save-every-k-sweeps posterior snapshots; a run resumed from one
@@ -72,6 +80,8 @@ class SamplerOptions:
     update_method: Optional[UpdateMethod] = None
     policy: HybridUpdatePolicy = field(default_factory=HybridUpdatePolicy)
     engine: str = "batched"
+    compute_dtype: str = "float64"
+    n_workers: Optional[int] = None
     keep_sample_predictions: bool = False
     verbose: bool = False
     callback: Optional[Callable[["BPMFState", int], None]] = None
@@ -80,7 +90,9 @@ class SamplerOptions:
     def make_engine(self) -> UpdateEngine:
         """Build the configured :class:`UpdateEngine` instance."""
         return make_update_engine(self.engine, update_method=self.update_method,
-                                  policy=self.policy)
+                                  policy=self.policy,
+                                  compute_dtype=self.compute_dtype,
+                                  n_workers=self.n_workers)
 
 
 @dataclass
@@ -245,26 +257,34 @@ class GibbsSampler:
         checkpointer = TrainingCheckpointer(self.config, self.options.checkpoint,
                                             snapshot, state, predictor)
 
-        for iteration in range(checkpointer.start_iteration,
-                               self.config.total_iterations):
-            checkpointer.items_updated += self.sweep(state, train, rng)
-            sample_pred = state.predict(test_users, test_movies)
-            if iteration >= self.config.burn_in:
-                predictor.accumulate(state)
-                mean_rmse = rmse(predictor.mean_prediction(), test_values)
-            else:
-                mean_rmse = None
-            checkpointer.record(iteration, state,
-                                rmse(sample_pred, test_values), mean_rmse)
-            if self.options.verbose:
-                phase = "burn-in" if iteration < self.config.burn_in else "sample"
-                latest = (checkpointer.rmse_burn_in
-                          if iteration < self.config.burn_in
-                          else checkpointer.rmse_running_mean)[-1]
-                logger.info("iter %d (%s): rmse=%.4f", iteration, phase, latest)
-            if self.options.callback is not None:
-                self.options.callback(state, iteration)
-            checkpointer.maybe_save(iteration, state, rng, predictor)
+        # The engine may own worker processes and shared-memory segments
+        # (engine="shared"); closing in a finally guarantees they are
+        # released even when a sweep raises or the run is interrupted.
+        try:
+            for iteration in range(checkpointer.start_iteration,
+                                   self.config.total_iterations):
+                checkpointer.items_updated += self.sweep(state, train, rng)
+                sample_pred = state.predict(test_users, test_movies)
+                if iteration >= self.config.burn_in:
+                    predictor.accumulate(state)
+                    mean_rmse = rmse(predictor.mean_prediction(), test_values)
+                else:
+                    mean_rmse = None
+                checkpointer.record(iteration, state,
+                                    rmse(sample_pred, test_values), mean_rmse)
+                if self.options.verbose:
+                    phase = ("burn-in" if iteration < self.config.burn_in
+                             else "sample")
+                    latest = (checkpointer.rmse_burn_in
+                              if iteration < self.config.burn_in
+                              else checkpointer.rmse_running_mean)[-1]
+                    logger.info("iter %d (%s): rmse=%.4f",
+                                iteration, phase, latest)
+                if self.options.callback is not None:
+                    self.options.callback(state, iteration)
+                checkpointer.maybe_save(iteration, state, rng, predictor)
+        finally:
+            self._engine.close()
 
         return BPMFResult(
             config=self.config,

@@ -1,0 +1,542 @@
+"""Zero-copy shared-memory process backend for the batched update engine.
+
+:class:`~repro.core.batch_engine.BatchedUpdateEngine` removed the
+per-item interpreter overhead but still executes every stacked LAPACK pass
+on one core.  This module maps the same degree-bucket decomposition across
+*real processes*:
+
+* the factor matrices, the pre-drawn phase noise and the bucket gather
+  blocks (indices and rating values) live in
+  :mod:`multiprocessing.shared_memory` segments, so workers operate on
+  zero-copy views — the only per-phase copies are staging the current
+  source/noise into the segments and reading the updated rows back;
+* a persistent worker pool is spawned once (lazily, at the first shared
+  phase) and reused across every sweep of a run; plan segments are
+  registered with the workers once per axis and cached on both sides;
+* small exact-degree buckets are fused into degree-padded super-buckets
+  (:func:`repro.sparse.buckets.fuse_bucket_plan`), so per-task dispatch
+  overhead is amortised over many items while each member bucket is still
+  computed at its exact degree — the arithmetic, and therefore the sampled
+  chain, is bit-identical to the single-process batched engine;
+* super-buckets are assigned to workers with a deterministic
+  longest-processing-time rule: the same phase always runs the same work
+  on the same worker, independent of timing.
+
+Combined with the canonical-order pre-drawn noise (item ``i`` always
+consumes ``noise[i]``), every sampler that selects ``engine="shared"``
+reproduces the sequential chain exactly.
+
+Ownership and teardown: the engine owns every segment it creates and is a
+context manager; ``close()`` stops the workers and unlinks all shared
+memory, and the samplers call it in a ``finally`` so an exception (or
+``KeyboardInterrupt``) mid-sweep cannot leak segments.  A closed engine is
+restartable — the pool and segments are re-created lazily on next use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue as queue_module
+import sys
+import traceback
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.batch_engine import BatchedUpdateEngine
+from repro.core.priors import GaussianPrior
+from repro.core.updates import HybridUpdatePolicy, UpdateMethod
+from repro.sparse.buckets import (
+    DegreeBucket,
+    SuperBucketPlan,
+    cached_bucket_plan,
+    fuse_bucket_plan,
+)
+from repro.sparse.csr import CompressedAxis
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["SharedMemoryUpdateEngine", "WorkerPoolError",
+           "default_start_method"]
+
+
+def default_start_method() -> str:
+    """The start method the shared engine uses on this platform.
+
+    A start method the application already fixed (e.g. an explicit
+    ``set_start_method("spawn")`` because it runs CUDA or many threads) is
+    always respected.  Otherwise: fork on Linux (sub-second pool spawns,
+    no pickling), and the platform default everywhere else — macOS
+    deliberately defaults to spawn because forking after the parent has
+    initialised Accelerate/BLAS can deadlock or abort the children.
+    """
+    current = multiprocessing.get_start_method(allow_none=True)
+    if current is not None:
+        return current
+    if sys.platform == "linux" \
+            and "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return multiprocessing.get_start_method(allow_none=False)
+
+
+class WorkerPoolError(RuntimeError):
+    """A shared-memory worker failed or died mid-phase."""
+
+
+# ---------------------------------------------------------------------------
+# shared-memory segments
+# ---------------------------------------------------------------------------
+
+class _SharedBlock:
+    """One owned shared-memory segment with an ndarray layout.
+
+    Views are materialised on demand and must not be retained across
+    ``destroy()``; the engine only ever uses them inside one staging or
+    copy-back statement.
+    """
+
+    def __init__(self, shape: Tuple[int, ...], dtype):
+        self.shape = tuple(int(extent) for extent in shape)
+        self.dtype = np.dtype(dtype)
+        n_bytes = int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+        self.shm = shared_memory.SharedMemory(create=True,
+                                              size=max(n_bytes, 1))
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def view(self) -> np.ndarray:
+        return np.ndarray(self.shape, dtype=self.dtype, buffer=self.shm.buf)
+
+    def descriptor(self) -> Tuple[str, Tuple[int, ...], str]:
+        return (self.shm.name, self.shape, self.dtype.str)
+
+    def destroy(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - a view outlived its phase
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+def _attach_segment(cache: Dict[str, shared_memory.SharedMemory], name: str,
+                    untrack: bool) -> shared_memory.SharedMemory:
+    """Attach (and cache) a segment by name on the worker side.
+
+    With the ``spawn`` start method every worker runs its own resource
+    tracker, which would unlink the segment when the worker exits — long
+    before the owning process is done with it (bpo-38119).  Workers
+    therefore unregister attached segments; the owner's tracker remains the
+    single crash backstop.  Under ``fork`` the tracker is shared with the
+    owner and registration is set-idempotent, so no unregister is needed.
+    """
+    segment = cache.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        if untrack:
+            try:
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        cache[name] = segment
+    return segment
+
+
+def _segment_view(cache: Dict[str, shared_memory.SharedMemory],
+                  descriptor: Tuple[str, Tuple[int, ...], str],
+                  untrack: bool) -> np.ndarray:
+    name, shape, dtype = descriptor
+    segment = _attach_segment(cache, name, untrack)
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+
+
+# ---------------------------------------------------------------------------
+# the worker loop
+# ---------------------------------------------------------------------------
+
+def _worker_main(worker_id: int, untrack_attachments: bool,
+                 engine_config: Tuple, task_queue, result_queue) -> None:
+    """Execute plan/phase messages until a stop message arrives.
+
+    The worker owns a private :class:`BatchedUpdateEngine` built from the
+    parent's configuration, so the per-bucket kernel is literally the same
+    code (and the same arithmetic) the single-process engine runs.
+    """
+    update_method, policy, compute_dtype = engine_config
+    engine = BatchedUpdateEngine(update_method=update_method, policy=policy,
+                                 compute_dtype=compute_dtype)
+    segments: Dict[str, shared_memory.SharedMemory] = {}
+    plans: Dict[int, dict] = {}
+
+    def view(descriptor):
+        return _segment_view(segments, descriptor, untrack_attachments)
+
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "plan":
+            _, plan_id, descriptor = message
+            plans[plan_id] = descriptor
+            continue
+        if kind == "forget-plan":
+            plans.pop(message[1], None)
+            continue
+        if kind != "phase":  # pragma: no cover - protocol guard
+            result_queue.put(("error", worker_id, -1,
+                              f"unknown message kind {kind!r}"))
+            continue
+        _, sequence, plan_id, phase = message
+        try:
+            plan = plans[plan_id]
+            source = view(phase["source"])
+            target = view(phase["target"])
+            noise = view(phase["noise"])
+            items_flat = view(plan["items"])
+            neighbours_flat = view(plan["neighbours"])
+            values_flat = view(plan["values"])
+            prior = GaussianPrior(mean=phase["prior_mean"],
+                                  precision=phase["prior_precision"])
+            alpha = phase["alpha"]
+            for super_id in phase["super_ids"]:
+                flat_offset, row_offset, n_rows, pad, members = \
+                    plan["supers"][super_id]
+                block_shape = (n_rows, pad)
+                neighbours = neighbours_flat[
+                    flat_offset:flat_offset + n_rows * pad].reshape(block_shape)
+                values = values_flat[
+                    flat_offset:flat_offset + n_rows * pad].reshape(block_shape)
+                items = items_flat[row_offset:row_offset + n_rows]
+                for degree, member_offset, n_members in members:
+                    rows = slice(member_offset, member_offset + n_members)
+                    bucket = DegreeBucket(
+                        degree=degree,
+                        items=items[rows],
+                        neighbours=neighbours[rows, :degree],
+                        values=values[rows, :degree],
+                    )
+                    engine._update_bucket(bucket, target, source, prior,
+                                          alpha, noise)
+            result_queue.put(("done", worker_id, sequence))
+        except BaseException:
+            result_queue.put(("error", worker_id, sequence,
+                              traceback.format_exc()))
+
+    for segment in segments.values():
+        segment.close()
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+class _PhasePlan:
+    """Main-process record of one registered (axis, items) phase plan."""
+
+    def __init__(self, plan_id: int, fused: SuperBucketPlan,
+                 n_planned_items: int, value_dtype: np.dtype):
+        self.plan_id = plan_id
+        self.n_planned_items = n_planned_items
+        self.assignment: List[List[int]] = []
+        self.blocks: List[_SharedBlock] = []
+        self.descriptor: dict = {}
+        self.planned_rows = (
+            np.concatenate([sb.items for sb in fused.super_buckets])
+            if fused.super_buckets else np.empty(0, dtype=np.int64))
+
+        total_cells = sum(sb.n_items * sb.pad_degree
+                          for sb in fused.super_buckets)
+        items_block = _SharedBlock((self.planned_rows.shape[0],), np.int64)
+        neighbours_block = _SharedBlock((total_cells,), np.int64)
+        values_block = _SharedBlock((total_cells,), value_dtype)
+        self.blocks = [items_block, neighbours_block, values_block]
+
+        items_view = items_block.view()
+        neighbours_view = neighbours_block.view()
+        values_view = values_block.view()
+        supers = []
+        flat_offset = 0
+        row_offset = 0
+        for super_bucket in fused.super_buckets:
+            n_rows, pad = super_bucket.n_items, super_bucket.pad_degree
+            cells = n_rows * pad
+            items_view[row_offset:row_offset + n_rows] = super_bucket.items
+            neighbours_view[flat_offset:flat_offset + cells] = \
+                super_bucket.neighbours.ravel()
+            values_view[flat_offset:flat_offset + cells] = \
+                super_bucket.values.ravel()
+            supers.append((
+                flat_offset, row_offset, n_rows, pad,
+                tuple((member.degree, member.row_offset, member.n_items)
+                      for member in super_bucket.members),
+            ))
+            flat_offset += cells
+            row_offset += n_rows
+        self.descriptor = {
+            "items": items_block.descriptor(),
+            "neighbours": neighbours_block.descriptor(),
+            "values": values_block.descriptor(),
+            "supers": tuple(supers),
+        }
+
+    def destroy(self) -> None:
+        for block in self.blocks:
+            block.destroy()
+        self.blocks = []
+
+
+class SharedMemoryUpdateEngine(BatchedUpdateEngine):
+    """Process-parallel batched engine over shared-memory segments.
+
+    Parameters
+    ----------
+    update_method, policy, compute_dtype:
+        As for :class:`BatchedUpdateEngine`; the workers inherit them, so
+        method selection and precision behave identically.
+    n_workers:
+        Worker process count; default: the machine's CPU count.
+    tasks_per_worker:
+        Fusion granularity — the planner targets roughly ``n_workers *
+        tasks_per_worker`` super-buckets per phase, enough slack for the
+        LPT assignment to balance skewed degree distributions.
+
+    Notes
+    -----
+    ``update_items`` ignores ``parallel_map``: this engine schedules its
+    own execution (``manages_parallelism`` is True), so wrapping it in a
+    thread pool would only add contention.
+    """
+
+    name = "shared"
+    manages_parallelism = True
+
+    #: Cached phase plans (each pins ~2x its axis-subset's rating data in
+    #: shared memory), evicted LRU beyond this bound.  Sized for the
+    #: distributed sampler's working set: 2 phases x the ranks of a large
+    #: simulated world, whose per-rank subsets jointly hold the data once.
+    MAX_PHASE_PLANS = 64
+
+    def __init__(self, update_method: Optional[UpdateMethod] = None,
+                 policy: Optional[HybridUpdatePolicy] = None,
+                 compute_dtype: str = "float64",
+                 n_workers: Optional[int] = None,
+                 tasks_per_worker: int = 8):
+        super().__init__(update_method, policy, compute_dtype)
+        if n_workers is None:
+            n_workers = max(1, os.cpu_count() or 1)
+        check_positive("n_workers", n_workers)
+        check_positive("tasks_per_worker", tasks_per_worker)
+        self.n_workers = int(n_workers)
+        self.tasks_per_worker = int(tasks_per_worker)
+        self._start_method = default_start_method()
+        self._context = multiprocessing.get_context(self._start_method)
+        self._workers: List[Tuple] = []  # (Process, task_queue) pairs
+        self._results = None
+        self._sequence = itertools.count()
+        self._plan_ids = itertools.count()
+        # key -> (axis, plan): the axis reference keeps the key's id() valid.
+        self._phase_plans: "Dict[Tuple, Tuple[CompressedAxis, _PhasePlan]]" = {}
+        self._factor_blocks: Dict[Tuple, _SharedBlock] = {}
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    @property
+    def pool_running(self) -> bool:
+        """Whether worker processes are currently alive."""
+        return bool(self._workers) \
+            and all(process.is_alive() for process, _ in self._workers)
+
+    def _ensure_pool(self) -> None:
+        if self._workers:
+            if all(process.is_alive() for process, _ in self._workers):
+                return
+            # A worker died (crash or external kill): tear everything down
+            # and fail loudly rather than computing a partial phase.
+            self.close()
+            raise WorkerPoolError(
+                "a shared-memory worker died; the pool was torn down "
+                "(rerun to respawn it)")
+        config = (self.update_method, self.policy, self.compute_dtype)
+        untrack = self._start_method != "fork"
+        if self._start_method == "fork":
+            # Start the resource tracker *before* forking: children then
+            # inherit it, and their attach-time registrations land in the
+            # parent's tracker (an idempotent set) instead of each child
+            # spawning a private tracker that would report our unlinked
+            # segments as leaks at exit.
+            resource_tracker.ensure_running()
+        self._results = self._context.Queue()
+        for worker_id in range(self.n_workers):
+            task_queue = self._context.Queue()
+            process = self._context.Process(
+                target=_worker_main,
+                args=(worker_id, untrack, config, task_queue, self._results),
+                daemon=True,
+                name=f"repro-shared-worker-{worker_id}",
+            )
+            process.start()
+            self._workers.append((process, task_queue))
+
+    def close(self) -> None:
+        """Stop the pool and unlink every owned shared-memory segment.
+
+        Idempotent, exception-safe, and called by the samplers in a
+        ``finally``; the engine is reusable afterwards (pool and plans are
+        rebuilt lazily on the next phase).
+        """
+        for process, task_queue in self._workers:
+            if process.is_alive():
+                try:
+                    task_queue.put(("stop",))
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        for process, task_queue in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.terminate()
+                process.join(timeout=5.0)
+            task_queue.close()
+        if self._results is not None:
+            self._results.close()
+            self._results = None
+        self._workers = []
+        for _, plan in self._phase_plans.values():
+            plan.destroy()
+        self._phase_plans = {}
+        for block in self._factor_blocks.values():
+            block.destroy()
+        self._factor_blocks = {}
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- plan + factor staging -------------------------------------------
+
+    def _shared_plan(self, axis: CompressedAxis, items: Optional[np.ndarray],
+                     num_latent: int) -> _PhasePlan:
+        key = (id(axis),
+               None if items is None else np.asarray(items, np.int64).tobytes(),
+               int(num_latent))
+        entry = self._phase_plans.get(key)
+        # Entries keep the axis alongside the plan: id() values are only
+        # unique while the object lives, so the identity check prevents a
+        # recycled id from silently serving shared-memory gathers built
+        # from a previous dataset's ratings.
+        if entry is not None and entry[0] is axis:
+            # Refresh recency so the eviction below is LRU, not FIFO.
+            self._phase_plans.pop(key)
+            self._phase_plans[key] = entry
+            return entry[1]
+        bucket_plan = cached_bucket_plan(axis, items, value_dtype=self._dtype)
+        fused = fuse_bucket_plan(
+            bucket_plan, num_latent,
+            n_tasks_hint=self.n_workers * self.tasks_per_worker)
+        plan = _PhasePlan(next(self._plan_ids), fused,
+                          bucket_plan.n_planned_items, self._dtype)
+        plan.assignment = fused.assign_workers(self.n_workers)
+        if entry is not None:  # recycled id: drop the stale entry's segments
+            self._phase_plans.pop(key)
+            self._forget_plan(entry[1])
+        while len(self._phase_plans) >= self.MAX_PHASE_PLANS:
+            _, evicted = self._phase_plans.pop(next(iter(self._phase_plans)))
+            self._forget_plan(evicted)
+        for _, task_queue in self._workers:
+            task_queue.put(("plan", plan.plan_id, plan.descriptor))
+        self._phase_plans[key] = (axis, plan)
+        return plan
+
+    def _forget_plan(self, plan: _PhasePlan) -> None:
+        for _, task_queue in self._workers:
+            task_queue.put(("forget-plan", plan.plan_id))
+        plan.destroy()
+
+    def _factor_block(self, role: str, shape: Tuple[int, ...]) -> _SharedBlock:
+        key = (role, tuple(shape))
+        block = self._factor_blocks.get(key)
+        if block is None:
+            block = _SharedBlock(shape, self._dtype)
+            self._factor_blocks[key] = block
+        return block
+
+    def _stage(self, role: str, array: np.ndarray) -> _SharedBlock:
+        block = self._factor_block(role, array.shape)
+        block.view()[...] = array
+        return block
+
+    # -- phase execution --------------------------------------------------
+
+    def _wait_for_phase(self, pending: Dict[int, None], sequence: int) -> None:
+        errors: List[str] = []
+        while pending:
+            try:
+                message = self._results.get(timeout=0.2)
+            except queue_module.Empty:
+                dead = [worker_id for worker_id in pending
+                        if not self._workers[worker_id][0].is_alive()]
+                for worker_id in dead:
+                    pending.pop(worker_id, None)
+                    errors.append(
+                        f"worker {worker_id} died mid-phase (exit code "
+                        f"{self._workers[worker_id][0].exitcode})")
+                continue
+            kind, worker_id, msg_sequence = message[0], message[1], message[2]
+            if msg_sequence != sequence:
+                continue  # stale message from an aborted earlier phase
+            pending.pop(worker_id, None)
+            if kind == "error":
+                errors.append(f"worker {worker_id}:\n{message[3]}")
+        if errors:
+            raise WorkerPoolError(
+                "shared-memory phase failed:\n" + "\n".join(errors))
+
+    def update_items(self, target, source, axis, prior, alpha, noise,
+                     items=None, parallel_map=None):
+        del parallel_map  # this engine schedules its own parallelism
+        self._ensure_pool()
+        try:
+            plan = self._shared_plan(axis, items, prior.num_latent)
+            if plan.planned_rows.size == 0:
+                return plan.n_planned_items
+            source_block = self._stage(
+                "source", np.asarray(source, dtype=self._dtype))
+            noise_block = self._stage(
+                "noise", np.asarray(noise, dtype=self._dtype))
+            target_block = self._factor_block("target", target.shape)
+            sequence = next(self._sequence)
+            phase = {
+                "source": source_block.descriptor(),
+                "target": target_block.descriptor(),
+                "noise": noise_block.descriptor(),
+                "prior_mean": np.asarray(prior.mean, dtype=np.float64),
+                "prior_precision": np.asarray(prior.precision,
+                                              dtype=np.float64),
+                "alpha": float(alpha),
+            }
+            pending: Dict[int, None] = {}
+            for worker_id, super_ids in enumerate(plan.assignment):
+                if not super_ids:
+                    continue
+                self._workers[worker_id][1].put(
+                    ("phase", sequence, plan.plan_id,
+                     {**phase, "super_ids": tuple(super_ids)}))
+                pending[worker_id] = None
+            self._wait_for_phase(pending, sequence)
+            rows = plan.planned_rows
+            target[rows] = target_block.view()[rows]
+            return plan.n_planned_items
+        except WorkerPoolError:
+            # A failed phase leaves the pool in an unknown state (partially
+            # written target rows, possibly dead workers): tear down so
+            # nothing leaks and the next use starts clean.
+            self.close()
+            raise

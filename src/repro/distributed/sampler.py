@@ -80,6 +80,11 @@ class DistributedOptions:
     update_method: Optional[UpdateMethod] = None
     policy: HybridUpdatePolicy = field(default_factory=HybridUpdatePolicy)
     engine: str = "batched"  # update execution strategy (see core.batch_engine)
+    compute_dtype: str = "float64"  # kernel precision of the batched/shared engines
+    #: Process-pool size per node for ``engine="shared"`` — the simulated
+    #: ranks share one pool, which mirrors a real deployment where every
+    #: node runs its phase across its local cores.
+    n_workers: Optional[int] = None
     workload: WorkloadModel = field(default_factory=WorkloadModel)
     keep_sample_predictions: bool = False
     checkpoint: Optional["CheckpointConfig"] = None
@@ -121,10 +126,15 @@ class DistributedGibbsSampler:
         # One engine shared by all simulated ranks: the bucket plans it
         # caches are keyed per (axis, owned-items) pair, so each rank's
         # subset gets its own plan while the arithmetic stays per-item
-        # deterministic (identical rows to a full-matrix plan).
+        # deterministic (identical rows to a full-matrix plan).  With
+        # engine="shared" each rank's per-node phase runs across the
+        # engine's process pool, so node- and core-level parallelism
+        # compose as in the paper's cluster runs.
         self._engine = make_update_engine(self.options.engine,
                                           update_method=self.options.update_method,
-                                          policy=self.options.policy)
+                                          policy=self.options.policy,
+                                          compute_dtype=self.options.compute_dtype,
+                                          n_workers=self.options.n_workers)
 
     # ------------------------------------------------------------------ #
     # hyperparameter step
@@ -359,34 +369,42 @@ class DistributedGibbsSampler:
         movie_prior = GaussianPrior.standard(self.config.num_latent)
         gathered = reference_state if snapshot is not None else None
 
-        for iteration in range(checkpointer.start_iteration,
-                               self.config.total_iterations):
-            movie_prior = self._sample_prior("movies", rank_states, partition,
-                                             comms, rng, iteration)
-            movie_noise = rng.standard_normal((train.n_movies,
-                                               self.config.num_latent))
-            checkpointer.items_updated += self._run_phase(
-                "movies", train, rank_states, partition, plan, comms,
-                movie_prior, movie_noise, buffer_stats)
-            user_prior = self._sample_prior("users", rank_states, partition,
-                                            comms, rng, iteration)
-            user_noise = rng.standard_normal((train.n_users,
-                                              self.config.num_latent))
-            checkpointer.items_updated += self._run_phase(
-                "users", train, rank_states, partition, plan, comms,
-                user_prior, user_noise, buffer_stats)
+        # engine="shared" owns worker processes and shared-memory segments;
+        # the finally releases them even when a phase raises mid-run.
+        try:
+            for iteration in range(checkpointer.start_iteration,
+                                   self.config.total_iterations):
+                movie_prior = self._sample_prior("movies", rank_states,
+                                                 partition, comms, rng,
+                                                 iteration)
+                movie_noise = rng.standard_normal((train.n_movies,
+                                                   self.config.num_latent))
+                checkpointer.items_updated += self._run_phase(
+                    "movies", train, rank_states, partition, plan, comms,
+                    movie_prior, movie_noise, buffer_stats)
+                user_prior = self._sample_prior("users", rank_states,
+                                                partition, comms, rng,
+                                                iteration)
+                user_noise = rng.standard_normal((train.n_users,
+                                                  self.config.num_latent))
+                checkpointer.items_updated += self._run_phase(
+                    "users", train, rank_states, partition, plan, comms,
+                    user_prior, user_noise, buffer_stats)
 
-            gathered = self._gather_state(rank_states, partition, comms,
-                                          user_prior, movie_prior, iteration + 1)
-            sample_pred = gathered.predict(test_users, test_movies)
-            if iteration >= self.config.burn_in:
-                predictor.accumulate(gathered)
-                mean_rmse = rmse(predictor.mean_prediction(), test_values)
-            else:
-                mean_rmse = None
-            checkpointer.record(iteration, gathered,
-                                rmse(sample_pred, test_values), mean_rmse)
-            checkpointer.maybe_save(iteration, gathered, rng, predictor)
+                gathered = self._gather_state(rank_states, partition, comms,
+                                              user_prior, movie_prior,
+                                              iteration + 1)
+                sample_pred = gathered.predict(test_users, test_movies)
+                if iteration >= self.config.burn_in:
+                    predictor.accumulate(gathered)
+                    mean_rmse = rmse(predictor.mean_prediction(), test_values)
+                else:
+                    mean_rmse = None
+                checkpointer.record(iteration, gathered,
+                                    rmse(sample_pred, test_values), mean_rmse)
+                checkpointer.maybe_save(iteration, gathered, rng, predictor)
+        finally:
+            self._engine.close()
 
         if world.pending_messages():
             raise ValidationError(

@@ -48,6 +48,14 @@ class MulticoreOptions:
     :class:`repro.core.batch_engine.UpdateEngine`).  With ``"batched"``
     (default) the thread pool maps over degree buckets — each a stacked
     LAPACK call over disjoint items — instead of over individual items.
+    With ``"shared"`` the degree buckets run on a pool of real processes
+    over shared memory
+    (:class:`repro.core.shared_engine.SharedMemoryUpdateEngine`); the
+    engine then schedules its own execution and the thread pool is
+    bypassed.  ``n_workers`` sizes that process pool (default:
+    ``n_threads``, so existing configs scale transparently), and
+    ``compute_dtype`` selects the kernel precision (``"float32"`` halves
+    the memory bandwidth at tolerance-level, not bit-level, parity).
 
     ``checkpoint`` enables save-every-k-sweeps posterior snapshots, exactly
     as in :class:`repro.core.gibbs.SamplerOptions`; because the parallel
@@ -60,6 +68,8 @@ class MulticoreOptions:
     update_method: Optional[UpdateMethod] = None
     policy: HybridUpdatePolicy = field(default_factory=HybridUpdatePolicy)
     engine: str = "batched"
+    compute_dtype: str = "float64"
+    n_workers: Optional[int] = None
     keep_sample_predictions: bool = False
     checkpoint: Optional["CheckpointConfig"] = None
 
@@ -76,9 +86,14 @@ class MulticoreGibbsSampler:
                  options: MulticoreOptions | None = None):
         self.config = config or BPMFConfig()
         self.options = options or MulticoreOptions()
+        n_workers = self.options.n_workers
+        if n_workers is None and self.options.engine == "shared":
+            n_workers = self.options.n_threads
         self._engine = make_update_engine(self.options.engine,
                                           update_method=self.options.update_method,
-                                          policy=self.options.policy)
+                                          policy=self.options.policy,
+                                          compute_dtype=self.options.compute_dtype,
+                                          n_workers=n_workers)
         # chunk_size is tuned for per-item mapping; the batched engine's
         # parallel units are degree buckets (typically a few dozen per
         # phase), which must be submitted one per task or every bucket
@@ -109,9 +124,11 @@ class MulticoreGibbsSampler:
         # not depend on thread interleaving and matches the sequential
         # sampler's random stream exactly.
         noise = rng.standard_normal((n_items, self.config.num_latent))
+        parallel_map = (None if self._engine.manages_parallelism
+                        else self._backend.map_items)
         self._engine.update_items(target, source, axis, prior,
                                   self.config.alpha, noise,
-                                  parallel_map=self._backend.map_items)
+                                  parallel_map=parallel_map)
         return n_items
 
     def sweep(self, state: BPMFState, ratings: RatingMatrix,
@@ -152,18 +169,23 @@ class MulticoreGibbsSampler:
         checkpointer = TrainingCheckpointer(self.config, self.options.checkpoint,
                                             snapshot, state, predictor)
 
-        for iteration in range(checkpointer.start_iteration,
-                               self.config.total_iterations):
-            checkpointer.items_updated += self.sweep(state, train, rng)
-            sample_pred = state.predict(test_users, test_movies)
-            if iteration >= self.config.burn_in:
-                predictor.accumulate(state)
-                mean_rmse = rmse(predictor.mean_prediction(), test_values)
-            else:
-                mean_rmse = None
-            checkpointer.record(iteration, state,
-                                rmse(sample_pred, test_values), mean_rmse)
-            checkpointer.maybe_save(iteration, state, rng, predictor)
+        # engine="shared" owns worker processes and shared-memory segments;
+        # the finally releases them even when a sweep raises mid-run.
+        try:
+            for iteration in range(checkpointer.start_iteration,
+                                   self.config.total_iterations):
+                checkpointer.items_updated += self.sweep(state, train, rng)
+                sample_pred = state.predict(test_users, test_movies)
+                if iteration >= self.config.burn_in:
+                    predictor.accumulate(state)
+                    mean_rmse = rmse(predictor.mean_prediction(), test_values)
+                else:
+                    mean_rmse = None
+                checkpointer.record(iteration, state,
+                                    rmse(sample_pred, test_values), mean_rmse)
+                checkpointer.maybe_save(iteration, state, rng, predictor)
+        finally:
+            self._engine.close()
 
         return BPMFResult(
             config=self.config,

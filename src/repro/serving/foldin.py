@@ -22,11 +22,11 @@ users therefore costs one stacked LAPACK pass per distinct degree.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.batch_engine import BatchedUpdateEngine
+from repro.core.batch_engine import UpdateEngine, make_update_engine
 from repro.core.priors import GaussianPrior
 from repro.core.updates import conditional_distribution
 from repro.sparse.csr import CompressedAxis
@@ -71,6 +71,7 @@ def fold_in_users(
     item_lists: Sequence[np.ndarray],
     value_lists: Sequence[np.ndarray],
     noise: Optional[np.ndarray] = None,
+    engine: Optional[Union[str, UpdateEngine]] = None,
 ) -> np.ndarray:
     """Posterior factor rows for a batch of unseen users.
 
@@ -93,12 +94,30 @@ def fold_in_users(
         uses zeros, which makes every returned row the exact conditional
         posterior *mean*; pass real noise to draw posterior *samples*
         instead.
+    engine:
+        Execution strategy: an engine registry name or a pre-built
+        :class:`~repro.core.batch_engine.UpdateEngine`.  Default
+        ``"batched"``.  An engine built here from a name is closed before
+        returning (so ``engine="shared"`` cannot leak worker processes);
+        pass a caller-owned instance instead to amortise one shared pool
+        across many fold-in calls — the caller then closes it.  The
+        zero-noise posterior-mean semantics hold for every engine.
 
     Returns
     -------
     ``(n_new, K)`` factor rows, one per folded-in user.
     """
     check_positive("alpha", alpha)
+    owns_engine = False
+    if engine is None:
+        engine = "batched"
+    if isinstance(engine, str):
+        engine = make_update_engine(engine)
+        owns_engine = True
+    elif not isinstance(engine, UpdateEngine):
+        raise ValidationError(
+            f"engine must be a registry name or an UpdateEngine, "
+            f"got {type(engine).__name__}")
     item_factors = np.asarray(item_factors, dtype=np.float64)
     if item_factors.ndim != 2:
         raise ValidationError("item_factors must be 2-D (n_items x K)")
@@ -119,8 +138,11 @@ def fold_in_users(
                 f"noise must have shape ({n_new}, {k}), got {noise.shape}")
 
     target = np.zeros((n_new, k))
-    BatchedUpdateEngine().update_items(target, item_factors, axis, prior,
-                                       alpha, noise)
+    try:
+        engine.update_items(target, item_factors, axis, prior, alpha, noise)
+    finally:
+        if owns_engine:
+            engine.close()
     return target
 
 
@@ -131,11 +153,12 @@ def fold_in_user(
     items: np.ndarray,
     values: np.ndarray,
     noise: Optional[np.ndarray] = None,
+    engine: Optional[Union[str, UpdateEngine]] = None,
 ) -> np.ndarray:
     """Posterior factor row for one unseen user (see :func:`fold_in_users`)."""
     noise_rows = None if noise is None else np.asarray(noise)[None, :]
     return fold_in_users(item_factors, prior, alpha, [items], [values],
-                         noise=noise_rows)[0]
+                         noise=noise_rows, engine=engine)[0]
 
 
 def fold_in_posterior(

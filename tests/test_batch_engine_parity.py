@@ -9,6 +9,8 @@ change has not changed the sampled chain.
 
 from __future__ import annotations
 
+import gc
+
 import numpy as np
 import pytest
 
@@ -20,9 +22,14 @@ from repro.core.batch_engine import (
 )
 from repro.core.gibbs import GibbsSampler, SamplerOptions
 from repro.core.priors import BPMFConfig, GaussianPrior
+from repro.core.shared_engine import SharedMemoryUpdateEngine, WorkerPoolError
 from repro.core.updates import HybridUpdatePolicy, UpdateMethod
 from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
-from repro.sparse.buckets import build_bucket_plan
+from repro.sparse.buckets import (
+    build_bucket_plan,
+    cached_bucket_plan,
+    fuse_bucket_plan,
+)
 from repro.sparse.csr import CompressedAxis, RatingMatrix
 from repro.utils.validation import ValidationError
 
@@ -193,17 +200,34 @@ class TestSamplerParity:
 
 class TestEngineSelection:
     def test_available_engines(self):
-        assert set(available_engines()) == {"reference", "batched"}
+        assert set(available_engines()) == {"reference", "batched", "shared"}
 
     def test_default_engine_is_batched(self):
         assert SamplerOptions().engine == "batched"
         assert isinstance(GibbsSampler().engine, BatchedUpdateEngine)
 
-    def test_unknown_engine_rejected(self):
-        with pytest.raises(ValidationError):
+    def test_unknown_engine_rejected_with_engine_list(self):
+        with pytest.raises(ValidationError) as excinfo:
             make_update_engine("vectorised-harder")
+        message = str(excinfo.value)
+        for name in available_engines():
+            assert name in message
         with pytest.raises(ValidationError):
             GibbsSampler(options=SamplerOptions(engine="nope"))
+
+    def test_n_workers_rejected_for_in_process_engines(self):
+        with pytest.raises(ValidationError):
+            make_update_engine("batched", n_workers=2)
+        with pytest.raises(ValidationError):
+            make_update_engine("reference", n_workers=2)
+
+    def test_reference_engine_rejects_float32(self):
+        with pytest.raises(ValidationError):
+            make_update_engine("reference", compute_dtype="float32")
+
+    def test_invalid_compute_dtype_rejected(self):
+        with pytest.raises(ValidationError):
+            make_update_engine("batched", compute_dtype="float16")
 
     def test_bucket_plan_cached_per_axis_and_subset(self):
         rng = np.random.default_rng(0)
@@ -216,6 +240,287 @@ class TestEngineSelection:
         plan_c = engine._plan_for(axis, subset)
         assert plan_c is not plan_a
         assert plan_c is engine._plan_for(axis, subset.copy())
+
+    def test_bucket_plan_shared_across_engines_and_sweeps(self):
+        """The plan cache is per axis identity, not per engine instance."""
+        rng = np.random.default_rng(8)
+        axis = _random_axis(rng, 12, 9, rng.integers(0, 6, size=12))
+        plan_direct = cached_bucket_plan(axis)
+        engine_a, engine_b = BatchedUpdateEngine(), BatchedUpdateEngine()
+        assert engine_a._plan_for(axis, None) is plan_direct
+        assert engine_b._plan_for(axis, None) is plan_direct
+        # Repeated sweeps of one engine keep hitting the same object.
+        assert engine_a._plan_for(axis, None) is plan_direct
+        # Distinct value dtypes are distinct plans (float32 gathers).
+        plan_f32 = cached_bucket_plan(axis, value_dtype=np.float32)
+        assert plan_f32 is not plan_direct
+        assert plan_f32.buckets[-1].values.dtype == np.float32
+
+    def test_bucket_plan_cache_invalidated_on_axis_change(self):
+        """A new axis object — even with identical content — replans."""
+        rng = np.random.default_rng(21)
+        degrees = rng.integers(0, 5, size=10)
+
+        def make_axis(seed):
+            return _random_axis(np.random.default_rng(seed), 10, 12, degrees)
+
+        axis = make_axis(3)
+        plan_old = cached_bucket_plan(axis)
+        del axis
+        gc.collect()  # finalizer evicts the dead axis's entries (id reuse safe)
+        fresh = make_axis(3)
+        plan_new = cached_bucket_plan(fresh)
+        assert plan_new is not plan_old
+
+
+class TestSuperBuckets:
+    """Degree-padded fusion must repartition the plan without changing it."""
+
+    def _plan(self, seed=5, n_items=40, n_source=30, high=20):
+        rng = np.random.default_rng(seed)
+        axis = _random_axis(rng, n_items, n_source,
+                            rng.integers(0, high, size=n_items))
+        return build_bucket_plan(axis)
+
+    def test_fusion_covers_every_item_exactly_once(self):
+        plan = self._plan()
+        fused = fuse_bucket_plan(plan, num_latent=8)
+        covered = np.concatenate([sb.items for sb in fused.super_buckets])
+        original = np.concatenate([b.items for b in plan.buckets])
+        assert sorted(covered.tolist()) == sorted(original.tolist())
+        assert fused.n_planned_items == plan.n_planned_items
+
+    def test_member_slices_reproduce_exact_degree_blocks(self):
+        """Slicing a member back out yields the unpadded bucket arrays."""
+        plan = self._plan(seed=9)
+        fused = fuse_bucket_plan(plan, num_latent=8)
+        by_degree = {}
+        for super_bucket in fused.super_buckets:
+            for member in super_bucket.members:
+                rows = slice(member.row_offset,
+                             member.row_offset + member.n_items)
+                by_degree.setdefault(member.degree, []).append((
+                    super_bucket.items[rows],
+                    super_bucket.neighbours[rows, :member.degree],
+                    super_bucket.values[rows, :member.degree],
+                ))
+                # Padding beyond the member degree is exactly zero.
+                assert (super_bucket.neighbours[rows, member.degree:] == 0).all()
+                assert (super_bucket.values[rows, member.degree:] == 0.0).all()
+        for bucket in plan.buckets:
+            pieces = by_degree[bucket.degree]
+            items = np.concatenate([p[0] for p in pieces])
+            neighbours = np.concatenate([p[1] for p in pieces])
+            values = np.concatenate([p[2] for p in pieces])
+            order = np.argsort(items)
+            np.testing.assert_array_equal(items[order], bucket.items)
+            np.testing.assert_array_equal(neighbours[order], bucket.neighbours)
+            np.testing.assert_array_equal(values[order], bucket.values)
+
+    def test_large_bucket_split_into_chunks(self):
+        """One dominant degree cannot serialise a phase on one worker."""
+        rng = np.random.default_rng(2)
+        axis = _random_axis(rng, 64, 50, np.full(64, 7))  # one huge bucket
+        plan = build_bucket_plan(axis)
+        assert plan.n_buckets == 1
+        fused = fuse_bucket_plan(plan, num_latent=8, n_tasks_hint=8)
+        assert fused.n_super_buckets > 1
+        assert fused.n_planned_items == 64
+
+    def test_padding_waste_is_bounded(self):
+        plan = self._plan(seed=13, n_items=60, high=30)
+        fused = fuse_bucket_plan(plan, num_latent=8, max_pad_ratio=0.25)
+        for super_bucket in fused.super_buckets:
+            padded = super_bucket.n_items * super_bucket.pad_degree
+            real = sum(member.n_items * member.degree
+                       for member in super_bucket.members)
+            if padded:
+                assert (padded - real) / padded <= 0.25 + 1e-9
+
+    def test_worker_assignment_deterministic_and_complete(self):
+        plan = self._plan(seed=4)
+        fused = fuse_bucket_plan(plan, num_latent=8)
+        assignment = fused.assign_workers(3)
+        again = fused.assign_workers(3)
+        assert assignment == again
+        flat = sorted(i for worker in assignment for i in worker)
+        assert flat == list(range(fused.n_super_buckets))
+
+
+class TestSharedEngine:
+    """The process backend must be bit-identical to the batched engine."""
+
+    def _inputs(self, seed=7, n_items=50, n_source=35, k=8, high=25):
+        rng = np.random.default_rng(seed)
+        axis = _random_axis(rng, n_items, n_source,
+                            rng.integers(0, high, size=n_items))
+        source = rng.normal(size=(n_source, k))
+        prior = GaussianPrior(mean=rng.normal(size=k),
+                              precision=np.eye(k) * rng.uniform(0.5, 2.0))
+        noise = rng.standard_normal((n_items, k))
+        return axis, source, prior, noise
+
+    def test_phase_bit_parity_vs_batched(self):
+        axis, source, prior, noise = self._inputs()
+        batched = np.zeros_like(noise)
+        BatchedUpdateEngine().update_items(batched, source, axis, prior,
+                                           2.0, noise)
+        with make_update_engine("shared", n_workers=2) as engine:
+            shared = np.zeros_like(noise)
+            engine.update_items(shared, source, axis, prior, 2.0, noise)
+            # Pool and plans persist across phases: a second pass reuses
+            # both and still matches.
+            repeat = np.zeros_like(noise)
+            engine.update_items(repeat, source, axis, prior, 2.0, noise)
+        np.testing.assert_array_equal(shared, batched)
+        np.testing.assert_array_equal(repeat, batched)
+
+    def test_subset_bit_parity(self):
+        """Distributed-style subsets match the batched rows bitwise."""
+        axis, source, prior, noise = self._inputs(seed=11)
+        subset = np.array([0, 3, 8, 21, 40, 49])
+        batched = np.zeros_like(noise)
+        BatchedUpdateEngine().update_items(batched, source, axis, prior,
+                                           2.0, noise)
+        with make_update_engine("shared", n_workers=2) as engine:
+            shared = np.zeros_like(noise)
+            engine.update_items(shared, source, axis, prior, 2.0, noise,
+                                items=subset)
+        np.testing.assert_array_equal(shared[subset], batched[subset])
+        untouched = np.setdiff1d(np.arange(noise.shape[0]), subset)
+        assert (shared[untouched] == 0).all()
+
+    def test_full_sweep_chain_bit_parity(self):
+        """GibbsSampler(engine="shared") reproduces the batched chain."""
+        data = make_low_rank_dataset(SyntheticConfig(
+            n_users=40, n_movies=30, rank=3, density=0.3, noise_std=0.25,
+            test_fraction=0.2, seed=31))
+        config = BPMFConfig(num_latent=8, burn_in=1, n_samples=2, alpha=4.0)
+        batched = GibbsSampler(config, SamplerOptions(engine="batched")).run(
+            data.split.train, data.split, seed=5)
+        shared = GibbsSampler(config, SamplerOptions(
+            engine="shared", n_workers=2)).run(
+            data.split.train, data.split, seed=5)
+        np.testing.assert_array_equal(shared.state.user_factors,
+                                      batched.state.user_factors)
+        np.testing.assert_array_equal(shared.state.movie_factors,
+                                      batched.state.movie_factors)
+        assert shared.rmse_per_sample == batched.rmse_per_sample
+
+    def test_float32_mode_tolerance_parity(self):
+        """float32 kernels track the float64 chain to single precision,
+        and the shared float32 path is bit-identical to batched float32."""
+        axis, source, prior, noise = self._inputs(seed=19)
+        exact = np.zeros_like(noise)
+        BatchedUpdateEngine().update_items(exact, source, axis, prior,
+                                           2.0, noise)
+        narrowed = np.zeros_like(noise)
+        BatchedUpdateEngine(compute_dtype="float32").update_items(
+            narrowed, source, axis, prior, 2.0, noise)
+        np.testing.assert_allclose(narrowed, exact, rtol=5e-3, atol=5e-4)
+        assert not np.array_equal(narrowed, exact)  # genuinely narrowed
+        with make_update_engine("shared", n_workers=2,
+                                compute_dtype="float32") as engine:
+            shared = np.zeros_like(noise)
+            engine.update_items(shared, source, axis, prior, 2.0, noise)
+        np.testing.assert_array_equal(shared, narrowed)
+
+    def test_worker_error_propagates_and_engine_recovers(self):
+        """A worker-side failure raises, tears down, and stays usable."""
+        axis, source, prior, noise = self._inputs(seed=23)
+        engine = make_update_engine("shared", n_workers=2)
+        try:
+            good = np.zeros_like(noise)
+            engine.update_items(good, source, axis, prior, 2.0, noise)
+            segment_names = self._segment_names(engine)
+            assert segment_names  # plan + factor blocks exist
+            bad_axis = CompressedAxis(
+                indptr=np.array([0, 2]),
+                indices=np.array([source.shape[0] + 5,
+                                  source.shape[0] + 6]),  # out of range
+                values=np.array([1.0, 2.0]))
+            with pytest.raises(WorkerPoolError):
+                engine.update_items(np.zeros((1, noise.shape[1])), source,
+                                    bad_axis, prior, 2.0,
+                                    noise[:1])
+            # The failed phase tore the pool down and unlinked everything.
+            self._assert_unlinked(segment_names)
+            assert not engine.pool_running
+            # ... and the engine rebuilds lazily and still matches.
+            again = np.zeros_like(noise)
+            engine.update_items(again, source, axis, prior, 2.0, noise)
+            np.testing.assert_array_equal(again, good)
+        finally:
+            engine.close()
+
+    def test_kill_mid_sweep_unlinks_shared_memory(self):
+        """SIGKILLing a worker between phases must not leak segments."""
+        axis, source, prior, noise = self._inputs(seed=29)
+        engine = make_update_engine("shared", n_workers=2)
+        try:
+            target = np.zeros_like(noise)
+            engine.update_items(target, source, axis, prior, 2.0, noise)
+            segment_names = self._segment_names(engine)
+            victim = engine._workers[0][0]
+            victim.kill()
+            victim.join(timeout=5.0)
+            with pytest.raises(WorkerPoolError):
+                engine.update_items(np.zeros_like(noise), source, axis,
+                                    prior, 2.0, noise)
+            self._assert_unlinked(segment_names)
+            assert not engine.pool_running
+        finally:
+            engine.close()
+
+    def test_recycled_axis_id_cannot_serve_stale_phase_plan(self):
+        """The phase-plan cache checks axis identity, not just id().
+
+        Forges the failure a recycled ``id()`` would produce — a cache
+        entry whose key matches a *different* axis object — and asserts
+        the engine rebuilds instead of sampling from the old dataset's
+        shared-memory gathers.
+        """
+        axis_a, source, prior, noise = self._inputs(seed=41)
+        rng = np.random.default_rng(43)
+        axis_b = CompressedAxis(indptr=axis_a.indptr.copy(),
+                                indices=axis_a.indices.copy(),
+                                values=rng.normal(size=axis_a.nnz))
+        expected = np.zeros_like(noise)
+        BatchedUpdateEngine().update_items(expected, source, axis_b, prior,
+                                           2.0, noise)
+        with make_update_engine("shared", n_workers=2) as engine:
+            engine.update_items(np.zeros_like(noise), source, axis_a, prior,
+                                2.0, noise)
+            stale_entry = next(iter(engine._phase_plans.values()))
+            forged_key = (id(axis_b), None, prior.num_latent)
+            engine._phase_plans = {forged_key: stale_entry}
+            shared = np.zeros_like(noise)
+            engine.update_items(shared, source, axis_b, prior, 2.0, noise)
+        np.testing.assert_array_equal(shared, expected)
+
+    def test_close_is_idempotent_and_context_managed(self):
+        axis, source, prior, noise = self._inputs(seed=37)
+        with make_update_engine("shared", n_workers=2) as engine:
+            engine.update_items(np.zeros_like(noise), source, axis, prior,
+                                2.0, noise)
+            segment_names = self._segment_names(engine)
+        self._assert_unlinked(segment_names)
+        engine.close()  # second close is a no-op
+        assert not engine.pool_running
+
+    @staticmethod
+    def _segment_names(engine: SharedMemoryUpdateEngine):
+        names = [block.name for block in engine._factor_blocks.values()]
+        for _, plan in engine._phase_plans.values():
+            names.extend(block.name for block in plan.blocks)
+        return names
+
+    @staticmethod
+    def _assert_unlinked(segment_names):
+        from multiprocessing import shared_memory
+        for name in segment_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
 
 
 class TestBucketPlan:

@@ -27,6 +27,24 @@ class TestDistributedSamplerParity:
         np.testing.assert_allclose(dist.state.movie_factors, seq.state.movie_factors)
         assert dist.final_rmse == pytest.approx(seq.final_rmse)
 
+    def test_shared_engine_matches_batched_distributed_run(self, tiny_dataset,
+                                                           tiny_config):
+        """Each rank's per-node phase through the process pool is
+        bit-identical to the in-process batched engine."""
+        batched, _ = DistributedGibbsSampler(
+            tiny_config, DistributedOptions(n_ranks=3, engine="batched")
+        ).run(tiny_dataset.split.train, tiny_dataset.split, seed=21)
+        sampler = DistributedGibbsSampler(
+            tiny_config, DistributedOptions(n_ranks=3, engine="shared",
+                                            n_workers=2))
+        shared, _ = sampler.run(tiny_dataset.split.train, tiny_dataset.split,
+                                seed=21)
+        np.testing.assert_array_equal(shared.state.user_factors,
+                                      batched.state.user_factors)
+        np.testing.assert_array_equal(shared.state.movie_factors,
+                                      batched.state.movie_factors)
+        assert not sampler._engine.pool_running  # closed by run()'s finally
+
     def test_stats_mode_statistical_parity(self, tiny_dataset, tiny_config):
         seq = GibbsSampler(tiny_config).run(tiny_dataset.split.train,
                                             tiny_dataset.split, seed=21)

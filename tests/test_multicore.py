@@ -59,6 +59,23 @@ class TestMulticoreSamplerCorrectness:
         np.testing.assert_allclose(threaded.state.user_factors,
                                    single.state.user_factors)
 
+    def test_shared_engine_bitwise_parity_with_sequential(self, tiny_dataset,
+                                                          tiny_config):
+        """engine="shared" reproduces the sequential chain bit for bit,
+        and the run tears its worker pool down on exit."""
+        seq = GibbsSampler(tiny_config).run(tiny_dataset.split.train,
+                                            tiny_dataset.split, seed=9)
+        sampler = MulticoreGibbsSampler(
+            tiny_config, MulticoreOptions(engine="shared", n_threads=2))
+        shared = sampler.run(tiny_dataset.split.train, tiny_dataset.split,
+                             seed=9)
+        np.testing.assert_array_equal(shared.state.user_factors,
+                                      seq.state.user_factors)
+        np.testing.assert_array_equal(shared.state.movie_factors,
+                                      seq.state.movie_factors)
+        assert shared.final_rmse == pytest.approx(seq.final_rmse)
+        assert not sampler._engine.pool_running  # closed by run()'s finally
+
     def test_trace_lengths(self, tiny_dataset, tiny_config):
         result = MulticoreGibbsSampler(tiny_config).run(
             tiny_dataset.split.train, tiny_dataset.split, seed=0)

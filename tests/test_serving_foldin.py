@@ -54,6 +54,44 @@ class TestFoldInMean:
         item_factors, prior = setting
         assert fold_in_users(item_factors, prior, 4.0, [], []).shape == (0, 5)
 
+    def test_engine_selection(self, rng, setting):
+        """Every engine folds in to identical rows; junk engines rejected."""
+        item_factors, prior = setting
+        item_lists = [np.array([0, 3]), np.array([7, 8, 9])]
+        value_lists = [rng.normal(size=len(items)) for items in item_lists]
+        default = fold_in_users(item_factors, prior, 4.0,
+                                item_lists, value_lists)
+        reference = fold_in_users(item_factors, prior, 4.0,
+                                  item_lists, value_lists, engine="reference")
+        np.testing.assert_allclose(reference, default, rtol=1e-7, atol=1e-9)
+        from repro.core.batch_engine import make_update_engine
+        with make_update_engine("shared", n_workers=2) as engine:
+            shared = fold_in_users(item_factors, prior, 4.0,
+                                   item_lists, value_lists, engine=engine)
+        np.testing.assert_array_equal(shared, default)
+        with pytest.raises(ValidationError):
+            fold_in_users(item_factors, prior, 4.0, item_lists, value_lists,
+                          engine=42)
+        with pytest.raises(ValidationError):
+            fold_in_users(item_factors, prior, 4.0, item_lists, value_lists,
+                          engine="no-such-engine")
+
+    def test_shared_engine_by_name_does_not_leak_workers(self, rng, setting):
+        """An engine built from a name is closed before returning."""
+        import multiprocessing
+
+        item_factors, prior = setting
+        item_lists = [np.array([0, 3]), np.array([7, 8, 9])]
+        value_lists = [rng.normal(size=len(items)) for items in item_lists]
+        default = fold_in_users(item_factors, prior, 4.0,
+                                item_lists, value_lists)
+        shared = fold_in_users(item_factors, prior, 4.0,
+                               item_lists, value_lists, engine="shared")
+        np.testing.assert_array_equal(shared, default)
+        leftover = [proc for proc in multiprocessing.active_children()
+                    if proc.name.startswith("repro-shared-worker")]
+        assert leftover == []
+
 
 class TestFoldInSample:
     def test_noise_draws_the_conditional_sample(self, rng, setting):
