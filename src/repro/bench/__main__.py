@@ -2,8 +2,10 @@
 
 Runs the requested experiments (default: all of them) and prints each
 figure's data table.  Pass ``--list`` to see what is available, and
-``--record [PATH]`` to persist the engine-ladder timings as a
-``BENCH_*.json`` document (default path ``BENCH_pr3.json``).
+``--record [PATH]`` to persist recordable timings (the ``engines`` and
+``serving`` ladders) as ``BENCH_*.json`` documents — without an explicit
+PATH each ladder goes to its committed default
+(``BENCH_pr3.json``/``BENCH_pr4.json``).
 """
 
 from __future__ import annotations
@@ -14,7 +16,9 @@ import sys
 
 from repro.bench.runner import available_experiments, run_experiment
 
-DEFAULT_RECORD_PATH = "BENCH_pr3.json"
+#: Committed baseline path per recordable experiment.
+DEFAULT_RECORD_PATHS = {"engines": "BENCH_pr3.json",
+                        "serving": "BENCH_pr4.json"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -29,11 +33,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="run reduced-size versions of every experiment "
                              "(the CI smoke configuration)")
-    parser.add_argument("--record", nargs="?", const=DEFAULT_RECORD_PATH,
+    parser.add_argument("--record", nargs="?", const="auto",
                         default=None, metavar="PATH",
-                        help="write the engine-ladder timings to PATH as "
-                             f"JSON (default {DEFAULT_RECORD_PATH}); adds "
-                             "the 'engines' experiment if not selected")
+                        help="write recordable timings (engines, serving) "
+                             "to PATH as JSON; without PATH each ladder "
+                             "goes to its committed default "
+                             f"({DEFAULT_RECORD_PATHS}); adds the "
+                             "'engines' experiment if none is selected")
     args = parser.parse_args(argv)
 
     registry = available_experiments()
@@ -48,21 +54,31 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(registry)}", file=sys.stderr)
         return 2
-    if args.record and "engines" not in names:
+    if args.record and not any(name in DEFAULT_RECORD_PATHS
+                               for name in names):
         names.append("engines")
+    recordable = [name for name in names if name in DEFAULT_RECORD_PATHS]
+    if args.record not in (None, "auto") and len(recordable) > 1:
+        print(f"--record {args.record} is ambiguous for "
+              f"{'+'.join(recordable)}: each would overwrite the file; "
+              "select one experiment or use bare --record for the "
+              "per-experiment defaults", file=sys.stderr)
+        return 2
 
     for name in names:
         outcome = run_experiment(name, quick=args.quick)
         print(outcome.render())
         print()
-        if args.record and name == "engines":
+        if args.record and name in DEFAULT_RECORD_PATHS:
             payload = outcome.result.to_json_payload()
             payload["quick"] = bool(args.quick)
             payload["wall_seconds"] = round(outcome.seconds, 2)
-            with open(args.record, "w", encoding="utf8") as handle:
+            path = (DEFAULT_RECORD_PATHS[name] if args.record == "auto"
+                    else args.record)
+            with open(path, "w", encoding="utf8") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)
                 handle.write("\n")
-            print(f"recorded engine timings -> {args.record}")
+            print(f"recorded {name} timings -> {path}")
     return 0
 
 

@@ -18,8 +18,6 @@ parallelism, and the recorded JSON will honestly show that.
 from __future__ import annotations
 
 import datetime
-import os
-import platform
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,9 +25,9 @@ import numpy as np
 
 from repro.core.gibbs import GibbsSampler, SamplerOptions
 from repro.core.priors import BPMFConfig
-from repro.core.shared_engine import default_start_method
 from repro.core.state import initialize_state
 from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
+from repro.utils.environment import machine_environment
 from repro.utils.tables import Table
 from repro.utils.timing import time_call
 from repro.utils.validation import check_positive
@@ -108,17 +106,6 @@ class EngineBenchResult:
                        "estimator": "best-of-repeats"},
             "results": [row.to_json() for row in self.rows],
         }
-
-
-def _machine_environment() -> Dict[str, object]:
-    return {
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "mp_start_method": default_start_method(),
-    }
 
 
 def time_engine_case(engine: str, workers: Optional[int], compute_dtype: str,
@@ -239,7 +226,7 @@ def run_engine_bench(
             "density": train.density,
             "seed": seed,
         },
-        environment=_machine_environment(),
+        environment=machine_environment(),
         sweeps=sweeps,
         repeats=repeats,
     )

@@ -39,6 +39,7 @@ def _experiments() -> Dict[str, Tuple[Callable[[], object], Callable[[object], T
     from repro.bench.fig3_multicore import run_fig3
     from repro.bench.fig4_strong_scaling import run_fig4
     from repro.bench.fig5_overlap import run_fig5
+    from repro.bench.serving import run_serving_bench
     from repro.bench.speedup_summary import run_speedup_summary
 
     return {
@@ -49,6 +50,10 @@ def _experiments() -> Dict[str, Tuple[Callable[[], object], Callable[[object], T
         "engines": (run_engine_bench, lambda r: r.to_table(),
                     "Engine ladder: reference vs batched vs shared-memory "
                     "process pool (records BENCH_*.json via --record)"),
+        "serving": (run_serving_bench, lambda r: r.to_table(),
+                    "Serving ladder: single-process top-N vs sharded "
+                    "cluster, shards x workers (records BENCH_*.json via "
+                    "--record)"),
         "fig3": (run_fig3, lambda r: r.to_table(),
                  "Figure 3: multicore throughput vs threads"),
         "fig4": (run_fig4, lambda r: r.to_table(),
@@ -80,6 +85,9 @@ def _quick_overrides() -> Dict[str, Dict[str, object]]:
         "engines": dict(n_users=400, n_movies=300, density=0.03,
                         num_latents=(8,), worker_counts=(1, 2),
                         sweeps=1, repeats=1),
+        # The serving-cluster smoke: a 2-shard gateway on a small posterior.
+        "serving": dict(n_users=300, n_items=400, num_latent=8,
+                        shard_counts=(1, 2), n_queries=60, warmup=5),
         "fig3": dict(chembl_scale=10.0, thread_counts=(1, 2)),
         "fig4": dict(n_ratings=100_000, node_counts=(1, 4)),
         "fig5": dict(n_ratings=100_000, node_counts=(1, 4)),

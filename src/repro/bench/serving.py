@@ -1,0 +1,232 @@
+"""Serving throughput/latency ladder: single-process vs sharded cluster.
+
+Measures ranked-retrieval (``top_n``) traffic against one synthetic
+posterior: the single-process
+:class:`~repro.serving.service.PredictionService` baseline first, then the
+:class:`~repro.serving.cluster.ShardedScorer` across a shards x workers
+grid.  Every rung answers the same query stream, so the rows are directly
+comparable; per-query wall-clock latencies feed the p50/p95 columns and
+the aggregate queries-per-second.
+
+The recorded document (``python -m repro.bench serving --record`` writes
+``BENCH_pr4.json``) carries the same machine metadata as the engine
+ladder — on a single-core container the sharded rungs can only measure
+their IPC overhead, and the JSON will honestly show that (the committed
+baseline is exactly such a container; see ``environment.cpu_count``).
+
+The service's LRU score cache is sized *below* the user population here,
+so the measured baseline is GEMV throughput, not cache hits — the regime
+the cluster exists for.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.environment import machine_environment
+from repro.core.priors import BPMFConfig, GaussianPrior
+from repro.core.state import BPMFState
+from repro.serving.checkpoint import Snapshot, _CONFIG_FIELDS
+from repro.serving.cluster import ShardedScorer
+from repro.serving.service import PredictionService
+from repro.utils.tables import Table
+from repro.utils.validation import check_positive
+
+__all__ = ["ServingBenchRow", "ServingBenchResult", "run_serving_bench",
+           "make_bench_snapshot"]
+
+
+@dataclass
+class ServingBenchRow:
+    """One timed serving configuration."""
+
+    backend: str
+    shards: Optional[int]
+    workers: Optional[int]
+    queries: int
+    seconds: float
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    speedup_vs_single: Optional[float] = None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "shards": self.shards,
+            "workers": self.workers,
+            "queries": self.queries,
+            "seconds": self.seconds,
+            "qps": self.qps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "speedup_vs_single": self.speedup_vs_single,
+        }
+
+
+@dataclass
+class ServingBenchResult:
+    """All timed configurations plus workload and machine metadata."""
+
+    rows: List[ServingBenchRow]
+    workload: Dict[str, object]
+    environment: Dict[str, object]
+    top_n: int
+
+    def to_table(self) -> Table:
+        table = Table(
+            ["backend", "shards", "workers", "queries", "qps", "p50 ms",
+             "p95 ms", "vs single"],
+            title=f"Serving ladder — top-{self.top_n} query wall clock",
+        )
+        for row in self.rows:
+            table.add_row(
+                row.backend,
+                "-" if row.shards is None else row.shards,
+                "-" if row.workers is None else row.workers,
+                row.queries,
+                round(row.qps, 1),
+                round(row.p50_ms, 3),
+                round(row.p95_ms, 3),
+                ("-" if row.speedup_vs_single is None
+                 else f"{row.speedup_vs_single:.2f}x"),
+            )
+        return table
+
+    def to_json_payload(self) -> Dict[str, object]:
+        """The ``BENCH_*.json`` document for this run."""
+        return {
+            "benchmark": "serving-ladder",
+            "created": datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds"),
+            "environment": dict(self.environment),
+            "workload": dict(self.workload),
+            "top_n": self.top_n,
+            "results": [row.to_json() for row in self.rows],
+        }
+
+
+def make_bench_snapshot(n_users: int, n_items: int, num_latent: int,
+                        seed: int = 0) -> Snapshot:
+    """A synthetic posterior snapshot: random factors, default priors.
+
+    Serving throughput depends only on the factor shapes, so there is no
+    need to burn minutes of Gibbs sampling to measure it.
+    """
+    rng = np.random.default_rng(seed)
+    config = BPMFConfig(num_latent=num_latent)
+    state = BPMFState(
+        user_factors=rng.standard_normal((n_users, num_latent)),
+        movie_factors=rng.standard_normal((n_items, num_latent)),
+        user_prior=GaussianPrior.standard(num_latent),
+        movie_prior=GaussianPrior.standard(num_latent),
+        iteration=1,
+    )
+    return Snapshot(
+        state=state,
+        config={key: float(getattr(config, key)) for key in _CONFIG_FIELDS},
+        offset=3.5,
+    )
+
+
+def _time_queries(top_n_callable, users: np.ndarray, n: int,
+                  warmup: int) -> Tuple[float, np.ndarray]:
+    """Total seconds and per-query latencies for one query stream."""
+    for user in users[:warmup]:
+        top_n_callable(int(user), n=n)
+    latencies = np.empty(users.shape[0] - warmup)
+    start = time.perf_counter()
+    for index, user in enumerate(users[warmup:]):
+        begin = time.perf_counter()
+        top_n_callable(int(user), n=n)
+        latencies[index] = time.perf_counter() - begin
+    return time.perf_counter() - start, latencies
+
+
+def run_serving_bench(
+    n_users: int = 2000,
+    n_items: int = 4000,
+    num_latent: int = 32,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    workers_grid: Optional[Sequence[Tuple[int, int]]] = None,
+    n_queries: int = 300,
+    top_n: int = 10,
+    warmup: int = 10,
+    seed: int = 42,
+) -> ServingBenchResult:
+    """Time the query stream against every serving configuration.
+
+    Parameters
+    ----------
+    n_users, n_items, num_latent:
+        Synthetic posterior shape (items dominate top-N cost).
+    shard_counts:
+        Shard counts to ladder through with one worker per shard.
+    workers_grid:
+        Optional explicit ``(shards, workers)`` pairs *replacing* the
+        one-worker-per-shard ladder (the shards x workers grid of the
+        recorded document concatenates both by default: the ladder plus a
+        fewer-workers-than-shards rung).
+    n_queries, top_n, warmup:
+        Query stream shape; ``warmup`` queries are excluded from timing
+        (pool spawn and first-touch costs are paid there).
+    """
+    check_positive("n_queries", n_queries)
+    check_positive("top_n", top_n)
+    if warmup >= n_queries:
+        raise ValueError("warmup must be smaller than n_queries")
+    snapshot = make_bench_snapshot(n_users, n_items, num_latent, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    users = rng.integers(0, n_users, size=n_queries)
+
+    cases: List[Tuple[int, int]] = (
+        list(workers_grid) if workers_grid is not None
+        else [(shards, shards) for shards in shard_counts])
+    if workers_grid is None and max(shard_counts) >= 4:
+        cases.append((max(shard_counts), max(shard_counts) // 2))
+
+    rows: List[ServingBenchRow] = []
+    service = PredictionService(snapshot, cache_size=max(1, n_users // 16))
+    seconds, latencies = _time_queries(service.top_n, users, top_n, warmup)
+    baseline_qps = latencies.shape[0] / seconds
+    rows.append(ServingBenchRow(
+        backend="single", shards=None, workers=None,
+        queries=latencies.shape[0], seconds=seconds, qps=baseline_qps,
+        p50_ms=float(np.percentile(latencies, 50) * 1e3),
+        p95_ms=float(np.percentile(latencies, 95) * 1e3),
+        speedup_vs_single=1.0,
+    ))
+
+    for shards, workers in cases:
+        with ShardedScorer(snapshot, n_shards=shards,
+                           n_workers=workers) as scorer:
+            seconds, latencies = _time_queries(scorer.top_n, users, top_n,
+                                               warmup)
+        qps = latencies.shape[0] / seconds
+        rows.append(ServingBenchRow(
+            backend="sharded", shards=shards, workers=workers,
+            queries=latencies.shape[0], seconds=seconds, qps=qps,
+            p50_ms=float(np.percentile(latencies, 50) * 1e3),
+            p95_ms=float(np.percentile(latencies, 95) * 1e3),
+            speedup_vs_single=qps / baseline_qps,
+        ))
+
+    return ServingBenchResult(
+        rows=rows,
+        workload={
+            "dataset": "synthetic-posterior",
+            "n_users": n_users,
+            "n_items": n_items,
+            "num_latent": num_latent,
+            "n_queries": n_queries,
+            "warmup": warmup,
+            "seed": seed,
+        },
+        environment=machine_environment(),
+        top_n=top_n,
+    )

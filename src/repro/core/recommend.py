@@ -9,8 +9,10 @@ into such rankings and evaluate them with the standard ranking metrics
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,8 +20,60 @@ from repro.core.state import BPMFState
 from repro.sparse.csr import RatingMatrix
 from repro.utils.validation import ValidationError, check_positive
 
-__all__ = ["Recommendation", "recommend_for_user", "recommend_batch",
-           "ranking_metrics"]
+__all__ = ["Recommendation", "select_top_n", "merge_top_n",
+           "recommend_for_user", "recommend_batch", "ranking_metrics"]
+
+
+def select_top_n(scores: np.ndarray, n: int) -> np.ndarray:
+    """Indices of the ``n`` largest scores, ordered ``(score desc, index asc)``.
+
+    Fully deterministic even through exact score ties: the tied region at
+    the selection boundary is resolved by ascending index, never by
+    ``argpartition``'s internal (implementation-defined) ordering.  This
+    well-defined total order is what lets a sharded scorer reproduce the
+    single-process ranking bit-for-bit — every shard ranks its slice with
+    the same rule and :func:`merge_top_n` recombines them exactly.
+
+    Cost stays ``O(m + n log n)``: one ``argpartition`` pass for the
+    threshold, then an exact boundary fix-up touching only tied entries.
+    """
+    check_positive("n", n)
+    scores = np.asarray(scores)
+    m = int(scores.shape[0])
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    n = min(int(n), m)
+    if n == m:
+        selected = np.arange(m, dtype=np.int64)
+    else:
+        part = np.argpartition(-scores, n - 1)
+        threshold = scores[part[n - 1]]
+        above = np.nonzero(scores > threshold)[0]
+        ties = np.nonzero(scores == threshold)[0]  # already ascending
+        selected = np.concatenate([above, ties[:n - above.shape[0]]])
+    order = np.lexsort((selected, -scores[selected]))
+    return selected[order].astype(np.int64, copy=False)
+
+
+def merge_top_n(parts: Iterable[Tuple[np.ndarray, np.ndarray]],
+                n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact k-way merge of per-shard top-``n`` lists into the global top-``n``.
+
+    Each part is an ``(items, scores)`` pair already ordered by
+    ``(score desc, item asc)`` — i.e. a shard's local
+    :func:`select_top_n` result mapped to global item ids.  Because every
+    part is a complete local top-``n``, the lazy heap merge of the sorted
+    streams yields exactly the global top-``n`` under the same total
+    order; no shard can hide a global winner beyond its local list.
+    """
+    check_positive("n", n)
+    streams = [zip(np.asarray(items).tolist(), np.asarray(scores).tolist())
+               for items, scores in parts]
+    merged = heapq.merge(*streams, key=lambda pair: (-pair[1], pair[0]))
+    top = list(itertools.islice(merged, n))
+    items = np.array([item for item, _ in top], dtype=np.int64)
+    values = np.array([score for _, score in top], dtype=np.float64)
+    return items, values
 
 
 @dataclass(frozen=True)
@@ -80,9 +134,7 @@ def recommend_for_user(
                               scores=np.empty(0))
 
     scores = state.predict(np.full(candidates.shape[0], user), candidates) + offset
-    n = min(n, candidates.shape[0])
-    top = np.argpartition(-scores, n - 1)[:n]
-    order = top[np.argsort(-scores[top], kind="stable")]
+    order = select_top_n(scores, n)
     return Recommendation(user=user, items=candidates[order].copy(),
                           scores=scores[order].copy())
 

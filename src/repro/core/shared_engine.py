@@ -58,7 +58,7 @@ from repro.sparse.buckets import (
 from repro.sparse.csr import CompressedAxis
 from repro.utils.validation import ValidationError, check_positive
 
-__all__ = ["SharedMemoryUpdateEngine", "WorkerPoolError",
+__all__ = ["SharedMemoryUpdateEngine", "WorkerPool", "WorkerPoolError",
            "default_start_method"]
 
 
@@ -154,6 +154,158 @@ def _segment_view(cache: Dict[str, shared_memory.SharedMemory],
     name, shape, dtype = descriptor
     segment = _attach_segment(cache, name, untrack)
     return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+
+
+# ---------------------------------------------------------------------------
+# the worker pool
+# ---------------------------------------------------------------------------
+
+class WorkerPool:
+    """Lifecycle of a persistent process pool over per-worker task queues.
+
+    Owns the machinery that must behave identically wherever a pool of
+    shared-memory workers exists — spawning with the fork/spawn
+    resource-tracker discipline, ordered stop/join/terminate teardown, and
+    the response-collect loop with dead-worker detection and stale-message
+    filtering.  Both the training engine
+    (:class:`SharedMemoryUpdateEngine`) and the serving-cluster gateway
+    (:class:`repro.serving.cluster.ShardedScorer`) run on this one
+    implementation.
+
+    ``worker_main`` is invoked in each child as
+    ``worker_main(worker_id, untrack, *extra_args, task_queue,
+    result_queue)``.  Workers respond with ``(kind, worker_id, sequence,
+    payload...)`` tuples; sequence ``-1`` is the out-of-band channel for
+    registration failures (a worker that cannot attach a segment it was
+    handed), which :meth:`collect` surfaces as errors instead of silently
+    discarding.
+    """
+
+    def __init__(self, n_workers: int, worker_main, extra_args: Tuple = (),
+                 name_prefix: str = "repro-worker"):
+        check_positive("n_workers", n_workers)
+        self.n_workers = int(n_workers)
+        self._worker_main = worker_main
+        self._extra_args = tuple(extra_args)
+        self._name_prefix = name_prefix
+        self.start_method = default_start_method()
+        self._context = multiprocessing.get_context(self.start_method)
+        self.workers: List[Tuple] = []  # (Process, task_queue) pairs
+        self._results = None
+
+    @property
+    def started(self) -> bool:
+        return bool(self.workers)
+
+    @property
+    def running(self) -> bool:
+        """Whether worker processes are currently alive."""
+        return bool(self.workers) \
+            and all(process.is_alive() for process, _ in self.workers)
+
+    def ensure(self) -> bool:
+        """Spawn the pool if needed; True when it spawned fresh.
+
+        A pool with a dead worker (crash or external kill) is torn down
+        and reported via :class:`WorkerPoolError` rather than computing a
+        partial result; the caller's next use spawns a fresh pool.
+        """
+        if self.workers:
+            if all(process.is_alive() for process, _ in self.workers):
+                return False
+            self.stop()
+            raise WorkerPoolError(
+                f"a {self._name_prefix} worker died; the pool was torn "
+                "down (the next use respawns it)")
+        untrack = self.start_method != "fork"
+        if self.start_method == "fork":
+            # Start the resource tracker *before* forking: children then
+            # inherit it, and their attach-time registrations land in the
+            # parent's tracker (an idempotent set) instead of each child
+            # spawning a private tracker that would report our unlinked
+            # segments as leaks at exit.
+            resource_tracker.ensure_running()
+        self._results = self._context.Queue()
+        for worker_id in range(self.n_workers):
+            task_queue = self._context.Queue()
+            process = self._context.Process(
+                target=self._worker_main,
+                args=(worker_id, untrack, *self._extra_args, task_queue,
+                      self._results),
+                daemon=True,
+                name=f"{self._name_prefix}-{worker_id}",
+            )
+            process.start()
+            self.workers.append((process, task_queue))
+        return True
+
+    def stop(self) -> None:
+        """Stop every worker and close the queues (idempotent)."""
+        for process, task_queue in self.workers:
+            if process.is_alive():
+                try:
+                    task_queue.put(("stop",))
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        for process, task_queue in self.workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.terminate()
+                process.join(timeout=5.0)
+            task_queue.close()
+        if self._results is not None:
+            self._results.close()
+            self._results = None
+        self.workers = []
+
+    def send(self, worker_id: int, message: Tuple) -> None:
+        self.workers[worker_id][1].put(message)
+
+    def broadcast(self, message: Tuple) -> None:
+        """Send one message to every worker (no-op when not started)."""
+        for _, task_queue in self.workers:
+            task_queue.put(message)
+
+    def collect(self, pending: Dict[int, None], sequence: int,
+                label: str = "request") -> Dict[int, object]:
+        """Await one response per pending worker; returns their payloads.
+
+        Raises :class:`WorkerPoolError` when any worker reported an error
+        (including out-of-band registration failures) or died mid-request;
+        responses from aborted earlier sequences are discarded.
+        """
+        results: Dict[int, object] = {}
+        errors: List[str] = []
+        while pending:
+            try:
+                message = self._results.get(timeout=0.2)
+            except queue_module.Empty:
+                dead = [worker_id for worker_id in pending
+                        if not self.workers[worker_id][0].is_alive()]
+                for worker_id in dead:
+                    pending.pop(worker_id, None)
+                    errors.append(
+                        f"worker {worker_id} died mid-{label} (exit code "
+                        f"{self.workers[worker_id][0].exitcode})")
+                continue
+            kind, worker_id, msg_sequence = message[0], message[1], message[2]
+            if msg_sequence == -1:
+                # Registration failed on the worker: the root cause of
+                # whatever this request is about to report.
+                errors.append(f"worker {worker_id} (registration):\n"
+                              f"{message[3]}")
+                continue
+            if msg_sequence != sequence:
+                continue  # stale message from an aborted earlier request
+            pending.pop(worker_id, None)
+            if kind == "error":
+                errors.append(f"worker {worker_id}:\n{message[3]}")
+            else:
+                results[worker_id] = message[3] if len(message) > 3 else None
+        if errors:
+            raise WorkerPoolError(
+                f"shared-memory {label} failed:\n" + "\n".join(errors))
+        return results
 
 
 # ---------------------------------------------------------------------------
@@ -335,10 +487,10 @@ class SharedMemoryUpdateEngine(BatchedUpdateEngine):
         check_positive("tasks_per_worker", tasks_per_worker)
         self.n_workers = int(n_workers)
         self.tasks_per_worker = int(tasks_per_worker)
-        self._start_method = default_start_method()
-        self._context = multiprocessing.get_context(self._start_method)
-        self._workers: List[Tuple] = []  # (Process, task_queue) pairs
-        self._results = None
+        config = (self.update_method, self.policy, self.compute_dtype)
+        self._pool = WorkerPool(self.n_workers, _worker_main,
+                                extra_args=(config,),
+                                name_prefix="repro-shared-worker")
         self._sequence = itertools.count()
         self._plan_ids = itertools.count()
         # key -> (axis, plan): the axis reference keeps the key's id() valid.
@@ -350,39 +502,22 @@ class SharedMemoryUpdateEngine(BatchedUpdateEngine):
     @property
     def pool_running(self) -> bool:
         """Whether worker processes are currently alive."""
-        return bool(self._workers) \
-            and all(process.is_alive() for process, _ in self._workers)
+        return self._pool.running
+
+    @property
+    def _workers(self) -> List[Tuple]:
+        """The pool's (Process, task_queue) pairs (tests kill through it)."""
+        return self._pool.workers
 
     def _ensure_pool(self) -> None:
-        if self._workers:
-            if all(process.is_alive() for process, _ in self._workers):
-                return
+        try:
+            self._pool.ensure()
+        except WorkerPoolError:
             # A worker died (crash or external kill): tear everything down
-            # and fail loudly rather than computing a partial phase.
+            # (the pool itself already stopped) so the segments cannot
+            # leak, and fail loudly rather than computing a partial phase.
             self.close()
-            raise WorkerPoolError(
-                "a shared-memory worker died; the pool was torn down "
-                "(rerun to respawn it)")
-        config = (self.update_method, self.policy, self.compute_dtype)
-        untrack = self._start_method != "fork"
-        if self._start_method == "fork":
-            # Start the resource tracker *before* forking: children then
-            # inherit it, and their attach-time registrations land in the
-            # parent's tracker (an idempotent set) instead of each child
-            # spawning a private tracker that would report our unlinked
-            # segments as leaks at exit.
-            resource_tracker.ensure_running()
-        self._results = self._context.Queue()
-        for worker_id in range(self.n_workers):
-            task_queue = self._context.Queue()
-            process = self._context.Process(
-                target=_worker_main,
-                args=(worker_id, untrack, config, task_queue, self._results),
-                daemon=True,
-                name=f"repro-shared-worker-{worker_id}",
-            )
-            process.start()
-            self._workers.append((process, task_queue))
+            raise
 
     def close(self) -> None:
         """Stop the pool and unlink every owned shared-memory segment.
@@ -391,22 +526,7 @@ class SharedMemoryUpdateEngine(BatchedUpdateEngine):
         ``finally``; the engine is reusable afterwards (pool and plans are
         rebuilt lazily on the next phase).
         """
-        for process, task_queue in self._workers:
-            if process.is_alive():
-                try:
-                    task_queue.put(("stop",))
-                except Exception:  # pragma: no cover - queue already broken
-                    pass
-        for process, task_queue in self._workers:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - wedged worker
-                process.terminate()
-                process.join(timeout=5.0)
-            task_queue.close()
-        if self._results is not None:
-            self._results.close()
-            self._results = None
-        self._workers = []
+        self._pool.stop()
         for _, plan in self._phase_plans.values():
             plan.destroy()
         self._phase_plans = {}
@@ -450,14 +570,12 @@ class SharedMemoryUpdateEngine(BatchedUpdateEngine):
         while len(self._phase_plans) >= self.MAX_PHASE_PLANS:
             _, evicted = self._phase_plans.pop(next(iter(self._phase_plans)))
             self._forget_plan(evicted)
-        for _, task_queue in self._workers:
-            task_queue.put(("plan", plan.plan_id, plan.descriptor))
+        self._pool.broadcast(("plan", plan.plan_id, plan.descriptor))
         self._phase_plans[key] = (axis, plan)
         return plan
 
     def _forget_plan(self, plan: _PhasePlan) -> None:
-        for _, task_queue in self._workers:
-            task_queue.put(("forget-plan", plan.plan_id))
+        self._pool.broadcast(("forget-plan", plan.plan_id))
         plan.destroy()
 
     def _factor_block(self, role: str, shape: Tuple[int, ...]) -> _SharedBlock:
@@ -474,30 +592,6 @@ class SharedMemoryUpdateEngine(BatchedUpdateEngine):
         return block
 
     # -- phase execution --------------------------------------------------
-
-    def _wait_for_phase(self, pending: Dict[int, None], sequence: int) -> None:
-        errors: List[str] = []
-        while pending:
-            try:
-                message = self._results.get(timeout=0.2)
-            except queue_module.Empty:
-                dead = [worker_id for worker_id in pending
-                        if not self._workers[worker_id][0].is_alive()]
-                for worker_id in dead:
-                    pending.pop(worker_id, None)
-                    errors.append(
-                        f"worker {worker_id} died mid-phase (exit code "
-                        f"{self._workers[worker_id][0].exitcode})")
-                continue
-            kind, worker_id, msg_sequence = message[0], message[1], message[2]
-            if msg_sequence != sequence:
-                continue  # stale message from an aborted earlier phase
-            pending.pop(worker_id, None)
-            if kind == "error":
-                errors.append(f"worker {worker_id}:\n{message[3]}")
-        if errors:
-            raise WorkerPoolError(
-                "shared-memory phase failed:\n" + "\n".join(errors))
 
     def update_items(self, target, source, axis, prior, alpha, noise,
                      items=None, parallel_map=None):
@@ -526,11 +620,11 @@ class SharedMemoryUpdateEngine(BatchedUpdateEngine):
             for worker_id, super_ids in enumerate(plan.assignment):
                 if not super_ids:
                     continue
-                self._workers[worker_id][1].put(
-                    ("phase", sequence, plan.plan_id,
-                     {**phase, "super_ids": tuple(super_ids)}))
+                self._pool.send(worker_id,
+                                ("phase", sequence, plan.plan_id,
+                                 {**phase, "super_ids": tuple(super_ids)}))
                 pending[worker_id] = None
-            self._wait_for_phase(pending, sequence)
+            self._pool.collect(pending, sequence, label="phase")
             rows = plan.planned_rows
             target[rows] = target_block.view()[rows]
             return plan.n_planned_items

@@ -11,7 +11,12 @@ recommender:
   micro-batched lookups and top-N ranked retrieval over one or more
   snapshots, with an LRU score cache;
 * :mod:`repro.serving.foldin` — conditional-Gaussian fold-in for
-  cold-start users, executed through the batched block-Cholesky engine;
+  cold-start users, executed through the batched block-Cholesky engine,
+  plus incremental rank-k posterior updates (:class:`FoldInState`);
+* :mod:`repro.serving.cluster` — the sharded, hot-reloading serving
+  cluster: :class:`ShardedScorer` (parallel top-N over shared-memory
+  item shards, bit-identical to the single process) and
+  :class:`SnapshotWatcher` (serve while training writes);
 * ``python -m repro.serving`` — train → snapshot → serve → query from the
   command line.
 """
@@ -26,8 +31,14 @@ from repro.serving.checkpoint import (
     save_snapshot,
     snapshot_from_result,
 )
-from repro.serving.foldin import fold_in_posterior, fold_in_user, fold_in_users
+from repro.serving.foldin import (
+    FoldInState,
+    fold_in_posterior,
+    fold_in_user,
+    fold_in_users,
+)
 from repro.serving.service import MicroBatcher, PendingPrediction, PredictionService
+from repro.serving.cluster import ClusterError, ShardedScorer, SnapshotWatcher
 
 __all__ = [
     "SNAPSHOT_FORMAT",
@@ -41,7 +52,11 @@ __all__ = [
     "fold_in_users",
     "fold_in_user",
     "fold_in_posterior",
+    "FoldInState",
     "PredictionService",
     "MicroBatcher",
     "PendingPrediction",
+    "ShardedScorer",
+    "SnapshotWatcher",
+    "ClusterError",
 ]

@@ -27,8 +27,10 @@ The full train → snapshot → serve → query lifecycle from a terminal:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
@@ -39,10 +41,12 @@ from repro.core.recommend import recommend_for_user
 from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
 from repro.multicore.sampler import MulticoreGibbsSampler, MulticoreOptions
 from repro.serving.checkpoint import CheckpointConfig, load_snapshot
+from repro.serving.cluster import ClusterError, ShardedScorer, SnapshotWatcher
 from repro.serving.service import PredictionService
 from repro.utils.validation import ValidationError
 
 _BACKENDS = ("sequential", "multicore")
+_ENGINES = ("batched", "shared", "reference")
 
 
 def _add_snapshot_arg(parser: argparse.ArgumentParser) -> None:
@@ -75,11 +79,14 @@ def _cmd_train(args) -> int:
     checkpoint = CheckpointConfig(path=args.snapshot,
                                   every=args.checkpoint_every
                                   or config.total_iterations)
+    n_workers = args.workers if args.engine == "shared" else None
     if args.backend == "multicore":
         sampler = MulticoreGibbsSampler(config, MulticoreOptions(
-            n_threads=args.threads, checkpoint=checkpoint))
+            n_threads=args.threads, engine=args.engine, n_workers=n_workers,
+            checkpoint=checkpoint))
     else:
-        sampler = GibbsSampler(config, SamplerOptions(checkpoint=checkpoint))
+        sampler = GibbsSampler(config, SamplerOptions(
+            engine=args.engine, n_workers=n_workers, checkpoint=checkpoint))
     result = sampler.run(data.split.train, data.split, seed=args.seed,
                          resume=args.resume)
     print(f"trained {config.total_iterations} sweeps on "
@@ -132,37 +139,78 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Line protocol on stdin: ``predict u i`` / ``top u n`` / ``foldin i:v ...``."""
-    service = _make_service(args)
+    """Line protocol on stdin: ``predict u i`` / ``top u n`` / ``foldin i:v ...``.
+
+    With ``--shards N`` the queries run on the sharded worker-pool gateway
+    (:class:`~repro.serving.cluster.ShardedScorer`); ``--watch`` addition-
+    ally hot-swaps new versions of the snapshot file as a concurrently
+    running trainer overwrites it.  ``rate u i:v ...`` applies the
+    incremental fold-in update to a previously folded-in user.
+    """
+    if args.watch and not args.shards:
+        print("--watch requires --shards N", file=sys.stderr)
+        return 2
+    watcher = None
+    if args.shards:
+        service = ShardedScorer(args.snapshot, n_shards=args.shards,
+                                mode=args.mode, n_workers=args.workers)
+        if args.watch:
+            watcher = SnapshotWatcher(service, args.snapshot,
+                                      interval=args.watch_interval).start()
+        backend = f"{args.shards}-shard gateway"
+    else:
+        service = _make_service(args)
+        backend = "single-process"
     print(f"serving {service.n_users} users x {service.n_items} items "
-          f"(mode={service.mode}); commands: predict, top, foldin, quit",
-          flush=True)
-    for line in sys.stdin:
-        parts = line.split()
-        if not parts:
-            continue
-        command, rest = parts[0], parts[1:]
-        try:
-            if command == "quit":
-                break
-            elif command == "predict":
-                user, item = int(rest[0]), int(rest[1])
-                print(f"{service.predict(user, item):.4f}", flush=True)
-            elif command == "top":
-                user = int(rest[0])
-                n = int(rest[1]) if len(rest) > 1 else 10
-                recommendation = service.top_n(user, n=n)
-                print(" ".join(f"{item}:{score:.4f}" for item, score
-                               in recommendation.as_pairs()), flush=True)
-            elif command == "foldin":
-                items = [int(token.partition(":")[0]) for token in rest]
-                values = [float(token.partition(":")[2]) for token in rest]
-                user = service.fold_in(np.array(items), np.array(values))
-                print(f"user {user}", flush=True)
-            else:
-                print(f"error: unknown command {command!r}", flush=True)
-        except (ValidationError, IndexError, ValueError) as error:
-            print(f"error: {error}", flush=True)
+          f"({backend}, mode={args.mode}); commands: predict, top, foldin, "
+          f"rate, stats, quit", flush=True)
+    try:
+        for line in sys.stdin:
+            parts = line.split()
+            if not parts:
+                continue
+            command, rest = parts[0], parts[1:]
+            try:
+                if command == "quit":
+                    break
+                elif command == "predict":
+                    user, item = int(rest[0]), int(rest[1])
+                    print(f"{service.predict(user, item):.4f}", flush=True)
+                elif command == "top":
+                    user = int(rest[0])
+                    n = int(rest[1]) if len(rest) > 1 else 10
+                    recommendation = service.top_n(user, n=n)
+                    print(" ".join(f"{item}:{score:.4f}" for item, score
+                                   in recommendation.as_pairs()), flush=True)
+                elif command == "foldin":
+                    items = [int(token.partition(":")[0]) for token in rest]
+                    values = [float(token.partition(":")[2]) for token in rest]
+                    user = service.fold_in(np.array(items), np.array(values))
+                    print(f"user {user}", flush=True)
+                elif command == "rate":
+                    user = int(rest[0])
+                    items = [int(token.partition(":")[0]) for token in rest[1:]]
+                    values = [float(token.partition(":")[2])
+                              for token in rest[1:]]
+                    service.add_ratings(user, np.array(items),
+                                        np.array(values))
+                    print(f"user {user} updated", flush=True)
+                elif command == "stats":
+                    print(json.dumps(service.stats(), sort_keys=True),
+                          flush=True)
+                else:
+                    print(f"error: unknown command {command!r}", flush=True)
+            except (ValidationError, IndexError, ValueError,
+                    KeyError, ClusterError) as error:
+                # ClusterError included: a crashed worker must not kill the
+                # serving session — the gateway respawns its pool on the
+                # next command.
+                print(f"error: {error}", flush=True)
+    finally:
+        if watcher is not None:
+            watcher.stop()
+        if args.shards:
+            service.close()
     return 0
 
 
@@ -209,6 +257,85 @@ def _cmd_smoke(args) -> int:
     return 0
 
 
+def _cmd_cluster_smoke(args) -> int:
+    """CI smoke: 2-shard gateway, one hot snapshot swap, bit-parity check.
+
+    Writes the observed query latencies to ``--latency-out`` as JSON so CI
+    can archive them next to the bench artifacts.
+    """
+    from repro.utils.environment import machine_environment
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "cluster.npz"
+        data = make_low_rank_dataset(SyntheticConfig(
+            n_users=60, n_movies=45, rank=3, density=0.3, noise_std=0.3,
+            test_fraction=0.2, seed=7))
+        train = data.split.train
+        config = BPMFConfig(num_latent=4, alpha=4.0, burn_in=2, n_samples=3)
+        GibbsSampler(config, SamplerOptions(
+            checkpoint=CheckpointConfig(path=path, every=2))).run(
+            train, data.split, seed=0)
+
+        users = list(range(0, train.n_users, 3))
+        latencies: list[float] = []
+        parity_queries = 0
+
+        def storm(scorer, reference) -> None:
+            nonlocal parity_queries
+            for user in users:
+                begin = time.perf_counter()
+                served = scorer.top_n(user, n=5)
+                latencies.append((time.perf_counter() - begin) * 1e3)
+                expected = reference.top_n(user, n=5)
+                assert served.items.tolist() == expected.items.tolist() \
+                    and served.scores.tobytes() == expected.scores.tobytes(), \
+                    f"sharded top-N diverged for user {user}"
+                parity_queries += 1
+
+        with ShardedScorer(path, n_shards=args.shards, train=train) as scorer:
+            watcher = SnapshotWatcher(scorer, path)
+            storm(scorer, PredictionService(path, train=train))
+
+            # A training run extends the chain and overwrites the snapshot;
+            # the watcher must validate and hot-swap it.
+            longer = BPMFConfig(num_latent=4, alpha=4.0, burn_in=2,
+                                n_samples=6)
+            GibbsSampler(longer, SamplerOptions(
+                checkpoint=CheckpointConfig(path=path, every=3))).run(
+                train, data.split, resume=path)
+            assert watcher.check_once(), "watcher missed the new snapshot"
+            assert scorer.n_swaps == 1
+            storm(scorer, PredictionService(path, train=train))
+
+            cold = scorer.fold_in(np.array([0, 1, 2]),
+                                  np.array([4.0, 3.0, 5.0]))
+            scorer.add_ratings(cold, np.array([5]), np.array([2.5]))
+            assert np.isfinite(scorer.top_n(cold, n=5).scores).all()
+            stats = scorer.stats()
+
+        ladder = np.asarray(latencies)
+        payload = {
+            "benchmark": "serving-cluster-smoke",
+            "environment": machine_environment(),
+            "shards": args.shards,
+            "parity_queries": parity_queries,
+            "swaps": stats["n_swaps"],
+            "latency_ms": {
+                "p50": float(np.percentile(ladder, 50)),
+                "p95": float(np.percentile(ladder, 95)),
+                "mean": float(ladder.mean()),
+            },
+        }
+        if args.latency_out:
+            with open(args.latency_out, "w", encoding="utf8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        print(f"CLUSTER SMOKE OK: {parity_queries} bit-identical queries "
+              f"across {args.shards} shards, {stats['n_swaps']} hot swap, "
+              f"p95 latency {payload['latency_ms']['p95']:.2f} ms")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serving",
@@ -226,6 +353,11 @@ def main(argv: list[str] | None = None) -> int:
     train.add_argument("--backend", choices=_BACKENDS, default="sequential")
     train.add_argument("--threads", type=int, default=2,
                        help="threads for --backend multicore")
+    train.add_argument("--engine", choices=_ENGINES, default="batched",
+                       help="update-engine: batched (default), shared "
+                            "(process pool over shared memory), reference")
+    train.add_argument("--workers", type=int, default=None,
+                       help="process-pool size for --engine shared")
     train.add_argument("--checkpoint-every", type=int, default=None,
                        help="save every k sweeps (default: final sweep only)")
     train.add_argument("--resume", default=None,
@@ -249,11 +381,30 @@ def main(argv: list[str] | None = None) -> int:
                                 help="answer a line protocol on stdin")
     _add_snapshot_arg(serve)
     serve.add_argument("--mode", choices=("mean", "last"), default="mean")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="serve through an N-shard worker-pool gateway "
+                            "(0 = single-process)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes for --shards (default: one "
+                            "per shard)")
+    serve.add_argument("--watch", action="store_true",
+                       help="hot-swap new versions of --snapshot while "
+                            "serving (requires --shards)")
+    serve.add_argument("--watch-interval", type=float, default=0.5,
+                       help="snapshot poll period in seconds")
     serve.set_defaults(func=_cmd_serve)
 
     smoke = commands.add_parser("smoke",
                                 help="end-to-end train/snapshot/serve check")
     smoke.set_defaults(func=_cmd_smoke)
+
+    cluster_smoke = commands.add_parser(
+        "cluster-smoke",
+        help="sharded gateway + hot-swap + bit-parity self check")
+    cluster_smoke.add_argument("--shards", type=int, default=2)
+    cluster_smoke.add_argument("--latency-out", default=None,
+                               help="write observed latencies to this JSON")
+    cluster_smoke.set_defaults(func=_cmd_cluster_smoke)
 
     args = parser.parse_args(argv)
     return args.func(args)

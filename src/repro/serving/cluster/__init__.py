@@ -1,0 +1,21 @@
+"""Sharded, hot-reloading serving cluster.
+
+Scales the single-process :class:`~repro.serving.service.PredictionService`
+out across worker processes:
+
+* :class:`~repro.serving.cluster.scorer.ShardedScorer` — partitions the
+  item factor block into contiguous shards in shared memory; each worker
+  ranks its slice and the gateway performs an exact k-way merge, so the
+  served top-N is bit-identical to the single-process service;
+* :class:`~repro.serving.cluster.watcher.SnapshotWatcher` — polls the
+  checkpoint a training run keeps overwriting and hot-swaps validated
+  snapshots into fresh shard segments without dropping requests;
+* incremental fold-in — a known cold-start user rating new items costs a
+  rank-k posterior update of just their row, propagated to the shards
+  through the gateway's delta queue.
+"""
+
+from repro.serving.cluster.scorer import ClusterError, ShardedScorer
+from repro.serving.cluster.watcher import SnapshotWatcher
+
+__all__ = ["ShardedScorer", "SnapshotWatcher", "ClusterError"]

@@ -22,7 +22,7 @@ users therefore costs one stacked LAPACK pass per distinct degree.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,7 +32,142 @@ from repro.core.updates import conditional_distribution
 from repro.sparse.csr import CompressedAxis
 from repro.utils.validation import ValidationError, check_positive
 
-__all__ = ["fold_in_users", "fold_in_user", "fold_in_posterior"]
+__all__ = ["fold_in_users", "fold_in_user", "fold_in_posterior",
+           "FoldInState", "FoldInRegistry"]
+
+
+class FoldInState:
+    """Incremental conditional-posterior state for one folded-in user.
+
+    Keeps the Gaussian sufficient statistics ``Lambda = Lambda_0 +
+    alpha X^T X`` and ``b = Lambda_0 mu_0 + alpha X^T r`` alongside the raw
+    rating history.  A user rating ``k`` new items then costs one rank-``k``
+    statistic update plus a single ``K x K`` solve
+    (:meth:`update`) — no re-fold over their full history.  The raw
+    history is retained so a snapshot hot-swap can rebuild the statistics
+    against *new* item factors (:meth:`refreshed`), which is the only
+    operation that must start over.
+
+    The posterior-mean row produced here matches a full re-fold of the
+    same history up to floating-point summation order; the serving-cluster
+    parity tests pin the service and the sharded gateway to this one
+    implementation so their rows agree bit-for-bit.
+    """
+
+    def __init__(self, prior: GaussianPrior, alpha: float):
+        check_positive("alpha", alpha)
+        self.prior = prior
+        self.alpha = float(alpha)
+        k = prior.num_latent
+        self.precision = prior.precision.copy()
+        self.linear = prior.precision @ prior.mean
+        self.items = np.empty(0, dtype=np.int64)
+        self.values = np.empty(0, dtype=np.float64)
+        self._row = np.linalg.solve(self.precision, self.linear)
+        assert self._row.shape == (k,)
+
+    @property
+    def n_ratings(self) -> int:
+        return int(self.items.shape[0])
+
+    def row(self) -> np.ndarray:
+        """The current posterior-mean factor row (a defensive copy)."""
+        return self._row.copy()
+
+    def update(self, item_rows: np.ndarray, items: np.ndarray,
+               values: np.ndarray) -> np.ndarray:
+        """Absorb ``k`` new ratings; returns the updated factor row.
+
+        ``item_rows`` are the ``(k, K)`` factor rows of the newly rated
+        items (the caller gathers them — the service from its local item
+        block, the cluster gateway from the owning shards).
+        """
+        item_rows = np.asarray(item_rows, dtype=np.float64)
+        items = np.asarray(items, dtype=np.int64).ravel()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if item_rows.shape != (items.shape[0], self.prior.num_latent):
+            raise ValidationError(
+                f"item_rows must be ({items.shape[0]}, "
+                f"{self.prior.num_latent}), got {item_rows.shape}")
+        if items.shape != values.shape:
+            raise ValidationError("items and values must align")
+        self.precision += self.alpha * (item_rows.T @ item_rows)
+        self.linear += self.alpha * (item_rows.T @ values)
+        self.items = np.concatenate([self.items, items])
+        self.values = np.concatenate([self.values, values])
+        self._row = np.linalg.solve(self.precision, self.linear)
+        return self.row()
+
+    def refreshed(self, item_factors: np.ndarray) -> "FoldInState":
+        """Rebuild against new item factors (after a snapshot hot-swap).
+
+        The rating history carries over; the statistics are recomputed
+        from scratch because ``X`` changed under them.
+        """
+        rebuilt = FoldInState(self.prior, self.alpha)
+        if self.n_ratings:
+            rebuilt.update(np.asarray(item_factors,
+                                      dtype=np.float64)[self.items],
+                           self.items, self.values)
+        return rebuilt
+
+
+#: Maps rated item ids to their ``(k, K)`` factor rows — the single
+#: service indexes its local item block, the cluster gateway gathers from
+#: the owning shards.
+ItemRowsFor = Callable[[np.ndarray], np.ndarray]
+
+
+class FoldInRegistry:
+    """Per-user incremental fold-in bookkeeping, shared by both serving
+    front-ends.
+
+    The single-process :class:`~repro.serving.service.PredictionService`
+    and the sharded gateway must produce *bit-identical* factor rows for
+    the same fold-in history, so the registration and rank-k update logic
+    lives here exactly once; the front-ends only differ in how they fetch
+    item rows (the ``item_rows_for`` callable) and where they store the
+    resulting row.
+    """
+
+    def __init__(self, prior: GaussianPrior, alpha: float):
+        self.prior = prior
+        self.alpha = float(alpha)
+        self.states: Dict[int, FoldInState] = {}
+
+    def register(self, first_id: int, item_lists: Sequence[np.ndarray],
+                 value_lists: Sequence[np.ndarray],
+                 item_rows_for: ItemRowsFor) -> None:
+        """Create incremental state for users just folded in as
+        ``first_id, first_id + 1, ...`` (values already offset-removed)."""
+        for offset, (items, values) in enumerate(zip(item_lists,
+                                                     value_lists)):
+            state = FoldInState(self.prior, self.alpha)
+            if items.size:
+                state.update(item_rows_for(items), items, values)
+            self.states[first_id + offset] = state
+
+    def update(self, user: int, n_train_users: int, n_users: int,
+               items: np.ndarray, values: np.ndarray,
+               item_rows_for: ItemRowsFor) -> np.ndarray:
+        """Validate ``user`` is folded-in and apply the rank-k update.
+
+        ``item_rows_for`` runs only after validation, so an invalid id
+        costs no item-row fetch (which is an IPC round-trip for the
+        cluster gateway).
+        """
+        if not n_train_users <= user < n_users:
+            raise ValidationError(
+                f"add_ratings only applies to folded-in users "
+                f"[{n_train_users}, {n_users}), got {user}")
+        return self.states[user].update(item_rows_for(items), items, values)
+
+    def refreshed(self, item_factors: np.ndarray) -> "FoldInRegistry":
+        """A new registry rebuilt against new item factors (hot swap)."""
+        fresh = FoldInRegistry(self.prior, self.alpha)
+        fresh.states = {user: state.refreshed(item_factors)
+                        for user, state in sorted(self.states.items())}
+        return fresh
 
 
 def _ragged_axis(item_lists: Sequence[np.ndarray],

@@ -32,16 +32,37 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.priors import GaussianPrior
-from repro.core.recommend import Recommendation
+from repro.core.recommend import Recommendation, select_top_n
 from repro.core.state import BPMFState
 from repro.serving.checkpoint import PathLike, Snapshot, coerce_snapshot
-from repro.serving.foldin import fold_in_users
+from repro.serving.foldin import FoldInRegistry, fold_in_users
 from repro.sparse.csr import RatingMatrix
 from repro.utils.validation import ValidationError, check_in, check_positive
 
-__all__ = ["PredictionService", "MicroBatcher", "PendingPrediction"]
+__all__ = ["PredictionService", "MicroBatcher", "PendingPrediction",
+           "check_user_range", "check_item_range"]
 
 SnapshotLike = Union[Snapshot, PathLike]
+
+
+def check_user_range(users: np.ndarray, n_users: int,
+                     n_train_users: int) -> None:
+    """Reject user indices outside ``[0, n_users)``.
+
+    Shared by the single service and the cluster gateway so both reject
+    with the same message (including the folded-in count, the usual
+    source of off-by-confusion).
+    """
+    if users.size and (int(users.min()) < 0 or int(users.max()) >= n_users):
+        raise ValidationError(
+            f"user index outside [0, {n_users}) "
+            f"({n_users - n_train_users} folded-in users)")
+
+
+def check_item_range(items: np.ndarray, n_items: int) -> None:
+    """Reject item indices outside ``[0, n_items)`` (shared, see above)."""
+    if items.size and (int(items.min()) < 0 or int(items.max()) >= n_items):
+        raise ValidationError(f"item index outside [0, {n_items})")
 
 
 class PredictionService:
@@ -117,7 +138,11 @@ class PredictionService:
         self._score_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_invalidations = 0
         self.n_snapshots = len(loaded)
+        # Incremental-update state per folded-in user id (rank-k posterior
+        # updates when a known cold-start user rates new items).
+        self._foldin = FoldInRegistry(self._user_prior, self._alpha)
 
     @staticmethod
     def _combine(loaded: List[Snapshot], mode: str) -> Tuple[np.ndarray, np.ndarray]:
@@ -174,16 +199,10 @@ class PredictionService:
     # -- scoring -----------------------------------------------------------
 
     def _check_users(self, users: np.ndarray) -> None:
-        if users.size and (int(users.min()) < 0
-                           or int(users.max()) >= self.n_users):
-            raise ValidationError(
-                f"user index outside [0, {self.n_users}) "
-                f"({self.n_users - self._n_train_users} folded-in users)")
+        check_user_range(users, self.n_users, self._n_train_users)
 
     def _check_items(self, items: np.ndarray) -> None:
-        if items.size and (int(items.min()) < 0
-                           or int(items.max()) >= self.n_items):
-            raise ValidationError(f"item index outside [0, {self.n_items})")
+        check_item_range(items, self.n_items)
 
     def predict_batch(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Predicted ratings for parallel (user, item) index arrays."""
@@ -249,9 +268,7 @@ class PredictionService:
                                   scores=np.empty(0))
 
         scores = self._user_scores(user)[candidates]
-        n = min(n, candidates.shape[0])
-        top = np.argpartition(-scores, n - 1)[:n]
-        order = top[np.argsort(-scores[top], kind="stable")]
+        order = select_top_n(scores, n)
         items = candidates[order].copy()
         selected = scores[order].copy()
         if self.clip is not None:
@@ -264,6 +281,24 @@ class PredictionService:
         return {int(user): self.top_n(int(user), n=n, exclude_seen=exclude_seen)
                 for user in users}
 
+    # -- cache bookkeeping ---------------------------------------------------
+
+    def _invalidate_cached_scores(self, user: int) -> None:
+        """Drop a user's cached score vector after their row changed."""
+        if self._score_cache.pop(user, None) is not None:
+            self.cache_invalidations += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Serving counters: cache behaviour and population sizes."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_invalidations": self.cache_invalidations,
+            "cache_entries": len(self._score_cache),
+            "n_users": self.n_users,
+            "n_folded_in": self.n_users - self._n_train_users,
+        }
+
     # -- cold start ----------------------------------------------------------
 
     def fold_in(self, items: np.ndarray, values: np.ndarray) -> int:
@@ -274,25 +309,48 @@ class PredictionService:
         the new user id (``>= n_train_users``), immediately usable with
         :meth:`predict` and :meth:`top_n`.
         """
-        vector = fold_in_users(
-            self._item_factors, self._user_prior, self._alpha,
-            [np.asarray(items, dtype=np.int64)],
-            [np.asarray(values, dtype=np.float64) - self.offset])
-        new_id = self.n_users
-        self._append_user_rows(vector)
-        return new_id
+        return self.fold_in_batch([items], [values])[0]
 
     def fold_in_batch(self, item_lists: Sequence[np.ndarray],
                       value_lists: Sequence[np.ndarray]) -> List[int]:
         """Register several unseen users in one stacked fold-in pass."""
-        rows = fold_in_users(
-            self._item_factors, self._user_prior, self._alpha,
-            [np.asarray(items, dtype=np.int64) for items in item_lists],
-            [np.asarray(vals, dtype=np.float64) - self.offset
-             for vals in value_lists])
+        item_lists = [np.asarray(items, dtype=np.int64)
+                      for items in item_lists]
+        value_lists = [np.asarray(vals, dtype=np.float64) - self.offset
+                       for vals in value_lists]
+        rows = fold_in_users(self._item_factors, self._user_prior,
+                             self._alpha, item_lists, value_lists)
         first = self.n_users
         self._append_user_rows(rows)
+        self._foldin.register(first, item_lists, value_lists,
+                              lambda items: self._item_factors[items])
+        for new_id in range(first, first + rows.shape[0]):
+            # A buffer id can never be recycled, but drop any entry anyway
+            # so a stale vector cannot survive an id-accounting bug.
+            self._invalidate_cached_scores(new_id)
         return list(range(first, first + rows.shape[0]))
+
+    def add_ratings(self, user: int, items: np.ndarray,
+                    values: np.ndarray) -> np.ndarray:
+        """Incrementally update a folded-in user who rated new items.
+
+        A rank-``k`` update of the user's conditional posterior
+        (:class:`~repro.serving.foldin.FoldInState`) — their full history
+        is *not* re-folded.  The user's factor row is rewritten in place
+        and their cached score vector invalidated, so the next ``top_n``
+        reflects the new ratings.  Only folded-in users carry the
+        incremental state; training users' rows belong to the sampler.
+        """
+        user = int(user)
+        items = np.asarray(items, dtype=np.int64).ravel()
+        values = np.asarray(values, dtype=np.float64).ravel() - self.offset
+        self._check_items(items)
+        row = self._foldin.update(user, self._n_train_users, self.n_users,
+                                  items, values,
+                                  lambda items: self._item_factors[items])
+        self._user_buffer[user] = row
+        self._invalidate_cached_scores(user)
+        return row
 
     def _append_user_rows(self, rows: np.ndarray) -> None:
         """Append factor rows, doubling the buffer when it fills."""

@@ -17,6 +17,7 @@ partitioner to improve locality and balance.
 from repro.sparse.coo import CooMatrix
 from repro.sparse.csr import CompressedAxis, RatingMatrix
 from repro.sparse.buckets import DegreeBucket, BucketPlan, build_bucket_plan
+from repro.sparse.shard import shard_bounds, slice_item_range
 from repro.sparse.split import train_test_split
 from repro.sparse.io import (
     save_ratings_text,
@@ -43,6 +44,8 @@ __all__ = [
     "DegreeBucket",
     "BucketPlan",
     "build_bucket_plan",
+    "shard_bounds",
+    "slice_item_range",
     "train_test_split",
     "save_ratings_text",
     "load_ratings_text",

@@ -1,0 +1,78 @@
+"""Contiguous item-range sharding of a :class:`RatingMatrix`.
+
+The serving cluster (:mod:`repro.serving.cluster`) partitions the item
+factor block into contiguous shards, one per scoring worker.  Each worker
+also needs the *ratings* restricted to its item range — that is how it
+excludes a user's already-seen items without the gateway shipping seen
+lists on every query.  :func:`slice_item_range` produces that restriction
+directly from the movie-major compressed view (the item block is
+contiguous there), so slicing costs ``O(nnz_in_range)`` instead of a full
+triplet rebuild.
+
+Shard boundaries come from :func:`shard_bounds`: contiguous ranges whose
+sizes differ by at most one, in ascending item order — the same
+block-partition rule the distributed trainer applies to factor rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CompressedAxis, RatingMatrix, _compress
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["shard_bounds", "slice_item_range"]
+
+
+def shard_bounds(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` item ranges for ``n_shards`` balanced shards.
+
+    Every shard gets ``n_items // n_shards`` items, the first
+    ``n_items % n_shards`` shards one extra; concatenating the ranges in
+    order recovers ``[0, n_items)`` exactly.  More shards than items is
+    rejected — an empty shard would serve nothing but still cost a worker.
+    """
+    check_positive("n_shards", n_shards)
+    check_positive("n_items", n_items)
+    if n_shards > n_items:
+        raise ValidationError(
+            f"cannot cut {n_items} items into {n_shards} non-empty shards")
+    base, extra = divmod(n_items, n_shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for shard in range(n_shards):
+        hi = lo + base + (1 if shard < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def slice_item_range(matrix: RatingMatrix, lo: int, hi: int) -> RatingMatrix:
+    """Restrict ``matrix`` to item columns ``[lo, hi)``.
+
+    The result keeps every user row (so user indices stay global) and
+    renumbers items to ``[0, hi - lo)`` — shard-local ids are simply
+    ``global_id - lo``.  Built from the movie-major view, where the range
+    is one contiguous ``indptr`` slice.
+    """
+    if not 0 <= lo < hi <= matrix.n_movies:
+        raise ValidationError(
+            f"invalid item range [{lo}, {hi}) for {matrix.n_movies} items")
+    by_movie = matrix.by_movie
+    start, stop = int(by_movie.indptr[lo]), int(by_movie.indptr[hi])
+    local_by_movie = CompressedAxis(
+        indptr=(by_movie.indptr[lo:hi + 1] - start).astype(np.int64),
+        indices=by_movie.indices[start:stop].copy(),
+        values=by_movie.values[start:stop].copy(),
+    )
+    # Rebuild the user-major view of the slice: movie-major triplets with
+    # local movie ids, recompressed along users.
+    users = local_by_movie.indices
+    movies_local = np.repeat(np.arange(hi - lo, dtype=np.int64),
+                             local_by_movie.degrees())
+    local_by_user = _compress(users, movies_local, local_by_movie.values,
+                              matrix.n_users)
+    return RatingMatrix(matrix.n_users, hi - lo, local_by_user,
+                        local_by_movie)

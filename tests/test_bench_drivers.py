@@ -126,7 +126,17 @@ class TestSpeedupDriver:
 class TestRunner:
     def test_available_experiments(self):
         names = available_experiments()
-        assert set(names) >= {"fig2", "fig3", "fig4", "fig5", "accuracy", "speedup"}
+        assert set(names) >= {"fig2", "fig3", "fig4", "fig5", "accuracy",
+                              "speedup", "engines", "serving"}
+
+    def test_serving_ladder_quick(self):
+        outcome = run_experiment("serving", quick=True)
+        payload = outcome.result.to_json_payload()
+        assert payload["benchmark"] == "serving-ladder"
+        backends = {row["backend"] for row in payload["results"]}
+        assert backends == {"single", "sharded"}
+        assert all(row["qps"] > 0 for row in payload["results"])
+        assert "Serving ladder" in outcome.render()
 
     def test_run_experiment_by_name(self):
         outcome = run_experiment("fig2", degrees=(1, 64, 2048), repeats=1)

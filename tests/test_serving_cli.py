@@ -85,6 +85,62 @@ def test_serve_line_protocol(trained_snapshot, capsys, monkeypatch):
     assert lines[5].startswith("error:")         # unknown command reported
 
 
+def test_train_with_shared_engine(tmp_path, capsys):
+    out = tmp_path / "shared.npz"
+    code = main(["train", "--snapshot", str(out), "--engine", "shared",
+                 "--workers", "2", "--users", "40", "--movies", "30",
+                 "--num-latent", "3", "--burn-in", "1", "--n-samples", "2"])
+    assert code == 0
+    assert load_snapshot(out).state.iteration == 3
+
+
+def test_train_engines_sample_the_same_chain(tmp_path, capsys):
+    """--engine shared must write a bit-identical snapshot to --engine batched."""
+    batched, shared = tmp_path / "b.npz", tmp_path / "s.npz"
+    common = ["--users", "40", "--movies", "30", "--num-latent", "3",
+              "--burn-in", "1", "--n-samples", "2"]
+    assert main(["train", "--snapshot", str(batched),
+                 "--engine", "batched"] + common) == 0
+    assert main(["train", "--snapshot", str(shared),
+                 "--engine", "shared", "--workers", "2"] + common) == 0
+    left, right = load_snapshot(batched), load_snapshot(shared)
+    np.testing.assert_array_equal(left.state.user_factors,
+                                  right.state.user_factors)
+    np.testing.assert_array_equal(left.state.movie_factors,
+                                  right.state.movie_factors)
+
+
+def test_serve_sharded_gateway(trained_snapshot, capsys, monkeypatch):
+    commands = ("predict 0 1\ntop 0 3\nfoldin 0:4.5 1:3.0\nrate 60 2:4.0\n"
+                "stats\nquit\n")
+    monkeypatch.setattr("sys.stdin", io.StringIO(commands))
+    assert main(["serve", "--snapshot", str(trained_snapshot),
+                 "--shards", "2"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert "2-shard gateway" in lines[0]
+    assert np.isfinite(float(lines[1]))          # predict 0 1
+    assert len(lines[2].split()) == 3            # top 0 3
+    assert lines[3] == "user 60"                 # fold-in id
+    assert lines[4] == "user 60 updated"         # incremental update
+    assert '"n_shards": 2' in lines[5]           # stats JSON
+
+
+def test_serve_watch_requires_shards(trained_snapshot, capsys, monkeypatch):
+    monkeypatch.setattr("sys.stdin", io.StringIO("quit\n"))
+    assert main(["serve", "--snapshot", str(trained_snapshot),
+                 "--watch"]) == 2
+
+
 def test_smoke_command(capsys):
     assert main(["smoke"]) == 0
     assert "SMOKE OK" in capsys.readouterr().out
+
+
+def test_cluster_smoke_command(tmp_path, capsys):
+    latency = tmp_path / "latency.json"
+    assert main(["cluster-smoke", "--latency-out", str(latency)]) == 0
+    assert "CLUSTER SMOKE OK" in capsys.readouterr().out
+    import json
+    payload = json.loads(latency.read_text())
+    assert payload["benchmark"] == "serving-cluster-smoke"
+    assert payload["swaps"] == 1 and payload["parity_queries"] > 0

@@ -124,6 +124,29 @@ class TestTopN:
         with pytest.raises(ValueError):
             scores[0] = 99.0
 
+    def test_add_ratings_invalidates_the_users_cached_scores(self, snapshot):
+        service = PredictionService(snapshot)
+        cold = service.fold_in(np.array([0, 1]), np.array([4.0, 3.0]))
+        stale = service.top_n(cold, n=5)
+        assert service.cache_invalidations == 0
+        service.add_ratings(cold, np.array([2]), np.array([5.0]))
+        assert service.cache_invalidations == 1
+        fresh = service.top_n(cold, n=5)
+        # The row changed, so the recomputed scores must differ and the
+        # lookup must register a miss, not serve the stale vector.
+        assert fresh.scores.tobytes() != stale.scores.tobytes()
+        assert service.cache_misses == 2 and service.cache_hits == 0
+        stats = service.stats()
+        assert stats["cache_invalidations"] == 1
+        assert stats["n_folded_in"] == 1
+        assert stats["cache_entries"] == 1
+
+    def test_add_ratings_without_cache_entry_counts_nothing(self, snapshot):
+        service = PredictionService(snapshot)
+        cold = service.fold_in(np.array([0]), np.array([4.0]))
+        service.add_ratings(cold, np.array([1]), np.array([2.0]))
+        assert service.cache_invalidations == 0
+
 
 class TestFoldInServing:
     def test_fold_in_user_served_like_a_trained_user(self, data, snapshot):
