@@ -18,7 +18,11 @@ from repro.bench.runner import available_experiments, run_experiment
 
 #: Committed baseline path per recordable experiment.
 DEFAULT_RECORD_PATHS = {"engines": "BENCH_pr3.json",
-                        "serving": "BENCH_pr4.json"}
+                        "serving": "BENCH_pr5.json"}
+
+#: --transport choices mapped to the serving ladder's ``transports`` arg.
+_TRANSPORTS = {"inproc": ("inproc",), "tcp": ("tcp",),
+               "both": ("inproc", "tcp")}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,6 +44,11 @@ def main(argv: list[str] | None = None) -> int:
                              "goes to its committed default "
                              f"({DEFAULT_RECORD_PATHS}); adds the "
                              "'engines' experiment if none is selected")
+    parser.add_argument("--transport", choices=sorted(_TRANSPORTS),
+                        default="both",
+                        help="serving-ladder rungs: direct in-process "
+                             "calls, the framed-RPC TCP frontend, or both "
+                             "(other experiments ignore this)")
     args = parser.parse_args(argv)
 
     registry = available_experiments()
@@ -66,7 +75,9 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     for name in names:
-        outcome = run_experiment(name, quick=args.quick)
+        extra = ({"transports": _TRANSPORTS[args.transport]}
+                 if name == "serving" else {})
+        outcome = run_experiment(name, quick=args.quick, **extra)
         print(outcome.render())
         print()
         if args.record and name in DEFAULT_RECORD_PATHS:

@@ -1,15 +1,19 @@
-"""Serving throughput/latency ladder: single-process vs sharded cluster.
+"""Serving throughput/latency ladder: in-process, sharded, and TCP.
 
 Measures ranked-retrieval (``top_n``) traffic against one synthetic
 posterior: the single-process
 :class:`~repro.serving.service.PredictionService` baseline first, then the
 :class:`~repro.serving.cluster.ShardedScorer` across a shards x workers
-grid.  Every rung answers the same query stream, so the rows are directly
-comparable; per-query wall-clock latencies feed the p50/p95 columns and
-the aggregate queries-per-second.
+grid, then (``transports`` including ``"tcp"``) the same stream through
+the network frontend — a sequential framed-RPC client against a
+single-process and a sharded replica, plus a concurrent fused rung where
+several client threads share one server and the cross-user query fuser
+batches their windows.  Every rung answers the same query stream, so the
+rows are directly comparable; per-query wall-clock latencies feed the
+p50/p95 columns and the aggregate queries-per-second.
 
 The recorded document (``python -m repro.bench serving --record`` writes
-``BENCH_pr4.json``) carries the same machine metadata as the engine
+``BENCH_pr5.json``) carries the same machine metadata as the engine
 ladder — on a single-core container the sharded rungs can only measure
 their IPC overhead, and the JSON will honestly show that (the committed
 baseline is exactly such a container; see ``environment.cpu_count``).
@@ -148,6 +152,65 @@ def _time_queries(top_n_callable, users: np.ndarray, n: int,
     return time.perf_counter() - start, latencies
 
 
+def _time_tcp(make_service, users: np.ndarray, n: int, warmup: int,
+              fuse_window_ms=None,
+              n_clients: int = 1) -> Tuple[float, np.ndarray]:
+    """Time the query stream through a TCP replica.
+
+    With one client the stream is sequential (pure transport overhead on
+    top of the in-process rung); with several, the stream is split across
+    concurrent client threads so the server's query fuser gets windows to
+    coalesce, and ``seconds`` is the storm's wall clock.
+    """
+    import threading
+
+    from repro.serving.net import ReplicaSet, ServingClient
+
+    with ReplicaSet(make_service, n_replicas=1,
+                    fuse_window_ms=fuse_window_ms) as replicas:
+        with ServingClient(replicas.addresses) as warm:
+            for user in users[:warmup]:
+                warm.top_n(int(user), n=n)
+        timed = users[warmup:]
+        if n_clients == 1:
+            with ServingClient(replicas.addresses) as client:
+                # Untimed primer: connect + handshake must not land in
+                # the first timed sample.
+                client.top_n(int(users[0]), n=n)
+                latencies = np.empty(timed.shape[0])
+                start = time.perf_counter()
+                for index, user in enumerate(timed):
+                    begin = time.perf_counter()
+                    client.top_n(int(user), n=n)
+                    latencies[index] = time.perf_counter() - begin
+                return time.perf_counter() - start, latencies
+
+        chunks = np.array_split(timed, n_clients)
+        outputs: List[List[float]] = [[] for _ in range(n_clients)]
+        barrier = threading.Barrier(n_clients + 1)
+
+        def storm(chunk: np.ndarray, sink: List[float]) -> None:
+            with ServingClient(replicas.addresses) as client:
+                client.top_n(int(users[0]), n=n)  # untimed primer
+                barrier.wait()
+                for user in chunk:
+                    begin = time.perf_counter()
+                    client.top_n(int(user), n=n)
+                    sink.append(time.perf_counter() - begin)
+
+        threads = [threading.Thread(target=storm, args=(chunk, sink))
+                   for chunk, sink in zip(chunks, outputs)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - start
+        return seconds, np.concatenate([np.asarray(sink)
+                                        for sink in outputs])
+
+
 def run_serving_bench(
     n_users: int = 2000,
     n_items: int = 4000,
@@ -158,6 +221,9 @@ def run_serving_bench(
     top_n: int = 10,
     warmup: int = 10,
     seed: int = 42,
+    transports: Sequence[str] = ("inproc", "tcp"),
+    fuse_window_ms: float = 2.0,
+    fused_clients: int = 4,
 ) -> ServingBenchResult:
     """Time the query stream against every serving configuration.
 
@@ -175,11 +241,19 @@ def run_serving_bench(
     n_queries, top_n, warmup:
         Query stream shape; ``warmup`` queries are excluded from timing
         (pool spawn and first-touch costs are paid there).
+    transports:
+        ``"inproc"`` runs the direct ladder, ``"tcp"`` adds the network
+        rungs: sequential framed-RPC against a single-process and a
+        sharded replica, plus a ``fused_clients``-way concurrent storm
+        against a fused server (window ``fuse_window_ms``).
     """
     check_positive("n_queries", n_queries)
     check_positive("top_n", top_n)
     if warmup >= n_queries:
         raise ValueError("warmup must be smaller than n_queries")
+    unknown_transports = set(transports) - {"inproc", "tcp"}
+    if unknown_transports:
+        raise ValueError(f"unknown transports: {sorted(unknown_transports)}")
     snapshot = make_bench_snapshot(n_users, n_items, num_latent, seed=seed)
     rng = np.random.default_rng(seed + 1)
     users = rng.integers(0, n_users, size=n_queries)
@@ -202,19 +276,49 @@ def run_serving_bench(
         speedup_vs_single=1.0,
     ))
 
-    for shards, workers in cases:
-        with ShardedScorer(snapshot, n_shards=shards,
-                           n_workers=workers) as scorer:
-            seconds, latencies = _time_queries(scorer.top_n, users, top_n,
-                                               warmup)
-        qps = latencies.shape[0] / seconds
-        rows.append(ServingBenchRow(
-            backend="sharded", shards=shards, workers=workers,
-            queries=latencies.shape[0], seconds=seconds, qps=qps,
-            p50_ms=float(np.percentile(latencies, 50) * 1e3),
-            p95_ms=float(np.percentile(latencies, 95) * 1e3),
-            speedup_vs_single=qps / baseline_qps,
-        ))
+    if "inproc" in transports:
+        for shards, workers in cases:
+            with ShardedScorer(snapshot, n_shards=shards,
+                               n_workers=workers) as scorer:
+                seconds, latencies = _time_queries(scorer.top_n, users,
+                                                   top_n, warmup)
+            qps = latencies.shape[0] / seconds
+            rows.append(ServingBenchRow(
+                backend="sharded", shards=shards, workers=workers,
+                queries=latencies.shape[0], seconds=seconds, qps=qps,
+                p50_ms=float(np.percentile(latencies, 50) * 1e3),
+                p95_ms=float(np.percentile(latencies, 95) * 1e3),
+                speedup_vs_single=qps / baseline_qps,
+            ))
+
+    if "tcp" in transports:
+        tcp_shards = max(shard_counts)
+        tcp_cases = [
+            ("tcp", None, None, None, 1),
+            ("tcp", tcp_shards, tcp_shards, None, 1),
+            ("tcp-fused", None, None, fuse_window_ms, fused_clients),
+        ]
+        for backend, shards, workers, window, n_clients in tcp_cases:
+            if shards is None:
+                make_service = (lambda index:
+                                PredictionService(snapshot,
+                                                  cache_size=max(
+                                                      1, n_users // 16)))
+            else:
+                make_service = (lambda index, s=shards, w=workers:
+                                ShardedScorer(snapshot, n_shards=s,
+                                              n_workers=w))
+            seconds, latencies = _time_tcp(make_service, users, top_n,
+                                           warmup, fuse_window_ms=window,
+                                           n_clients=n_clients)
+            qps = latencies.shape[0] / seconds
+            rows.append(ServingBenchRow(
+                backend=backend, shards=shards, workers=workers,
+                queries=latencies.shape[0], seconds=seconds, qps=qps,
+                p50_ms=float(np.percentile(latencies, 50) * 1e3),
+                p95_ms=float(np.percentile(latencies, 95) * 1e3),
+                speedup_vs_single=qps / baseline_qps,
+            ))
 
     return ServingBenchResult(
         rows=rows,
@@ -226,6 +330,9 @@ def run_serving_bench(
             "n_queries": n_queries,
             "warmup": warmup,
             "seed": seed,
+            "transports": list(transports),
+            "fuse_window_ms": fuse_window_ms,
+            "fused_clients": fused_clients,
         },
         environment=machine_environment(),
         top_n=top_n,

@@ -192,6 +192,10 @@ class WorkerPool:
         self._context = multiprocessing.get_context(self.start_method)
         self.workers: List[Tuple] = []  # (Process, task_queue) pairs
         self._results = None
+        # Health counters surfaced through owners' stats()/health frames.
+        self.n_spawns = 0
+        self.n_worker_deaths = 0
+        self.n_registration_failures = 0
 
     @property
     def started(self) -> bool:
@@ -213,6 +217,8 @@ class WorkerPool:
         if self.workers:
             if all(process.is_alive() for process, _ in self.workers):
                 return False
+            self.n_worker_deaths += sum(
+                not process.is_alive() for process, _ in self.workers)
             self.stop()
             raise WorkerPoolError(
                 f"a {self._name_prefix} worker died; the pool was torn "
@@ -237,6 +243,7 @@ class WorkerPool:
             )
             process.start()
             self.workers.append((process, task_queue))
+        self.n_spawns += 1
         return True
 
     def stop(self) -> None:
@@ -257,6 +264,22 @@ class WorkerPool:
             self._results.close()
             self._results = None
         self.workers = []
+
+    def stats(self) -> Dict[str, int]:
+        """Pool health counters (spawns, deaths, registration failures).
+
+        ``n_respawns`` counts pool rebuilds *after* the first spawn — each
+        one means a dead worker (crash or kill) was detected and the pool
+        recovered.  Owners merge these into their ``stats()`` so serving
+        health endpoints can report pool churn.
+        """
+        return {
+            "pool_workers": self.n_workers,
+            "pool_spawns": self.n_spawns,
+            "pool_respawns": max(0, self.n_spawns - 1),
+            "pool_worker_deaths": self.n_worker_deaths,
+            "pool_registration_failures": self.n_registration_failures,
+        }
 
     def send(self, worker_id: int, message: Tuple) -> None:
         self.workers[worker_id][1].put(message)
@@ -284,6 +307,7 @@ class WorkerPool:
                         if not self.workers[worker_id][0].is_alive()]
                 for worker_id in dead:
                     pending.pop(worker_id, None)
+                    self.n_worker_deaths += 1
                     errors.append(
                         f"worker {worker_id} died mid-{label} (exit code "
                         f"{self.workers[worker_id][0].exitcode})")
@@ -292,6 +316,7 @@ class WorkerPool:
             if msg_sequence == -1:
                 # Registration failed on the worker: the root cause of
                 # whatever this request is about to report.
+                self.n_registration_failures += 1
                 errors.append(f"worker {worker_id} (registration):\n"
                               f"{message[3]}")
                 continue

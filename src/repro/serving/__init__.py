@@ -17,6 +17,10 @@ recommender:
   cluster: :class:`ShardedScorer` (parallel top-N over shared-memory
   item shards, bit-identical to the single process) and
   :class:`SnapshotWatcher` (serve while training writes);
+* :mod:`repro.serving.net` — the network frontend: framed RPC protocol
+  over asyncio TCP (:class:`NetServer`), cross-user query fusion
+  (:class:`QueryFuser`), replica failover (:class:`ReplicaSet`) and the
+  sync/async client library;
 * ``python -m repro.serving`` — train → snapshot → serve → query from the
   command line.
 """
@@ -39,6 +43,14 @@ from repro.serving.foldin import (
 )
 from repro.serving.service import MicroBatcher, PendingPrediction, PredictionService
 from repro.serving.cluster import ClusterError, ShardedScorer, SnapshotWatcher
+from repro.serving.net import (
+    AsyncServingClient,
+    NetError,
+    NetServer,
+    QueryFuser,
+    ReplicaSet,
+    ServingClient,
+)
 
 __all__ = [
     "SNAPSHOT_FORMAT",
@@ -59,4 +71,10 @@ __all__ = [
     "ShardedScorer",
     "SnapshotWatcher",
     "ClusterError",
+    "NetServer",
+    "QueryFuser",
+    "ReplicaSet",
+    "ServingClient",
+    "AsyncServingClient",
+    "NetError",
 ]

@@ -20,16 +20,23 @@ The full train → snapshot → serve → query lifecycle from a terminal:
     # Interactive line protocol (predict/top/foldin) on stdin.
     echo "top 3 5" | python -m repro.serving serve --snapshot /tmp/model.npz
 
-    # End-to-end self-check (the CI smoke step).
+    # Framed RPC over TCP: 2 fused, independently-failing replicas.
+    python -m repro.serving serve --snapshot /tmp/model.npz \\
+        --tcp 127.0.0.1:7031 --replicas 2 --fuse-window 2 --shards 2
+
+    # End-to-end self-checks (the CI smoke steps).
     python -m repro.serving smoke
+    python -m repro.serving net-smoke
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -42,6 +49,8 @@ from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
 from repro.multicore.sampler import MulticoreGibbsSampler, MulticoreOptions
 from repro.serving.checkpoint import CheckpointConfig, load_snapshot
 from repro.serving.cluster import ClusterError, ShardedScorer, SnapshotWatcher
+from repro.serving.net import ReplicaSet, ServingClient
+from repro.serving.net.protocol import execute, format_reply, parse_line
 from repro.serving.service import PredictionService
 from repro.utils.validation import ValidationError
 
@@ -138,18 +147,157 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _graceful_sigterm():
+    """Route SIGTERM into the KeyboardInterrupt path; returns a restorer.
+
+    Serving loops already tear down cleanly on Ctrl-C (worker pools
+    stopped, shared-memory segments unlinked); folding SIGTERM into the
+    same path gives ``kill <pid>`` the identical graceful drain.
+    """
+    def raise_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, raise_interrupt)
+    return lambda: signal.signal(signal.SIGTERM, previous)
+
+
+def _serve_repl(service, watcher, backend: str, mode: str,
+                owns_service: bool) -> int:
+    """The stdin line protocol, parsed and formatted by the shared codec.
+
+    Every command line goes through :func:`repro.serving.net.protocol.
+    parse_line` → :func:`execute` → :func:`format_reply` — the same
+    parser and executor the TCP transport uses; a golden-transcript test
+    pins the output bit-identical to the historical ad-hoc loop.
+    """
+    restore_sigterm = _graceful_sigterm()
+    print(f"serving {service.n_users} users x {service.n_items} items "
+          f"({backend}, mode={mode}); commands: predict, top, foldin, "
+          f"rate, stats, quit", flush=True)
+    try:
+        for line in sys.stdin:
+            try:
+                request = parse_line(line)
+                if request is None:
+                    continue
+                if request.kind == "quit":
+                    break
+                print(format_reply(request, execute(service, request)),
+                      flush=True)
+            except (ValidationError, IndexError, ValueError,
+                    KeyError, ClusterError) as error:
+                # Parse-time failures (execute() turns its own failures
+                # into error frames, ClusterError included — a crashed
+                # worker must not kill the session; the gateway respawns
+                # its pool on the next command).
+                print(f"error: {error}", flush=True)
+    except KeyboardInterrupt:
+        pass  # SIGTERM / Ctrl-C: drain through the shared teardown below
+    finally:
+        restore_sigterm()
+        if watcher is not None:
+            watcher.stop()
+        if owns_service:
+            service.close()
+    return 0
+
+
+def _parse_hostport(value: str):
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValidationError(
+            f"--tcp expects HOST:PORT (e.g. 127.0.0.1:7031), got {value!r}")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]  # bracketed IPv6 literal, e.g. [::1]:7031
+    elif ":" in host:
+        raise ValidationError(
+            f"--tcp expects HOST:PORT (bracket IPv6 hosts as "
+            f"[ADDR]:PORT), got {value!r}")
+    if int(port) > 65535:
+        raise ValidationError(
+            f"--tcp port must be 0-65535, got {port}")
+    return host or "127.0.0.1", int(port)
+
+
+def _serve_tcp(args, host: str, port: int) -> int:
+    """The framed RPC transport: N replicas, optional fusion and watch."""
+
+    def make_service(index: int):
+        if args.shards:
+            return ShardedScorer(args.snapshot, n_shards=args.shards,
+                                 mode=args.mode, n_workers=args.workers)
+        return PredictionService(args.snapshot, mode=args.mode)
+
+    make_watcher = None
+    if args.watch:
+        make_watcher = lambda service: SnapshotWatcher(  # noqa: E731
+            service, args.snapshot, interval=args.watch_interval)
+
+    stop_event = threading.Event()
+
+    def request_stop(signum, frame):
+        stop_event.set()
+
+    previous = {sig: signal.signal(sig, request_stop)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+    replicas = ReplicaSet(
+        make_service, n_replicas=args.replicas, host=host,
+        ports=([port + index for index in range(args.replicas)]
+               if port else None),
+        make_watcher=make_watcher, fuse_window_ms=args.fuse_window,
+        fuse_max_batch=args.fuse_max_batch,
+        max_in_flight=args.max_in_flight)
+    try:
+        replicas.start()
+        service = replicas.replicas[0].service
+        backend = (f"{args.shards}-shard gateway" if args.shards
+                   else "single-process")
+        fused = (f"fuse-window {args.fuse_window}ms"
+                 if args.fuse_window is not None else "fusion off")
+        addresses = ", ".join(f"{h}:{p}" for h, p in replicas.addresses)
+        print(f"serving {service.n_users} users x {service.n_items} items "
+              f"over tcp on {addresses} ({args.replicas} replicas, "
+              f"{backend} each, mode={args.mode}, {fused})", flush=True)
+        stop_event.wait()
+        print("draining: in-flight requests finish, pools close",
+              flush=True)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        replicas.stop()
+    return 0
+
+
 def _cmd_serve(args) -> int:
-    """Line protocol on stdin: ``predict u i`` / ``top u n`` / ``foldin i:v ...``.
+    """Serve queries on stdin (line protocol) or TCP (framed RPC).
 
     With ``--shards N`` the queries run on the sharded worker-pool gateway
     (:class:`~repro.serving.cluster.ShardedScorer`); ``--watch`` addition-
     ally hot-swaps new versions of the snapshot file as a concurrently
     running trainer overwrites it.  ``rate u i:v ...`` applies the
-    incremental fold-in update to a previously folded-in user.
+    incremental fold-in update to a previously folded-in user.  With
+    ``--tcp HOST:PORT`` the same command set is served over the framed
+    RPC protocol instead, with ``--replicas N`` independent gateway
+    replicas (ports PORT..PORT+N-1) and ``--fuse-window MS`` cross-user
+    query fusion.
     """
     if args.watch and not args.shards:
         print("--watch requires --shards N", file=sys.stderr)
         return 2
+    if args.tcp:
+        try:
+            host, port = _parse_hostport(args.tcp)
+            if args.replicas < 1:
+                raise ValidationError(
+                    f"--replicas must be >= 1, got {args.replicas}")
+            if port and port + args.replicas - 1 > 65535:
+                raise ValidationError(
+                    f"--replicas {args.replicas} from port {port} would "
+                    "pass port 65535")
+        except ValidationError as error:
+            print(error, file=sys.stderr)
+            return 2
+        return _serve_tcp(args, host, port)
     watcher = None
     if args.shards:
         service = ShardedScorer(args.snapshot, n_shards=args.shards,
@@ -161,57 +309,8 @@ def _cmd_serve(args) -> int:
     else:
         service = _make_service(args)
         backend = "single-process"
-    print(f"serving {service.n_users} users x {service.n_items} items "
-          f"({backend}, mode={args.mode}); commands: predict, top, foldin, "
-          f"rate, stats, quit", flush=True)
-    try:
-        for line in sys.stdin:
-            parts = line.split()
-            if not parts:
-                continue
-            command, rest = parts[0], parts[1:]
-            try:
-                if command == "quit":
-                    break
-                elif command == "predict":
-                    user, item = int(rest[0]), int(rest[1])
-                    print(f"{service.predict(user, item):.4f}", flush=True)
-                elif command == "top":
-                    user = int(rest[0])
-                    n = int(rest[1]) if len(rest) > 1 else 10
-                    recommendation = service.top_n(user, n=n)
-                    print(" ".join(f"{item}:{score:.4f}" for item, score
-                                   in recommendation.as_pairs()), flush=True)
-                elif command == "foldin":
-                    items = [int(token.partition(":")[0]) for token in rest]
-                    values = [float(token.partition(":")[2]) for token in rest]
-                    user = service.fold_in(np.array(items), np.array(values))
-                    print(f"user {user}", flush=True)
-                elif command == "rate":
-                    user = int(rest[0])
-                    items = [int(token.partition(":")[0]) for token in rest[1:]]
-                    values = [float(token.partition(":")[2])
-                              for token in rest[1:]]
-                    service.add_ratings(user, np.array(items),
-                                        np.array(values))
-                    print(f"user {user} updated", flush=True)
-                elif command == "stats":
-                    print(json.dumps(service.stats(), sort_keys=True),
-                          flush=True)
-                else:
-                    print(f"error: unknown command {command!r}", flush=True)
-            except (ValidationError, IndexError, ValueError,
-                    KeyError, ClusterError) as error:
-                # ClusterError included: a crashed worker must not kill the
-                # serving session — the gateway respawns its pool on the
-                # next command.
-                print(f"error: {error}", flush=True)
-    finally:
-        if watcher is not None:
-            watcher.stop()
-        if args.shards:
-            service.close()
-    return 0
+    return _serve_repl(service, watcher, backend, args.mode,
+                       owns_service=bool(args.shards))
 
 
 def _cmd_smoke(args) -> int:
@@ -336,6 +435,130 @@ def _cmd_cluster_smoke(args) -> int:
     return 0
 
 
+def _cmd_net_smoke(args) -> int:
+    """CI smoke for the network frontend: fused replicas + failover.
+
+    Starts a 2-replica fused TCP server on a trained snapshot, storms it
+    with concurrent clients while asserting every fused ``top_n`` reply
+    is bit-identical to the single-process reference, exercises
+    ``predict``/``foldin``/``rate``/``stats``/``health``, then kills one
+    replica mid-storm and checks reads keep succeeding.  Observed
+    latencies go to ``--latency-out`` as JSON for the CI artifact.
+    """
+    from repro.utils.environment import machine_environment
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "net.npz"
+        data = make_low_rank_dataset(SyntheticConfig(
+            n_users=60, n_movies=45, rank=3, density=0.3, noise_std=0.3,
+            test_fraction=0.2, seed=7))
+        config = BPMFConfig(num_latent=4, alpha=4.0, burn_in=2, n_samples=3)
+        GibbsSampler(config, SamplerOptions(
+            checkpoint=CheckpointConfig(path=path, every=2))).run(
+            data.split.train, data.split, seed=0)
+        reference = PredictionService(path)
+        users = list(range(0, reference.n_users, 2))
+        latencies: list[float] = []
+        failures: list[BaseException] = []
+        parity_queries = 0
+        lock = threading.Lock()
+
+        replicas = ReplicaSet(lambda index: PredictionService(path),
+                              n_replicas=args.replicas,
+                              fuse_window_ms=args.fuse_window)
+        with replicas:
+            def storm() -> None:
+                # Failures are recorded, never raised: an exception (or a
+                # bare assert) inside a worker thread would kill only that
+                # thread and let the smoke report success anyway.
+                nonlocal parity_queries
+                client = ServingClient(replicas.addresses, cooldown=0.05)
+                with client:
+                    for user in users:
+                        begin = time.perf_counter()
+                        try:
+                            served = client.top_n(user, n=5)
+                        except Exception as error:  # noqa: BLE001
+                            with lock:
+                                failures.append(error)
+                            continue
+                        elapsed = (time.perf_counter() - begin) * 1e3
+                        expected = reference.top_n(user, n=5)
+                        with lock:
+                            latencies.append(elapsed)
+                            if served.items.tolist() \
+                                    != expected.items.tolist() \
+                                    or served.scores.tobytes() \
+                                    != expected.scores.tobytes():
+                                failures.append(AssertionError(
+                                    f"fused top-N diverged for user {user}"))
+                            else:
+                                parity_queries += 1
+
+            threads = [threading.Thread(target=storm) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not any(thread.is_alive() for thread in threads), \
+                "storm threads hung"
+            assert not failures, failures[:3]
+            assert parity_queries == len(threads) * len(users)
+
+            # Mutations are per-replica (share-nothing): pin one replica.
+            pinned = ServingClient(replicas.addresses[:1])
+            with pinned:
+                cold = pinned.fold_in(np.array([0, 1, 2]),
+                                      np.array([4.0, 3.0, 5.0]))
+                assert pinned.rate(cold, np.array([5]),
+                                   np.array([2.5])) == cold
+                assert np.isfinite(pinned.top_n(cold, n=5).scores).all()
+                health = pinned.health()
+                assert health["status"] == "ok"
+                assert health["fusion"]["fusion_requests"] > 0
+                stats = pinned.stats()
+                assert stats["n_folded_in"] == 1
+
+            # Kill replica 0 mid-storm: reads must keep succeeding.
+            survivor_ref = replicas.replicas[1].service
+            client = ServingClient(replicas.addresses, cooldown=0.05)
+            with client:
+                client.top_n(0, n=5)
+                replicas.kill(0)
+                for user in users:
+                    served = client.top_n(user, n=5)
+                    expected = survivor_ref.top_n(user, n=5)
+                    assert served.items.tolist() == expected.items.tolist()
+                failovers = client.n_failovers
+            fusion_stats = replicas.replicas[1].server.fuser.stats()
+
+        ladder = np.asarray(latencies)
+        payload = {
+            "benchmark": "net-serving-smoke",
+            "environment": machine_environment(),
+            "replicas": args.replicas,
+            "fuse_window_ms": args.fuse_window,
+            "parity_queries": parity_queries,
+            "failovers": failovers,
+            "fusion": fusion_stats,
+            "latency_ms": {
+                "p50": float(np.percentile(ladder, 50)),
+                "p95": float(np.percentile(ladder, 95)),
+                "mean": float(ladder.mean()),
+            },
+        }
+        if args.latency_out:
+            with open(args.latency_out, "w", encoding="utf8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        print(f"NET SMOKE OK: {parity_queries} bit-identical fused queries "
+              f"across {args.replicas} replicas "
+              f"({fusion_stats['fusion_windows']} fused windows), "
+              f"failover survived with {failovers} retries, "
+              f"p95 latency {payload['latency_ms']['p95']:.2f} ms")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serving",
@@ -392,6 +615,22 @@ def main(argv: list[str] | None = None) -> int:
                             "serving (requires --shards)")
     serve.add_argument("--watch-interval", type=float, default=0.5,
                        help="snapshot poll period in seconds")
+    serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="serve the framed RPC protocol over TCP "
+                            "instead of the stdin line protocol")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="independent gateway replicas for --tcp "
+                            "(ports PORT..PORT+N-1)")
+    serve.add_argument("--fuse-window", type=float, default=None,
+                       metavar="MS",
+                       help="fuse concurrent top-N requests within this "
+                            "window into one batched dispatch (--tcp)")
+    serve.add_argument("--fuse-max-batch", type=int, default=64,
+                       help="flush a fusion window early at this many "
+                            "requests")
+    serve.add_argument("--max-in-flight", type=int, default=64,
+                       help="bound on concurrently admitted requests per "
+                            "replica (--tcp)")
     serve.set_defaults(func=_cmd_serve)
 
     smoke = commands.add_parser("smoke",
@@ -405,6 +644,16 @@ def main(argv: list[str] | None = None) -> int:
     cluster_smoke.add_argument("--latency-out", default=None,
                                help="write observed latencies to this JSON")
     cluster_smoke.set_defaults(func=_cmd_cluster_smoke)
+
+    net_smoke = commands.add_parser(
+        "net-smoke",
+        help="TCP frontend + fusion parity + replica failover self check")
+    net_smoke.add_argument("--replicas", type=int, default=2)
+    net_smoke.add_argument("--fuse-window", type=float, default=2.0,
+                           metavar="MS")
+    net_smoke.add_argument("--latency-out", default=None,
+                           help="write observed latencies to this JSON")
+    net_smoke.set_defaults(func=_cmd_net_smoke)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -98,6 +98,29 @@ def _cluster_worker_main(worker_id: int, untrack: bool, task_queue,
             if segment is not None:
                 segment.close()
 
+    def user_shard_part(version: dict, shard: Tuple, user: int, n: int,
+                        exclude_seen: bool):
+        """One (user, shard) slice of a top-N request.
+
+        The single-user and batched paths both call exactly this function,
+        so a fused batch's per-user arithmetic is the single request's
+        arithmetic — bit-identical by construction, not by tolerance.
+        """
+        shard_id, lo, hi, items_view = shard
+        scores = items_view @ version["users"][user]
+        scores += version["offset"]
+        candidates = np.arange(hi - lo, dtype=np.int64)
+        train_shard = train_shards.get(shard_id)
+        if exclude_seen and train_shard is not None \
+                and user < n_train_users:
+            seen, _ = train_shard.user_ratings(user)
+            candidates = np.setdiff1d(candidates, seen, assume_unique=False)
+        if candidates.shape[0] == 0:
+            return None
+        local = scores[candidates]
+        order = select_top_n(local, n)
+        return (candidates[order] + lo, local[order].copy())
+
     while True:
         message = task_queue.get()
         kind = message[0]
@@ -153,26 +176,37 @@ def _cluster_worker_main(worker_id: int, untrack: bool, task_queue,
                 if not 0 <= user < version["n_users"]:
                     raise ValidationError(
                         f"user {user} outside [0, {version['n_users']})")
-                user_row = version["users"][user]
                 parts: List[Tuple[np.ndarray, np.ndarray]] = []
-                for shard_id, lo, hi, items_view in version["shards"]:
-                    scores = items_view @ user_row
-                    scores += version["offset"]
-                    candidates = np.arange(hi - lo, dtype=np.int64)
-                    train_shard = train_shards.get(shard_id)
-                    if exclude_seen and train_shard is not None \
-                            and user < n_train_users:
-                        seen, _ = train_shard.user_ratings(user)
-                        candidates = np.setdiff1d(candidates, seen,
-                                                  assume_unique=False)
-                    if candidates.shape[0] == 0:
-                        continue
-                    local = scores[candidates]
-                    order = select_top_n(local, n)
-                    parts.append((candidates[order] + lo,
-                                  local[order].copy()))
+                for shard in version["shards"]:
+                    part = user_shard_part(version, shard, user, n,
+                                           exclude_seen)
+                    if part is not None:
+                        parts.append(part)
                 result_queue.put(("done", worker_id, sequence,
                                   merge_top_n(parts, n)))
+            elif kind == "topn-batch":
+                # The cross-user fused form: one worker visit ranks every
+                # user of the window.  The sweep is shard-outer so the
+                # shard's item block stays cache-hot across the user loop
+                # (a blocked GEMM whose microkernel is the single-user
+                # GEMV), and each (user, shard) cell is computed by the
+                # same `user_shard_part` as a lone request.
+                _, _, _, users, n, exclude_seen = message
+                for user in users:
+                    if not 0 <= user < version["n_users"]:
+                        raise ValidationError(
+                            f"user {user} outside [0, {version['n_users']})")
+                user_parts: List[List[Tuple[np.ndarray, np.ndarray]]] = \
+                    [[] for _ in users]
+                for shard in version["shards"]:
+                    for position, user in enumerate(users):
+                        part = user_shard_part(version, shard, user, n,
+                                               exclude_seen)
+                        if part is not None:
+                            user_parts[position].append(part)
+                result_queue.put(("done", worker_id, sequence,
+                                  [merge_top_n(parts, n)
+                                   for parts in user_parts]))
             elif kind == "gather":
                 _, _, _, requests = message
                 shards = {shard_id: items_view for shard_id, _, _, items_view
@@ -318,6 +352,7 @@ class ShardedScorer:
         self._closed = False
         self.n_swaps = 0
         self.n_queries = 0
+        self.n_batch_dispatches = 0
         self.n_deltas_flushed = 0
 
         self._active = _VersionState(
@@ -485,10 +520,39 @@ class ShardedScorer:
 
     def top_n_batch(self, users: Sequence[int], n: int = 10,
                     exclude_seen: bool = True) -> Dict[int, Recommendation]:
-        """Ranked lists for several users."""
-        return {int(user): self.top_n(int(user), n=n,
-                                      exclude_seen=exclude_seen)
-                for user in users}
+        """Ranked lists for several users in one fan-out.
+
+        The whole batch costs a single dispatch to every worker (one
+        round-trip per window instead of one per user), and each worker
+        sweeps its shards once for all users.  Every user's ranking is
+        bit-identical to their lone :meth:`top_n` — worker-side the batch
+        runs the same per-(user, shard) function, and the gateway merge is
+        the same exact k-way merge.  This is the entry point the network
+        frontend's query fuser batches into.
+        """
+        check_positive("n", n)
+        unique = list(dict.fromkeys(int(user) for user in users))
+        if not unique:
+            return {}
+        with self._lock:
+            self._check_users(np.array(unique, dtype=np.int64))
+            version_id = self._active.version_id
+            responses = self._dispatch(
+                lambda worker_id, sequence:
+                ("topn-batch", sequence, version_id, tuple(unique), int(n),
+                 bool(exclude_seen)))
+            self.n_queries += len(unique)
+            self.n_batch_dispatches += 1
+            merged = [merge_top_n([response[position]
+                                   for response in responses.values()], n)
+                      for position in range(len(unique))]
+        results: Dict[int, Recommendation] = {}
+        for user, (items, scores) in zip(unique, merged):
+            if self.clip is not None:
+                scores = np.clip(scores, self.clip[0], self.clip[1])
+            results[user] = Recommendation(user=user, items=items,
+                                           scores=scores)
+        return results
 
     # -- point predictions -------------------------------------------------
 
@@ -698,9 +762,15 @@ class ShardedScorer:
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> Dict[str, int]:
-        """Gateway counters (queries, swaps, deltas, population)."""
-        return {
+        """Gateway counters (queries, swaps, deltas, population, pool).
+
+        Includes the :class:`WorkerPool` health counters (respawns after
+        dead workers, worker-side registration failures), so the network
+        frontend's ``health`` frame can report pool churn.
+        """
+        counters = {
             "n_queries": self.n_queries,
+            "n_batch_dispatches": self.n_batch_dispatches,
             "n_swaps": self.n_swaps,
             "n_deltas_flushed": self.n_deltas_flushed,
             "n_shards": self.n_shards,
@@ -709,3 +779,5 @@ class ShardedScorer:
             "n_folded_in": self.n_users - self._n_train_users,
             "version": self.version,
         }
+        counters.update(self._pool.stats())
+        return counters

@@ -1,0 +1,60 @@
+"""Network serving frontend: framed RPC over TCP, fusion, replication.
+
+The serving stack's front door.  PR 2–4 built the posterior snapshot
+store, the single-process :class:`~repro.serving.service.PredictionService`
+and the sharded shared-memory :class:`~repro.serving.cluster.ShardedScorer`;
+this package turns them into a networked service:
+
+* :mod:`repro.serving.net.protocol` — versioned, length-prefixed binary
+  frames (stdlib ``struct`` + JSON payloads), one parser and one
+  executor shared by the TCP transport *and* the stdin REPL;
+* :mod:`repro.serving.net.server` — :class:`NetServer`: asyncio TCP
+  server with a protocol-version handshake, bounded in-flight requests,
+  graceful SIGTERM drain and snapshot hot-reload that never drops a
+  connection;
+* :mod:`repro.serving.net.fusion` — :class:`QueryFuser`: merges
+  concurrent cross-user ``top_n`` requests into one batched gateway
+  dispatch per window, bit-identical per request to serving them alone;
+* :mod:`repro.serving.net.replica` — :class:`ReplicaSet`: N independent
+  gateway replicas behind one address list;
+* :mod:`repro.serving.net.client` — :class:`ServingClient` /
+  :class:`AsyncServingClient`: health-checked round-robin with automatic
+  failover and at-most-once retry for idempotent reads.
+
+``python -m repro.serving serve --tcp HOST:PORT [--replicas N]
+[--fuse-window MS]`` wires it all together from the command line.
+"""
+
+from repro.serving.net.client import AsyncServingClient, NetError, ServingClient
+from repro.serving.net.fusion import QueryFuser
+from repro.serving.net.protocol import (
+    MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    execute,
+    format_reply,
+    parse_line,
+)
+from repro.serving.net.replica import ReplicaSet
+from repro.serving.net.server import NetServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_PAYLOAD",
+    "Frame",
+    "FrameDecoder",
+    "ProtocolError",
+    "encode_frame",
+    "parse_line",
+    "format_reply",
+    "execute",
+    "NetServer",
+    "QueryFuser",
+    "ReplicaSet",
+    "ServingClient",
+    "AsyncServingClient",
+    "NetError",
+]

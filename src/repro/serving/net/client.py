@@ -1,0 +1,408 @@
+"""Client library for the framed TCP serving protocol.
+
+Two variants over one failover policy:
+
+* :class:`ServingClient` — blocking sockets, for scripts, benchmarks and
+  the CLI;
+* :class:`AsyncServingClient` — asyncio streams, for event-loop callers.
+
+Both take the :class:`~repro.serving.net.replica.ReplicaSet` address
+list and do health-checked round-robin with automatic failover:
+
+* **Transport failures** (refused, reset, timeout, EOF, torn frames) on
+  an *idempotent read* (``top_n``, ``top_n_batch``, ``predict``,
+  ``stats``, ``health``) retry at most once per remaining replica; the
+  failed replica enters a cooldown and is skipped until it expires.
+* **Mutations** (``rate``, ``foldin``) are never replayed — the request
+  may have been applied before the connection died, and at-most-once is
+  the only honest contract a share-nothing replica set can offer.
+  Callers get :class:`NetError` naming the replica that failed.
+* **Server-side domain errors** (an ``error`` frame: bad user id, worker
+  crash message) are definitive answers, not transport failures — they
+  raise :class:`NetError` immediately, with no failover.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.recommend import Recommendation
+from repro.serving.net.protocol import (
+    Frame,
+    FrameDecoder,
+    IDEMPOTENT_KINDS,
+    ProtocolError,
+    encode_frame,
+    hello_frame,
+)
+
+__all__ = ["NetError", "ServingClient", "AsyncServingClient"]
+
+_READ_CHUNK = 1 << 16
+
+
+class NetError(RuntimeError):
+    """A request could not be served (transport or server-side)."""
+
+
+class _AddressRing:
+    """Round-robin address selection with per-address failure cooldown."""
+
+    def __init__(self, addresses: Sequence[Tuple[str, int]],
+                 cooldown: float = 1.0):
+        if not addresses:
+            raise ValueError("at least one replica address is required")
+        self.addresses = [(str(host), int(port))
+                          for host, port in addresses]
+        self.cooldown = float(cooldown)
+        self._next = 0
+        self._dead_until: Dict[int, float] = {}
+
+    def candidates(self) -> List[int]:
+        """Every index once, healthy first, starting after the last used."""
+        order = [(self._next + step) % len(self.addresses)
+                 for step in range(len(self.addresses))]
+        now = time.monotonic()
+        healthy = [index for index in order
+                   if self._dead_until.get(index, 0.0) <= now]
+        cooling = [index for index in order if index not in healthy]
+        # Cooling replicas stay last-resort candidates: with every replica
+        # down we would rather retry one than fail without trying.
+        return healthy + cooling
+
+    def mark_used(self, index: int) -> None:
+        self._next = (index + 1) % len(self.addresses)
+
+    def mark_alive(self, index: int) -> None:
+        self._dead_until.pop(index, None)
+
+    def mark_dead(self, index: int) -> None:
+        self._dead_until[index] = time.monotonic() + self.cooldown
+
+
+def _recommendation(payload: Dict[str, object]) -> Recommendation:
+    return Recommendation(
+        user=int(payload["user"]),
+        items=np.asarray(payload["items"], dtype=np.int64),
+        scores=np.asarray(payload["scores"], dtype=np.float64))
+
+
+class _ClientCore:
+    """Failover policy and request construction shared by both clients.
+
+    The sync and async variants differ only in their transport
+    primitives (connect / roundtrip / drop); every policy decision —
+    cooldown bookkeeping, when a mutation may be retried, how errors
+    surface — lives here so the two cannot drift apart.
+    """
+
+    _ring: _AddressRing
+    n_failovers: int
+
+    def _on_connect_failure(self, index: int, error: BaseException,
+                            failures: List[str]) -> None:
+        """Connect/handshake failed: no byte of the request was sent.
+
+        Always safe to try the next replica — even for mutations
+        (a :class:`NetError` here is a handshake refusal).
+        """
+        self._ring.mark_dead(index)
+        failures.append(f"{self._ring.addresses[index]}: {error!r}")
+
+    def _on_roundtrip_failure(self, frame: Frame, index: int,
+                              error: BaseException,
+                              failures: List[str]) -> None:
+        """The request went out and the reply never came back whole.
+
+        Idempotent reads move on to the next replica; mutations raise —
+        the request may already have been applied, and at-most-once is
+        the only honest contract a share-nothing replica set can offer.
+        """
+        address = self._ring.addresses[index]
+        self._ring.mark_dead(index)
+        failures.append(f"{address}: {error!r}")
+        if frame.kind not in IDEMPOTENT_KINDS:
+            raise NetError(
+                f"{frame.kind!r} against {address} failed ({error!r}); "
+                "not retried — the request mutates state and may already "
+                "have been applied") from error
+
+    def _on_reply(self, reply: Frame, index: int,
+                  attempt: int) -> Dict[str, object]:
+        """A complete reply: a server-side ``error`` frame is definitive
+        (no failover); anything else is the answer."""
+        self._ring.mark_alive(index)
+        self._ring.mark_used(index)
+        if attempt > 0:
+            self.n_failovers += 1
+        if reply.is_error:
+            raise NetError(str(reply.payload.get("message")))
+        return reply.payload
+
+    @staticmethod
+    def _every_replica_failed(failures: List[str]) -> NetError:
+        return NetError("every replica failed: " + "; ".join(failures))
+
+    @staticmethod
+    def _top_n_frame(user, n, exclude_seen) -> Frame:
+        return Frame("top_n", {"user": int(user), "n": int(n),
+                               "exclude_seen": bool(exclude_seen)})
+
+    @staticmethod
+    def _batch_frame(users, n, exclude_seen) -> Frame:
+        return Frame("top_n_batch", {
+            "users": [int(user) for user in users], "n": int(n),
+            "exclude_seen": bool(exclude_seen)})
+
+    @staticmethod
+    def _rating_payload(items, values) -> Dict[str, object]:
+        return {"items": [int(item) for item in np.asarray(items).ravel()],
+                "values": [float(value)
+                           for value in np.asarray(values).ravel()]}
+
+    @staticmethod
+    def _batch_result(payload) -> Dict[int, Recommendation]:
+        return {int(entry["user"]): _recommendation(entry)
+                for entry in payload["results"]}
+
+
+class ServingClient(_ClientCore):
+    """Blocking client over the replica address list (see module docs).
+
+    Connections are cached per replica and re-established on demand; use
+    as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, addresses: Sequence[Tuple[str, int]],
+                 timeout: float = 10.0, cooldown: float = 1.0):
+        self._ring = _AddressRing(addresses, cooldown=cooldown)
+        self.timeout = float(timeout)
+        self._connections: Dict[int, Tuple[socket.socket, FrameDecoder]] = {}
+        self.n_failovers = 0
+
+    # -- transport ---------------------------------------------------------
+
+    def _connect(self, index: int) -> Tuple[socket.socket, FrameDecoder]:
+        cached = self._connections.get(index)
+        if cached is not None:
+            return cached
+        sock = socket.create_connection(self._ring.addresses[index],
+                                        timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        decoder = FrameDecoder()
+        connection = (sock, decoder)
+        self._connections[index] = connection
+        try:
+            reply = self._roundtrip(connection, hello_frame())
+        except BaseException:
+            self._drop(index)
+            raise
+        if reply.is_error:
+            self._drop(index)
+            raise NetError(
+                f"replica {self._ring.addresses[index]} refused the "
+                f"handshake: {reply.payload.get('message')}")
+        return connection
+
+    def _drop(self, index: int) -> None:
+        connection = self._connections.pop(index, None)
+        if connection is not None:
+            try:
+                connection[0].close()
+            except OSError:  # pragma: no cover
+                pass
+
+    @staticmethod
+    def _roundtrip(connection, frame: Frame) -> Frame:
+        sock, decoder = connection
+        sock.sendall(encode_frame(frame))
+        while True:
+            data = sock.recv(_READ_CHUNK)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            frames = decoder.feed(data)
+            if frames:
+                return frames[0]
+
+    def _request(self, frame: Frame) -> Dict[str, object]:
+        failures: List[str] = []
+        for attempt, index in enumerate(self._ring.candidates()):
+            try:
+                connection = self._connect(index)
+            except (OSError, ConnectionError, ProtocolError,
+                    socket.timeout, NetError) as error:
+                self._on_connect_failure(index, error, failures)
+                continue
+            try:
+                reply = self._roundtrip(connection, frame)
+            except (OSError, ConnectionError, ProtocolError,
+                    socket.timeout) as error:
+                self._drop(index)
+                self._on_roundtrip_failure(frame, index, error, failures)
+                continue
+            return self._on_reply(reply, index, attempt)
+        raise self._every_replica_failed(failures)
+
+    # -- the serving surface ----------------------------------------------
+
+    def top_n(self, user: int, n: int = 10,
+              exclude_seen: bool = True) -> Recommendation:
+        return _recommendation(self._request(
+            self._top_n_frame(user, n, exclude_seen)))
+
+    def top_n_batch(self, users: Iterable[int], n: int = 10,
+                    exclude_seen: bool = True) -> Dict[int, Recommendation]:
+        return self._batch_result(self._request(
+            self._batch_frame(users, n, exclude_seen)))
+
+    def predict(self, user: int, item: int) -> float:
+        payload = self._request(Frame("predict", {"user": int(user),
+                                                  "item": int(item)}))
+        return float(payload["score"])
+
+    def fold_in(self, items, values) -> int:
+        return int(self._request(
+            Frame("foldin", self._rating_payload(items, values)))["user"])
+
+    def rate(self, user: int, items, values) -> int:
+        payload = self._rating_payload(items, values)
+        payload["user"] = int(user)
+        return int(self._request(Frame("rate", payload))["user"])
+
+    def stats(self) -> Dict[str, object]:
+        return self._request(Frame("stats"))
+
+    def health(self) -> Dict[str, object]:
+        return self._request(Frame("health"))
+
+    def close(self) -> None:
+        for index in list(self._connections):
+            self._drop(index)
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncServingClient(_ClientCore):
+    """Asyncio variant of :class:`ServingClient` (same failover policy)."""
+
+    def __init__(self, addresses: Sequence[Tuple[str, int]],
+                 timeout: float = 10.0, cooldown: float = 1.0):
+        self._ring = _AddressRing(addresses, cooldown=cooldown)
+        self.timeout = float(timeout)
+        self._connections: Dict[int, Tuple[asyncio.StreamReader,
+                                           asyncio.StreamWriter,
+                                           FrameDecoder]] = {}
+        self.n_failovers = 0
+
+    async def _connect(self, index: int):
+        cached = self._connections.get(index)
+        if cached is not None:
+            return cached
+        host, port = self._ring.addresses[index]
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=self.timeout)
+        connection = (reader, writer, FrameDecoder())
+        self._connections[index] = connection
+        try:
+            reply = await self._roundtrip(connection, hello_frame())
+        except BaseException:
+            await self._drop(index)
+            raise
+        if reply.is_error:
+            await self._drop(index)
+            raise NetError(
+                f"replica {self._ring.addresses[index]} refused the "
+                f"handshake: {reply.payload.get('message')}")
+        return connection
+
+    async def _drop(self, index: int) -> None:
+        connection = self._connections.pop(index, None)
+        if connection is not None:
+            connection[1].close()
+            try:
+                await connection[1].wait_closed()
+            except (OSError, ConnectionError):  # pragma: no cover
+                pass
+
+    async def _roundtrip(self, connection, frame: Frame) -> Frame:
+        reader, writer, decoder = connection
+        writer.write(encode_frame(frame))
+        await asyncio.wait_for(writer.drain(), timeout=self.timeout)
+        while True:
+            data = await asyncio.wait_for(reader.read(_READ_CHUNK),
+                                          timeout=self.timeout)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            frames = decoder.feed(data)
+            if frames:
+                return frames[0]
+
+    async def _request(self, frame: Frame) -> Dict[str, object]:
+        failures: List[str] = []
+        for attempt, index in enumerate(self._ring.candidates()):
+            try:
+                connection = await self._connect(index)
+            except (OSError, ConnectionError, ProtocolError,
+                    asyncio.TimeoutError, NetError) as error:
+                self._on_connect_failure(index, error, failures)
+                continue
+            try:
+                reply = await self._roundtrip(connection, frame)
+            except (OSError, ConnectionError, ProtocolError,
+                    asyncio.TimeoutError) as error:
+                await self._drop(index)
+                self._on_roundtrip_failure(frame, index, error, failures)
+                continue
+            return self._on_reply(reply, index, attempt)
+        raise self._every_replica_failed(failures)
+
+    async def top_n(self, user: int, n: int = 10,
+                    exclude_seen: bool = True) -> Recommendation:
+        return _recommendation(await self._request(
+            self._top_n_frame(user, n, exclude_seen)))
+
+    async def top_n_batch(self, users: Iterable[int], n: int = 10,
+                          exclude_seen: bool = True
+                          ) -> Dict[int, Recommendation]:
+        return self._batch_result(await self._request(
+            self._batch_frame(users, n, exclude_seen)))
+
+    async def predict(self, user: int, item: int) -> float:
+        payload = await self._request(
+            Frame("predict", {"user": int(user), "item": int(item)}))
+        return float(payload["score"])
+
+    async def fold_in(self, items, values) -> int:
+        payload = await self._request(
+            Frame("foldin", self._rating_payload(items, values)))
+        return int(payload["user"])
+
+    async def rate(self, user: int, items, values) -> int:
+        payload = self._rating_payload(items, values)
+        payload["user"] = int(user)
+        return int((await self._request(Frame("rate", payload)))["user"])
+
+    async def stats(self) -> Dict[str, object]:
+        return await self._request(Frame("stats"))
+
+    async def health(self) -> Dict[str, object]:
+        return await self._request(Frame("health"))
+
+    async def close(self) -> None:
+        for index in list(self._connections):
+            await self._drop(index)
+
+    async def __aenter__(self) -> "AsyncServingClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,136 @@
+"""Cross-user query fusion: coalesce concurrent ``top_n`` requests.
+
+Under heavy traffic many connections ask for rankings at once, and the
+per-request cost is dominated by fixed overhead — a full gateway dispatch
+(lock, delta flush, one IPC round-trip per worker) per user.
+:class:`QueryFuser` batches them: requests arriving within a short window
+(or until the batch cap) are merged into a single
+:meth:`~repro.serving.cluster.ShardedScorer.top_n_batch` call — one
+fan-out to the workers per *window*, with each worker sweeping its shard
+once for all users of the window (a blocked GEMM over users x shard whose
+microkernel is the single-user GEMV).
+
+De-multiplexing is bit-identical to serving each request alone: the batch
+entry point runs the exact single-request arithmetic per user (pinned by
+the parity tests in ``tests/test_net_server.py`` and
+``tests/test_serving_cluster.py``), and duplicate users inside one window
+share one computation and one identical result.
+
+The fuser is transport-agnostic: it only needs an asyncio loop and a
+``top_n_batch`` callable, so it is testable without sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["QueryFuser"]
+
+
+class QueryFuser:
+    """Time/size-windowed coalescer for concurrent ``top_n`` requests.
+
+    Parameters
+    ----------
+    top_n_batch:
+        Callable ``(users, n=..., exclude_seen=...) -> Dict[int,
+        Recommendation]`` — the gateway's batch entry point.  It runs in
+        ``executor`` (the serving gateways block on worker IPC).
+    window_ms:
+        How long the first request of a window waits for company.  ``0``
+        still fuses whatever arrives within one event-loop pass.
+    max_batch:
+        Flush immediately once this many requests are pending.
+    executor:
+        Passed to ``loop.run_in_executor`` for the batch call.
+    """
+
+    def __init__(self, top_n_batch, window_ms: float = 2.0,
+                 max_batch: int = 64, executor=None):
+        if window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {window_ms}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._top_n_batch = top_n_batch
+        self.window_ms = float(window_ms)
+        self.max_batch = int(max_batch)
+        self._executor = executor
+        # key -> list of (user, future); one window per (n, exclude_seen)
+        # key so a flush is a single homogeneous batch call.
+        self._pending: Dict[Tuple[int, bool],
+                            List[Tuple[int, asyncio.Future]]] = {}
+        self._timers: Dict[Tuple[int, bool], asyncio.TimerHandle] = {}
+        self.n_requests = 0
+        self.n_windows = 0
+        self.n_deduplicated = 0
+        self.max_window = 0
+
+    async def top_n(self, user: int, n: int = 10,
+                    exclude_seen: bool = True):
+        """Queue one request; resolves with the user's Recommendation."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        key = (int(n), bool(exclude_seen))
+        waiters = self._pending.setdefault(key, [])
+        waiters.append((int(user), future))
+        self.n_requests += 1
+        if len(waiters) >= self.max_batch:
+            self._flush(key)
+        elif len(waiters) == 1:
+            # First request of the window arms its flush timer.
+            self._timers[key] = loop.call_later(
+                self.window_ms / 1000.0, self._flush, key)
+        return await future
+
+    def _flush(self, key: Tuple[int, bool]) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        waiters = self._pending.pop(key, None)
+        if not waiters:
+            return
+        self.n_windows += 1
+        self.max_window = max(self.max_window, len(waiters))
+        users = [user for user, _ in waiters]
+        self.n_deduplicated += len(users) - len(set(users))
+        n, exclude_seen = key
+        loop = asyncio.get_running_loop()
+
+        def run_batch():
+            return self._top_n_batch(users, n=n, exclude_seen=exclude_seen)
+
+        task = loop.run_in_executor(self._executor, run_batch)
+        task.add_done_callback(
+            lambda done: self._resolve(waiters, done))
+
+    @staticmethod
+    def _resolve(waiters, done) -> None:
+        error = done.exception()
+        if error is not None:
+            for _, future in waiters:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        results = done.result()
+        for user, future in waiters:
+            if not future.done():
+                future.set_result(results[user])
+
+    async def drain(self) -> None:
+        """Flush every armed window and wait for the pending futures."""
+        futures = [future for waiters in self._pending.values()
+                   for _, future in waiters]
+        for key in list(self._pending):
+            self._flush(key)
+        if futures:
+            await asyncio.gather(*futures, return_exceptions=True)
+
+    def stats(self) -> Dict[str, int]:
+        """Fusion counters for the ``health`` frame."""
+        return {
+            "fusion_requests": self.n_requests,
+            "fusion_windows": self.n_windows,
+            "fusion_deduplicated": self.n_deduplicated,
+            "fusion_max_window": self.max_window,
+        }

@@ -1,0 +1,333 @@
+"""Versioned, length-prefixed frame protocol for the serving frontend.
+
+One codec, two transports: every message that crosses the TCP socket
+(:mod:`repro.serving.net.server`) and every command line the stdin REPL
+reads (``python -m repro.serving serve``) goes through the functions in
+this module, so there is exactly one parser and one executor for the
+serving command set.
+
+Wire format (all integers big-endian)::
+
+    +-------+---------+------+----------------+-----------------+
+    | magic | version | kind | payload length | payload (JSON)  |
+    | 4 B   | 1 B     | 1 B  | 4 B            | length bytes    |
+    +-------+---------+------+----------------+-----------------+
+
+The payload is UTF-8 JSON — deliberately msgpack-free so any language
+with ``struct`` and JSON can speak it.  Python's JSON round-trips IEEE
+doubles exactly (shortest-repr encode, exact decode), which is what lets
+the network tests pin *bit-identical* scores across the wire.
+
+``Frame`` is also the in-process request/response object: the REPL's
+:func:`parse_line` produces request frames, :func:`execute` runs a frame
+against a gateway (:class:`~repro.serving.service.PredictionService` or
+:class:`~repro.serving.cluster.ShardedScorer`) and returns a response
+frame, and :func:`format_reply` renders a response back into the legacy
+REPL line format (pinned bit-identical by a golden transcript test).
+
+A connection starts with a ``hello`` handshake carrying the protocol
+version; servers refuse mismatched versions with an explicit ``error``
+frame before closing, so old clients fail loudly instead of misparsing.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAX_PAYLOAD", "ProtocolError", "Frame",
+    "encode_frame", "FrameDecoder", "parse_line", "execute", "format_reply",
+    "hello_frame", "check_hello",
+]
+
+#: Bump on any wire-visible change; the handshake refuses mismatches.
+PROTOCOL_VERSION = 1
+
+#: Frames advertising a larger payload are rejected before buffering.
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+_MAGIC = b"RPRO"
+_HEADER = struct.Struct(">4sBBI")
+
+#: kind name <-> wire code.  Requests sit below 16, responses above.
+_KIND_CODES = {
+    "hello": 1,
+    "top_n": 2,
+    "top_n_batch": 3,
+    "predict": 4,
+    "rate": 5,
+    "foldin": 6,
+    "stats": 7,
+    "health": 8,
+    "ok": 16,
+    "error": 17,
+}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+#: Request kinds that are safe to retry on another replica: they either
+#: read state or are deterministic lookups.  ``rate``/``foldin`` mutate
+#: the posterior and must never be silently replayed.
+IDEMPOTENT_KINDS = frozenset({"top_n", "top_n_batch", "predict", "stats",
+                              "health", "hello"})
+
+
+class ProtocolError(ValueError):
+    """A frame or command line that violates the protocol."""
+
+
+@dataclass
+class Frame:
+    """One protocol message: a kind tag plus a JSON-able payload."""
+
+    kind: str
+    payload: Dict[str, object] = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
+
+    @property
+    def is_error(self) -> bool:
+        return self.kind == "error"
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize one frame to wire bytes."""
+    if frame.kind not in _KIND_CODES:
+        raise ProtocolError(f"unknown frame kind {frame.kind!r}")
+    body = json.dumps(frame.payload, separators=(",", ":"),
+                      sort_keys=True).encode("utf8")
+    if len(body) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(body)} bytes exceeds the {MAX_PAYLOAD}-byte "
+            "frame limit")
+    return _HEADER.pack(_MAGIC, frame.version,
+                        _KIND_CODES[frame.kind], len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary byte stream.
+
+    Feed it whatever chunks the transport delivers; complete frames come
+    out, partial ones wait in the buffer.  Garbage (bad magic, unknown
+    kind, oversized or malformed payload) raises :class:`ProtocolError`
+    immediately — a framing error is unrecoverable mid-stream, so callers
+    drop the connection.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Buffer ``data`` and return every frame it completes."""
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Optional[Frame]:
+        if len(self._buffer) < _HEADER.size:
+            return None
+        magic, version, code, length = _HEADER.unpack_from(self._buffer)
+        if magic != _MAGIC:
+            raise ProtocolError(
+                f"bad frame magic {bytes(magic)!r} (expected {_MAGIC!r})")
+        if length > MAX_PAYLOAD:
+            raise ProtocolError(
+                f"frame advertises a {length}-byte payload, over the "
+                f"{MAX_PAYLOAD}-byte limit")
+        kind = _CODE_KINDS.get(code)
+        if kind is None:
+            raise ProtocolError(f"unknown frame kind code {code}")
+        end = _HEADER.size + length
+        if len(self._buffer) < end:
+            return None
+        body = bytes(self._buffer[_HEADER.size:end])
+        del self._buffer[:end]
+        try:
+            payload = json.loads(body.decode("utf8")) if length else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"malformed frame payload: {error}") from error
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"frame payload must be a JSON object, got "
+                f"{type(payload).__name__}")
+        return Frame(kind=kind, payload=payload, version=version)
+
+
+# ---------------------------------------------------------------------------
+# handshake
+# ---------------------------------------------------------------------------
+
+def hello_frame() -> Frame:
+    """The client's opening frame."""
+    return Frame("hello", {"version": PROTOCOL_VERSION})
+
+
+def check_hello(frame: Frame) -> Optional[Frame]:
+    """Validate a client's opening frame; an ``error`` frame on refusal.
+
+    Returns ``None`` when the handshake is acceptable.  The version in
+    the *payload* is authoritative (the header byte travels with every
+    frame; the payload states what the client actually speaks).
+    """
+    if frame.kind != "hello":
+        return Frame("error", {
+            "message": f"expected a hello handshake, got {frame.kind!r}"})
+    version = frame.payload.get("version")
+    if version != PROTOCOL_VERSION:
+        return Frame("error", {
+            "message": f"protocol version {version!r} is not supported "
+                       f"(server speaks {PROTOCOL_VERSION})",
+            "server_version": PROTOCOL_VERSION})
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the line protocol (stdin REPL) in terms of the same frames
+# ---------------------------------------------------------------------------
+
+def parse_line(line: str) -> Optional[Frame]:
+    """Parse one REPL command line into a request frame.
+
+    Returns ``None`` for a blank line and a ``quit``-kind sentinel frame
+    (not a wire kind) for ``quit``.  Raises exactly what the historical
+    ad-hoc parser raised — ``ValueError`` from ``int()``/``float()``,
+    ``IndexError`` for missing arguments, :class:`ProtocolError` for an
+    unknown command — so the REPL's error lines stay bit-identical.
+    """
+    parts = line.split()
+    if not parts:
+        return None
+    command, rest = parts[0], parts[1:]
+    if command == "quit":
+        return Frame("quit")
+    if command == "predict":
+        return Frame("predict", {"user": int(rest[0]), "item": int(rest[1])})
+    if command == "top":
+        return Frame("top_n", {
+            "user": int(rest[0]),
+            "n": int(rest[1]) if len(rest) > 1 else 10,
+        })
+    if command == "foldin":
+        return Frame("foldin", {
+            "items": [int(token.partition(":")[0]) for token in rest],
+            "values": [float(token.partition(":")[2]) for token in rest],
+        })
+    if command == "rate":
+        return Frame("rate", {
+            "user": int(rest[0]),
+            "items": [int(token.partition(":")[0]) for token in rest[1:]],
+            "values": [float(token.partition(":")[2]) for token in rest[1:]],
+        })
+    if command == "stats":
+        return Frame("stats")
+    if command == "health":
+        return Frame("health")
+    raise ProtocolError(f"unknown command {command!r}")
+
+
+def format_reply(request: Frame, response: Frame) -> str:
+    """Render a response frame as the legacy REPL output line."""
+    if response.is_error:
+        return f"error: {response.payload['message']}"
+    payload = response.payload
+    if request.kind == "predict":
+        return f"{payload['score']:.4f}"
+    if request.kind == "top_n":
+        return " ".join(f"{item}:{score:.4f}" for item, score
+                        in zip(payload["items"], payload["scores"]))
+    if request.kind == "foldin":
+        return f"user {payload['user']}"
+    if request.kind == "rate":
+        return f"user {payload['user']} updated"
+    if request.kind in ("stats", "health"):
+        return json.dumps(payload, sort_keys=True)
+    raise ProtocolError(f"no line rendering for {request.kind!r} replies")
+
+
+# ---------------------------------------------------------------------------
+# the shared executor
+# ---------------------------------------------------------------------------
+
+def recommendation_payload(recommendation) -> Dict[str, object]:
+    return {"user": int(recommendation.user),
+            "items": [int(item) for item in recommendation.items],
+            "scores": [float(score) for score in recommendation.scores]}
+
+
+def execute(service, request: Frame,
+            extra_health=None) -> Frame:
+    """Run one request frame against a gateway; returns the response frame.
+
+    ``service`` is anything with the :class:`PredictionService` serving
+    surface (the sharded gateway included).  Domain failures — bad
+    indices, crashed workers, malformed arguments — come back as
+    ``error`` frames; only programming errors propagate.  ``extra_health``
+    optionally supplies server-side counters merged into ``health``
+    replies (the TCP server passes its connection/fusion stats).
+    """
+    from repro.serving.cluster import ClusterError
+    from repro.utils.validation import ValidationError
+
+    kind, payload = request.kind, request.payload
+    try:
+        if kind == "top_n":
+            recommendation = service.top_n(
+                int(payload["user"]), n=int(payload.get("n", 10)),
+                exclude_seen=bool(payload.get("exclude_seen", True)))
+            return Frame("ok", recommendation_payload(recommendation))
+        if kind == "top_n_batch":
+            results = service.top_n_batch(
+                [int(user) for user in payload["users"]],
+                n=int(payload.get("n", 10)),
+                exclude_seen=bool(payload.get("exclude_seen", True)))
+            return Frame("ok", {"results": [
+                recommendation_payload(results[int(user)])
+                for user in dict.fromkeys(payload["users"])]})
+        if kind == "predict":
+            score = service.predict(int(payload["user"]),
+                                    int(payload["item"]))
+            return Frame("ok", {"score": float(score)})
+        if kind == "foldin":
+            user = service.fold_in(
+                np.asarray(payload["items"], dtype=np.int64),
+                np.asarray(payload["values"], dtype=np.float64))
+            return Frame("ok", {"user": int(user)})
+        if kind == "rate":
+            service.add_ratings(
+                int(payload["user"]),
+                np.asarray(payload["items"], dtype=np.int64),
+                np.asarray(payload["values"], dtype=np.float64))
+            return Frame("ok", {"user": int(payload["user"])})
+        if kind == "stats":
+            return Frame("ok", dict(service.stats()))
+        if kind == "health":
+            body: Dict[str, object] = {
+                "status": "ok",
+                "protocol": PROTOCOL_VERSION,
+                "n_users": int(service.n_users),
+                "n_items": int(service.n_items),
+                "stats": dict(service.stats()),
+            }
+            if extra_health is not None:
+                body.update(extra_health())
+            return Frame("ok", body)
+        return Frame("error", {"message": f"unknown command {kind!r}"})
+    except (ValidationError, ClusterError, IndexError, ValueError,
+            KeyError, TypeError) as error:
+        # ClusterError included: a crashed worker must not kill the
+        # serving session — the gateway respawns its pool on the next
+        # command.  KeyError/TypeError cover missing or mistyped payload
+        # fields from remote clients.
+        return Frame("error", {"message": str(error)})

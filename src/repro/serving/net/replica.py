@@ -1,0 +1,204 @@
+"""Replicated serving: N independent gateways behind one address list.
+
+The cluster of PR 4 recovers from a dead worker by respawning the whole
+pool — correct, but the gateway blips.  :class:`ReplicaSet` removes the
+blip at one level up: it runs ``n_replicas`` fully independent gateway
+replicas (each with its own factor segments, worker pool and
+:class:`~repro.serving.net.server.NetServer` on its own port), and the
+client library fails reads over between them.  Losing a replica loses
+capacity, never availability — the ``kill-a-replica-mid-storm`` test in
+``tests/test_net_replica.py`` pins 100% read success while one of two
+replicas dies under concurrent load.
+
+Each replica runs on its own thread with a private asyncio loop, so a
+wedged replica cannot stall its siblings.  Replicas are intentionally
+share-nothing: mutations (``rate``/``foldin``) apply to one replica only
+and are *not* replicated — durable writes belong to the training
+pipeline, which reaches every replica through the snapshot watchers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.serving.net.server import NetServer
+from repro.utils.validation import check_positive
+
+__all__ = ["ReplicaSet"]
+
+
+class _Replica(threading.Thread):
+    """One replica: gateway + server + event loop on a daemon thread."""
+
+    def __init__(self, index: int, make_service, make_watcher,
+                 host: str, port: int, server_options: Dict[str, object]):
+        super().__init__(daemon=True, name=f"repro-net-replica-{index}")
+        self.index = index
+        self._make_service = make_service
+        self._make_watcher = make_watcher
+        self._host = host
+        self._port = port
+        self._server_options = dict(server_options)
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server: Optional[NetServer] = None
+        self.service = None
+        self.ready = threading.Event()
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.service = self._make_service(self.index)
+            watcher = (self._make_watcher(self.service)
+                       if self._make_watcher is not None else None)
+            self.server = NetServer(self.service, host=self._host,
+                                    port=self._port, watcher=watcher,
+                                    **self._server_options)
+            self.loop.run_until_complete(self.server.start())
+        except BaseException as error:  # surfaced by ReplicaSet.start()
+            self.error = error
+            self._close_service()
+            self.ready.set()
+            return
+        self.ready.set()
+        try:
+            self.loop.run_forever()
+        finally:
+            self._close_service()
+            self.loop.close()
+
+    def _close_service(self) -> None:
+        # Teardown happens on the owning thread so shared-memory segments
+        # are unlinked even when the replica was hard-killed.
+        close = getattr(self.service, "close", None)
+        if close is not None:
+            try:
+                close()
+            except Exception:  # pragma: no cover - already going down
+                pass
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self._host, self.server.port)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful: drain in-flight requests, then stop the loop."""
+        if self.loop is None or not self.is_alive():
+            return
+        if self.server is not None:
+            future = asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                                      self.loop)
+            try:
+                future.result(timeout=timeout)
+            except Exception:  # pragma: no cover - drain best-effort
+                pass
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.join(timeout=timeout)
+
+    def kill(self, timeout: float = 30.0) -> None:
+        """Abrupt: drop connections without drain (failure injection)."""
+        if self.loop is None or not self.is_alive():
+            return
+        if self.server is not None:
+            future = asyncio.run_coroutine_threadsafe(self.server.abort(),
+                                                      self.loop)
+            try:
+                future.result(timeout=timeout)
+            except Exception:  # pragma: no cover - it is being killed
+                pass
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.join(timeout=timeout)
+
+
+class ReplicaSet:
+    """Run N independent serving replicas; one address list in front.
+
+    Parameters
+    ----------
+    make_service:
+        ``make_service(replica_index) -> gateway``.  Called once per
+        replica on that replica's thread, so each replica owns a fully
+        independent gateway (its own segments and worker pool).
+    n_replicas:
+        How many replicas to run.
+    host, ports:
+        Bind host, and optionally one explicit port per replica
+        (default: one free port each).
+    make_watcher:
+        Optional ``make_watcher(service) -> SnapshotWatcher`` so every
+        replica hot-reloads snapshots independently.
+    fuse_window_ms, fuse_max_batch, max_in_flight:
+        Per-replica :class:`NetServer` options.
+    """
+
+    def __init__(self, make_service: Callable[[int], object],
+                 n_replicas: int = 2, host: str = "127.0.0.1",
+                 ports: Optional[List[int]] = None,
+                 make_watcher: Optional[Callable[[object], object]] = None,
+                 fuse_window_ms: Optional[float] = None,
+                 fuse_max_batch: int = 64, max_in_flight: int = 64):
+        check_positive("n_replicas", n_replicas)
+        if ports is not None and len(ports) != n_replicas:
+            raise ValueError(
+                f"got {len(ports)} ports for {n_replicas} replicas")
+        options = {"fuse_window_ms": fuse_window_ms,
+                   "fuse_max_batch": fuse_max_batch,
+                   "max_in_flight": max_in_flight}
+        self.replicas = [
+            _Replica(index, make_service, make_watcher, host,
+                     ports[index] if ports is not None else 0, options)
+            for index in range(n_replicas)]
+        self._started = False
+
+    def start(self, timeout: float = 60.0) -> "ReplicaSet":
+        """Start every replica; raises if any fails to come up."""
+        if self._started:
+            return self
+        for replica in self.replicas:
+            replica.start()
+        for replica in self.replicas:
+            if not replica.ready.wait(timeout=timeout):
+                self.stop()
+                raise TimeoutError(
+                    f"replica {replica.index} did not start in {timeout}s")
+        failed = [replica for replica in self.replicas
+                  if replica.error is not None]
+        if failed:
+            self.stop()
+            raise RuntimeError(
+                f"replica {failed[0].index} failed to start"
+            ) from failed[0].error
+        self._started = True
+        return self
+
+    @property
+    def addresses(self) -> List[Tuple[str, int]]:
+        """Connect targets, one per replica (give this to the client)."""
+        return [replica.address for replica in self.replicas
+                if replica.is_alive()]
+
+    def kill(self, index: int) -> None:
+        """Hard-kill one replica (tests and failure drills)."""
+        self.replicas[index].kill()
+
+    def stop(self) -> None:
+        """Gracefully drain and stop every replica (idempotent)."""
+        for replica in self.replicas:
+            replica.stop()
+        self._started = False
+
+    def stats(self) -> List[Optional[Dict[str, int]]]:
+        """Per-replica server counters (``None`` for dead replicas)."""
+        return [replica.server.stats()
+                if replica.is_alive() and replica.server is not None
+                else None
+                for replica in self.replicas]
+
+    def __enter__(self) -> "ReplicaSet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

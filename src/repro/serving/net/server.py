@@ -1,0 +1,335 @@
+"""Asyncio TCP server wrapping a serving gateway.
+
+:class:`NetServer` puts a real socket in front of
+:class:`~repro.serving.service.PredictionService` or the sharded
+:class:`~repro.serving.cluster.ShardedScorer`:
+
+* **Framing** — every connection speaks the length-prefixed frame
+  protocol (:mod:`repro.serving.net.protocol`), opening with a version
+  handshake; framing violations drop only the offending connection.
+* **Bounded concurrency** — a semaphore caps in-flight requests across
+  all connections; excess requests queue in arrival order instead of
+  piling onto the gateway.
+* **Blocking isolation** — gateway calls run on a dedicated
+  single-thread executor (the gateways serialize internally anyway), so
+  the event loop never blocks on worker IPC and connection accept/read
+  latency stays flat under load.
+* **Query fusion** — with a fuse window, concurrent ``top_n`` requests
+  across connections coalesce into one batched gateway dispatch
+  (:class:`~repro.serving.net.fusion.QueryFuser`), bit-identical per
+  request to serving them alone.
+* **Graceful drain** — :meth:`stop` stops accepting, lets every in-flight
+  request finish and its reply flush, then closes connections; pair it
+  with a SIGTERM handler (the CLI does) and the existing gateway teardown
+  closes worker pools and unlinks the shared-memory segments.
+* **Hot reload** — an optional :class:`SnapshotWatcher` is started and
+  stopped with the server; its double-buffered swap happens under the
+  gateway lock, so a reload never drops a connection or a request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.serving.net.fusion import QueryFuser
+from repro.serving.net.protocol import (
+    Frame,
+    FrameDecoder,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recommendation_payload,
+    check_hello,
+    encode_frame,
+    execute,
+)
+from repro.serving.service import check_user_range
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["NetServer"]
+
+_READ_CHUNK = 1 << 16
+
+
+class NetServer:
+    """One TCP serving frontend over one gateway (see module docstring).
+
+    Parameters
+    ----------
+    service:
+        The gateway to serve (``PredictionService`` or ``ShardedScorer``).
+    host, port:
+        Bind address; port ``0`` picks a free port (read :attr:`port`
+        after :meth:`start`).
+    fuse_window_ms:
+        ``None`` disables query fusion; otherwise concurrent ``top_n``
+        requests within this window fuse into one batched dispatch.
+    fuse_max_batch:
+        Fusion flushes early at this many pending requests.
+    max_in_flight:
+        Cap on concurrently admitted requests across all connections.
+    watcher:
+        Optional :class:`SnapshotWatcher` whose lifecycle should follow
+        the server's.
+    """
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
+                 fuse_window_ms: Optional[float] = None,
+                 fuse_max_batch: int = 64, max_in_flight: int = 64,
+                 watcher=None):
+        check_positive("max_in_flight", max_in_flight)
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.watcher = watcher
+        self.max_in_flight = int(max_in_flight)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-net-exec")
+        self.fuser: Optional[QueryFuser] = None
+        if fuse_window_ms is not None:
+            self.fuser = QueryFuser(service.top_n_batch,
+                                    window_ms=fuse_window_ms,
+                                    max_batch=fuse_max_batch,
+                                    executor=self._executor)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._closing: Optional[asyncio.Event] = None
+        self._connections: Set[asyncio.Task] = set()
+        self.n_connections = 0
+        self.n_requests = 0
+        self.n_error_replies = 0
+        self.n_protocol_errors = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None and self._server.is_serving()
+
+    async def start(self) -> "NetServer":
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            return self
+        self._slots = asyncio.Semaphore(self.max_in_flight)
+        self._closing = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.watcher is not None:
+            self.watcher.start()
+        return self
+
+    async def stop(self) -> None:
+        """Graceful drain: finish in-flight requests, then close.
+
+        Idle connections (blocked waiting for the next frame) are woken
+        and closed; a connection mid-request finishes that request and
+        flushes the reply first.  Safe to call more than once.
+        """
+        if self._server is None:
+            return
+        self._server.close()
+        # The drain signal must be raised *before* awaiting wait_closed():
+        # on Python >= 3.12.1 wait_closed() blocks until every connection
+        # handler returns, and the handlers only return once _closing is
+        # set — the old order deadlocks under any idle connection.
+        self._closing.set()
+        if self.watcher is not None:
+            self.watcher.stop()
+        if self.fuser is not None:
+            await self.fuser.drain()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await self._server.wait_closed()
+        self._server = None
+        self._executor.shutdown(wait=True)
+
+    async def abort(self) -> None:
+        """Abrupt shutdown: cancel connections without draining.
+
+        The failure-injection path (:meth:`ReplicaSet.kill`): clients see
+        resets/EOF mid-request, exactly like a crashed process, which is
+        what the failover tests need to provoke.
+        """
+        if self._server is not None:
+            self._server.close()
+        if self.watcher is not None:
+            self.watcher.stop()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._server = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling ----------------------------------------------
+
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _read_chunk(self, reader: asyncio.StreamReader,
+                          closing_task: asyncio.Task) -> bytes:
+        """One transport read, interruptible by the drain signal."""
+        read = asyncio.get_running_loop().create_task(
+            reader.read(_READ_CHUNK))
+        done, _ = await asyncio.wait({read, closing_task},
+                                     return_when=asyncio.FIRST_COMPLETED)
+        if read in done:
+            return read.result()
+        read.cancel()
+        try:
+            await read
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        return b""  # draining: treated exactly like client EOF
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.n_connections += 1
+        decoder = FrameDecoder()
+        closing_task = asyncio.get_running_loop().create_task(
+            self._closing.wait())
+        try:
+            if not await self._handshake(reader, writer, decoder,
+                                         closing_task):
+                return
+            while not self._closing.is_set():
+                try:
+                    data = await self._read_chunk(reader, closing_task)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    return
+                if not data:
+                    return
+                try:
+                    frames = decoder.feed(data)
+                except ProtocolError as error:
+                    self.n_protocol_errors += 1
+                    await self._send(writer,
+                                     Frame("error", {"message": str(error)}))
+                    return
+                for frame in frames:
+                    await self._respond(writer, frame)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            closing_task.cancel()
+            try:
+                await closing_task
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handshake(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter,
+                         decoder: FrameDecoder,
+                         closing_task: asyncio.Task) -> bool:
+        """Read the hello frame; refuse version/shape mismatches."""
+        while True:
+            try:
+                data = await self._read_chunk(reader, closing_task)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return False
+            if not data:
+                return False
+            try:
+                frames = decoder.feed(data)
+            except ProtocolError as error:
+                self.n_protocol_errors += 1
+                await self._send(writer,
+                                 Frame("error", {"message": str(error)}))
+                return False
+            if frames:
+                break
+        refusal = check_hello(frames[0])
+        if refusal is not None:
+            self.n_protocol_errors += 1
+            await self._send(writer, refusal)
+            return False
+        await self._send(writer, Frame("ok", {
+            "version": PROTOCOL_VERSION, "server": "repro-serving"}))
+        # Any frames pipelined behind the hello are served in order.
+        for frame in frames[1:]:
+            await self._respond(writer, frame)
+        return True
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    frame: Frame) -> None:
+        if frame.is_error:
+            self.n_error_replies += 1
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+    # -- request execution -------------------------------------------------
+
+    def _health_extra(self) -> Dict[str, object]:
+        counters: Dict[str, object] = {"server": self.stats()}
+        if self.fuser is not None:
+            counters["fusion"] = self.fuser.stats()
+        return counters
+
+    async def _respond(self, writer: asyncio.StreamWriter,
+                       frame: Frame) -> None:
+        self.n_requests += 1
+        async with self._slots:
+            if self.fuser is not None and frame.kind == "top_n":
+                response = await self._fused_top_n(frame)
+            else:
+                response = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, execute, self.service, frame,
+                    self._health_extra)
+        request_id = frame.payload.get("id")
+        if request_id is not None:
+            response.payload.setdefault("id", request_id)
+        await self._send(writer, response)
+
+    async def _fused_top_n(self, frame: Frame) -> Frame:
+        """Route one ``top_n`` through the fuser.
+
+        Arguments are validated *before* entering the window, so one bad
+        request cannot poison the whole fused batch.
+        """
+        payload = frame.payload
+        try:
+            user = int(payload["user"])
+            n = int(payload.get("n", 10))
+            check_positive("n", n)
+            check_user_range(np.array([user], dtype=np.int64),
+                             self.service.n_users,
+                             self.service.n_train_users)
+        except (ValidationError, KeyError, TypeError, ValueError) as error:
+            return Frame("error", {"message": str(error)})
+        try:
+            recommendation = await self.fuser.top_n(
+                user, n=n, exclude_seen=bool(payload.get("exclude_seen",
+                                                         True)))
+        except Exception as error:  # noqa: BLE001 - worker/gateway failure
+            return Frame("error", {"message": str(error)})
+        return Frame("ok", recommendation_payload(recommendation))
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Server-level counters (connections, requests, errors)."""
+        return {
+            "n_connections": self.n_connections,
+            "n_open_connections": len(self._connections),
+            "n_requests": self.n_requests,
+            "n_error_replies": self.n_error_replies,
+            "n_protocol_errors": self.n_protocol_errors,
+            "max_in_flight": self.max_in_flight,
+        }

@@ -134,9 +134,19 @@ class TestRunner:
         payload = outcome.result.to_json_payload()
         assert payload["benchmark"] == "serving-ladder"
         backends = {row["backend"] for row in payload["results"]}
-        assert backends == {"single", "sharded"}
+        assert backends == {"single", "sharded", "tcp", "tcp-fused"}
         assert all(row["qps"] > 0 for row in payload["results"])
+        assert payload["workload"]["transports"] == ["inproc", "tcp"]
         assert "Serving ladder" in outcome.render()
+
+    def test_serving_ladder_transport_restriction(self):
+        outcome = run_experiment("serving", quick=True,
+                                 transports=("inproc",))
+        backends = {row.backend for row in outcome.result.rows}
+        assert backends == {"single", "sharded"}
+        outcome = run_experiment("serving", quick=True, transports=("tcp",))
+        backends = {row.backend for row in outcome.result.rows}
+        assert backends == {"single", "tcp", "tcp-fused"}
 
     def test_run_experiment_by_name(self):
         outcome = run_experiment("fig2", degrees=(1, 64, 2048), repeats=1)

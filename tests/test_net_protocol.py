@@ -1,0 +1,299 @@
+"""Frame codec and shared line-protocol tests.
+
+The codec is the single parser for both transports, so these tests pin
+(1) exact round-trips for every message kind under arbitrary chunking,
+(2) loud rejection of truncated/oversized/garbage frames, (3) the
+protocol-version handshake refusal, and (4) a golden REPL transcript:
+the refactored ``serve`` loop (parse_line → execute → format_reply) must
+reproduce the historical ad-hoc loop's output bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.__main__ import main
+from repro.serving.net.protocol import (
+    MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameDecoder,
+    ProtocolError,
+    check_hello,
+    encode_frame,
+    execute,
+    format_reply,
+    hello_frame,
+    parse_line,
+)
+from repro.serving.net.protocol import _HEADER, _KIND_CODES, _MAGIC
+from repro.serving.service import PredictionService
+
+ALL_KINDS = sorted(_KIND_CODES)
+
+_json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-2**53, max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=20))
+_json_values = st.recursive(
+    _json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4)),
+    max_leaves=12)
+_payloads = st.dictionaries(st.text(max_size=12), _json_values, max_size=6)
+
+
+# ---------------------------------------------------------------------------
+# round-trips
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(kind=st.sampled_from(ALL_KINDS), payload=_payloads,
+       cut=st.integers(min_value=0, max_value=10_000))
+def test_round_trip_survives_arbitrary_chunking(kind, payload, cut):
+    """encode → split at any byte → decode reproduces the frame exactly."""
+    wire = encode_frame(Frame(kind, payload))
+    decoder = FrameDecoder()
+    first = wire[:cut % (len(wire) + 1)]
+    frames = decoder.feed(first)
+    frames += decoder.feed(wire[len(first):])
+    assert len(frames) == 1
+    assert frames[0].kind == kind
+    assert frames[0].payload == payload
+    assert frames[0].version == PROTOCOL_VERSION
+    assert decoder.pending_bytes == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(ALL_KINDS), _payloads),
+                min_size=1, max_size=5),
+       st.integers(min_value=1, max_value=7))
+def test_pipelined_frames_decode_in_order(messages, chunk):
+    """Many frames in one stream come out in order, whatever the chunking."""
+    wire = b"".join(encode_frame(Frame(kind, payload))
+                    for kind, payload in messages)
+    decoder = FrameDecoder()
+    frames = []
+    for start in range(0, len(wire), chunk):
+        frames += decoder.feed(wire[start:start + chunk])
+    assert [(frame.kind, frame.payload) for frame in frames] == messages
+
+
+def test_scores_round_trip_bit_exactly():
+    """JSON payloads preserve IEEE doubles exactly — the parity backbone."""
+    scores = np.random.default_rng(3).standard_normal(64)
+    scores[0] = 1e-308  # subnormal-adjacent
+    scores[1] = np.nextafter(1.0, 2.0)
+    wire = encode_frame(Frame("ok", {"scores": scores.tolist()}))
+    frame = FrameDecoder().feed(wire)[0]
+    assert np.asarray(frame.payload["scores"]).tobytes() == scores.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# rejection: truncated / oversized / garbage
+# ---------------------------------------------------------------------------
+
+def test_truncated_frame_stays_pending_never_partial():
+    wire = encode_frame(Frame("top_n", {"user": 3, "n": 5}))
+    decoder = FrameDecoder()
+    assert decoder.feed(wire[:-1]) == []
+    assert decoder.pending_bytes == len(wire) - 1
+    frames = decoder.feed(wire[-1:])
+    assert len(frames) == 1 and frames[0].payload == {"user": 3, "n": 5}
+
+
+def test_garbage_magic_is_rejected():
+    with pytest.raises(ProtocolError, match="magic"):
+        FrameDecoder().feed(b"GET / HTTP/1.1\r\n\r\n")
+
+
+def test_oversized_frame_is_rejected_before_buffering():
+    header = _HEADER.pack(_MAGIC, PROTOCOL_VERSION, _KIND_CODES["stats"],
+                          MAX_PAYLOAD + 1)
+    with pytest.raises(ProtocolError, match="limit"):
+        FrameDecoder().feed(header)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        encode_frame(Frame("ok", {"blob": "x" * (MAX_PAYLOAD + 1)}))
+
+
+def test_unknown_kind_code_is_rejected():
+    wire = _HEADER.pack(_MAGIC, PROTOCOL_VERSION, 250, 2) + b"{}"
+    with pytest.raises(ProtocolError, match="kind code 250"):
+        FrameDecoder().feed(wire)
+
+
+def test_malformed_payload_is_rejected():
+    body = b"not json"
+    wire = _HEADER.pack(_MAGIC, PROTOCOL_VERSION, _KIND_CODES["ok"],
+                        len(body)) + body
+    with pytest.raises(ProtocolError, match="malformed"):
+        FrameDecoder().feed(wire)
+    body = b"[1,2]"  # valid JSON, wrong shape
+    wire = _HEADER.pack(_MAGIC, PROTOCOL_VERSION, _KIND_CODES["ok"],
+                        len(body)) + body
+    with pytest.raises(ProtocolError, match="JSON object"):
+        FrameDecoder().feed(wire)
+
+
+def test_encode_unknown_kind_is_rejected():
+    with pytest.raises(ProtocolError, match="unknown frame kind"):
+        encode_frame(Frame("bogus"))
+
+
+# ---------------------------------------------------------------------------
+# handshake
+# ---------------------------------------------------------------------------
+
+def test_handshake_accepts_matching_version():
+    assert check_hello(hello_frame()) is None
+
+
+def test_handshake_refuses_cross_version_clients():
+    refusal = check_hello(Frame("hello", {"version": PROTOCOL_VERSION + 1}))
+    assert refusal is not None and refusal.is_error
+    assert "not supported" in refusal.payload["message"]
+    assert refusal.payload["server_version"] == PROTOCOL_VERSION
+    missing = check_hello(Frame("hello", {}))
+    assert missing is not None and missing.is_error
+
+
+def test_handshake_refuses_non_hello_openers():
+    refusal = check_hello(Frame("top_n", {"user": 0}))
+    assert refusal is not None and refusal.is_error
+    assert "handshake" in refusal.payload["message"]
+
+
+# ---------------------------------------------------------------------------
+# the shared line protocol (REPL parser/formatter)
+# ---------------------------------------------------------------------------
+
+def test_parse_line_covers_the_command_set():
+    assert parse_line("   ") is None
+    assert parse_line("quit").kind == "quit"
+    assert parse_line("predict 3 7").payload == {"user": 3, "item": 7}
+    assert parse_line("top 2").payload == {"user": 2, "n": 10}
+    assert parse_line("top 2 5").payload == {"user": 2, "n": 5}
+    assert parse_line("foldin 0:4.5 9:3.0").payload == {
+        "items": [0, 9], "values": [4.5, 3.0]}
+    assert parse_line("rate 60 2:4.0").payload == {
+        "user": 60, "items": [2], "values": [4.0]}
+    assert parse_line("stats").kind == "stats"
+    assert parse_line("health").kind == "health"
+
+
+def test_parse_line_raises_exactly_what_the_legacy_parser_raised():
+    with pytest.raises(ValueError, match="invalid literal"):
+        parse_line("predict zero 1")
+    with pytest.raises(IndexError):
+        parse_line("predict 0")
+    with pytest.raises(ProtocolError, match="unknown command 'bogus'"):
+        parse_line("bogus")
+
+
+@pytest.fixture(scope="module")
+def trained_snapshot(tmp_path_factory):
+    path = tmp_path_factory.mktemp("protocol") / "model.npz"
+    assert main(["train", "--snapshot", str(path),
+                 "--users", "60", "--movies", "40", "--num-latent", "4",
+                 "--burn-in", "2", "--n-samples", "3"]) == 0
+    return path
+
+
+def _legacy_transcript(service, commands: str) -> list[str]:
+    """The historical ad-hoc serve loop, verbatim — the golden oracle."""
+    out = []
+    for line in commands.splitlines():
+        parts = line.split()
+        if not parts:
+            continue
+        command, rest = parts[0], parts[1:]
+        try:
+            if command == "quit":
+                break
+            elif command == "predict":
+                user, item = int(rest[0]), int(rest[1])
+                out.append(f"{service.predict(user, item):.4f}")
+            elif command == "top":
+                user = int(rest[0])
+                n = int(rest[1]) if len(rest) > 1 else 10
+                recommendation = service.top_n(user, n=n)
+                out.append(" ".join(f"{item}:{score:.4f}" for item, score
+                                    in recommendation.as_pairs()))
+            elif command == "foldin":
+                items = [int(token.partition(":")[0]) for token in rest]
+                values = [float(token.partition(":")[2]) for token in rest]
+                user = service.fold_in(np.array(items), np.array(values))
+                out.append(f"user {user}")
+            elif command == "rate":
+                user = int(rest[0])
+                items = [int(token.partition(":")[0]) for token in rest[1:]]
+                values = [float(token.partition(":")[2])
+                          for token in rest[1:]]
+                service.add_ratings(user, np.array(items), np.array(values))
+                out.append(f"user {user} updated")
+            elif command == "stats":
+                out.append(json.dumps(service.stats(), sort_keys=True))
+            else:
+                out.append(f"error: unknown command {command!r}")
+        except (ValueError, IndexError, KeyError) as error:
+            out.append(f"error: {error}")
+        except Exception as error:  # ValidationError
+            out.append(f"error: {error}")
+    return out
+
+
+def test_golden_repl_transcript(trained_snapshot, capsys, monkeypatch):
+    """The codec-backed REPL is bit-identical to the legacy loop."""
+    commands = ("predict 0 1\n"
+                "top 0 3\n"
+                "top 5\n"
+                "foldin 0:4.5 1:3.0\n"
+                "predict 60 2\n"
+                "rate 60 2:4.0\n"
+                "top 60 4\n"
+                "predict 999 0\n"
+                "predict x 1\n"
+                "predict 0\n"
+                "bogus\n"
+                "stats\n"
+                "quit\n"
+                "top 0 99\n")  # after quit: never served
+    expected = _legacy_transcript(
+        PredictionService(trained_snapshot, mode="mean"), commands)
+    monkeypatch.setattr("sys.stdin", io.StringIO(commands))
+    assert main(["serve", "--snapshot", str(trained_snapshot)]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0].startswith("serving 60 users x 40 items")
+    assert lines[1:] == expected
+
+
+# ---------------------------------------------------------------------------
+# the shared executor
+# ---------------------------------------------------------------------------
+
+def test_execute_unknown_kind_and_bad_payload_become_error_frames(
+        trained_snapshot):
+    service = PredictionService(trained_snapshot)
+    reply = execute(service, Frame("hello"))
+    assert reply.is_error and "unknown command" in reply.payload["message"]
+    reply = execute(service, Frame("top_n", {}))  # missing "user"
+    assert reply.is_error
+    reply = execute(service, Frame("predict", {"user": 0, "item": "seven"}))
+    assert reply.is_error
+
+
+def test_execute_top_n_batch_orders_and_dedupes(trained_snapshot):
+    service = PredictionService(trained_snapshot)
+    reply = execute(service, Frame("top_n_batch",
+                                   {"users": [3, 1, 3], "n": 4}))
+    assert not reply.is_error
+    results = reply.payload["results"]
+    assert [entry["user"] for entry in results] == [3, 1]
+    solo = execute(service, Frame("top_n", {"user": 3, "n": 4}))
+    assert results[0] == solo.payload

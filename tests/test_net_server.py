@@ -1,0 +1,306 @@
+"""TCP serving frontend: wire parity, fusion, handshake, drain.
+
+The load-bearing guarantee carries over from the cluster tests: whatever
+transport or batching sits in front, a served ``top_n`` must be
+bit-identical to the single-process :class:`PredictionService` — fused
+windows included, exact ties included.  Servers here run through
+:class:`ReplicaSet` (one replica unless stated), which is also how the
+CLI runs them.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bench.serving import make_bench_snapshot
+from repro.serving.cluster import ShardedScorer
+from repro.serving.net import (
+    Frame,
+    FrameDecoder,
+    NetError,
+    PROTOCOL_VERSION,
+    ReplicaSet,
+    ServingClient,
+    encode_frame,
+)
+from repro.serving.service import PredictionService
+
+N_USERS, N_ITEMS, K = 50, 37, 4
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    """Random posterior with exact score ties (duplicated item rows)."""
+    snap = make_bench_snapshot(N_USERS, N_ITEMS, K, seed=3)
+    snap.state.movie_factors[30] = snap.state.movie_factors[2]
+    snap.state.movie_factors[35] = snap.state.movie_factors[2]
+    return snap
+
+
+@pytest.fixture(scope="module")
+def reference(snapshot):
+    return PredictionService(snapshot)
+
+
+@pytest.fixture()
+def replica_set(snapshot):
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=1) as replicas:
+        yield replicas
+
+
+def _assert_same_recommendation(expected, served):
+    assert expected.items.tolist() == served.items.tolist()
+    assert expected.scores.tobytes() == served.scores.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# wire-level parity
+# ---------------------------------------------------------------------------
+
+def test_top_n_and_predict_are_bit_identical_over_the_wire(replica_set,
+                                                           reference):
+    with ServingClient(replica_set.addresses) as client:
+        for user in (0, 1, 17, N_USERS - 1):
+            _assert_same_recommendation(reference.top_n(user, n=8),
+                                        client.top_n(user, n=8))
+        served = client.predict(4, 7)
+        assert served == reference.predict(4, 7)
+        batch = client.top_n_batch([0, 2, 5], n=6)
+        expected = reference.top_n_batch([0, 2, 5], n=6)
+        for user in expected:
+            _assert_same_recommendation(expected[user], batch[user])
+
+
+def test_foldin_rate_stats_and_health(replica_set, snapshot):
+    oracle = PredictionService(snapshot)
+    with ServingClient(replica_set.addresses) as client:
+        items = np.array([0, 12, 36])
+        values = np.array([4.0, 2.0, 5.0])
+        cold = client.fold_in(items, values)
+        assert cold == oracle.fold_in(items, values)
+        _assert_same_recommendation(oracle.top_n(cold, n=6),
+                                    client.top_n(cold, n=6))
+        assert client.rate(cold, np.array([5, 6]),
+                           np.array([2.0, 4.5])) == cold
+        oracle.add_ratings(cold, np.array([5, 6]), np.array([2.0, 4.5]))
+        _assert_same_recommendation(oracle.top_n(cold, n=6),
+                                    client.top_n(cold, n=6))
+        stats = client.stats()
+        assert stats["n_folded_in"] == 1
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["protocol"] == PROTOCOL_VERSION
+        assert health["n_users"] == N_USERS + 1
+        assert health["server"]["n_requests"] > 0
+
+
+def test_domain_errors_come_back_as_error_frames_not_failover(replica_set):
+    with ServingClient(replica_set.addresses) as client:
+        with pytest.raises(NetError, match="outside"):
+            client.top_n(N_USERS + 5, n=3)
+        with pytest.raises(NetError, match="outside"):
+            client.predict(0, N_ITEMS + 1)
+        # The connection survives a domain error: next request is served.
+        assert len(client.top_n(0, n=3)) == 3
+        assert client.n_failovers == 0
+
+
+def test_sharded_gateway_health_reports_pool_counters(snapshot):
+    with ReplicaSet(lambda index: ShardedScorer(snapshot, n_shards=2),
+                    n_replicas=1) as replicas:
+        with ServingClient(replicas.addresses) as client:
+            client.top_n(0, n=3)
+            health = client.health()
+            stats = health["stats"]
+            assert stats["pool_spawns"] == 1
+            assert stats["pool_respawns"] == 0
+            assert stats["pool_worker_deaths"] == 0
+            assert stats["pool_registration_failures"] == 0
+            # Kill a worker: the next request errors, the one after is
+            # served by a respawned pool — and the counters say so.
+            replicas.replicas[0].service._workers[0][0].terminate()
+            replicas.replicas[0].service._workers[0][0].join(timeout=5.0)
+            with pytest.raises(NetError):
+                client.top_n(0, n=3)
+            assert len(client.top_n(0, n=3)) == 3
+            stats = client.health()["stats"]
+            assert stats["pool_respawns"] == 1
+            assert stats["pool_worker_deaths"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# handshake and framing over a raw socket
+# ---------------------------------------------------------------------------
+
+def _raw_exchange(address, payload: bytes) -> Frame:
+    with socket.create_connection(address, timeout=10.0) as sock:
+        sock.settimeout(10.0)
+        sock.sendall(payload)
+        decoder = FrameDecoder()
+        while True:
+            data = sock.recv(1 << 16)
+            if not data:
+                raise ConnectionError("closed without a reply")
+            frames = decoder.feed(data)
+            if frames:
+                return frames[0]
+
+
+def test_cross_version_handshake_is_refused(replica_set):
+    address = replica_set.addresses[0]
+    reply = _raw_exchange(address, encode_frame(
+        Frame("hello", {"version": PROTOCOL_VERSION + 7})))
+    assert reply.is_error
+    assert "not supported" in reply.payload["message"]
+    assert reply.payload["server_version"] == PROTOCOL_VERSION
+
+
+def test_garbage_bytes_get_an_error_frame_and_a_closed_connection(
+        replica_set):
+    reply = _raw_exchange(replica_set.addresses[0], b"\x00" * 64)
+    assert reply.is_error and "magic" in reply.payload["message"]
+
+
+def test_request_before_hello_is_refused(replica_set):
+    reply = _raw_exchange(replica_set.addresses[0], encode_frame(
+        Frame("top_n", {"user": 0, "n": 3})))
+    assert reply.is_error and "handshake" in reply.payload["message"]
+
+
+def test_request_ids_are_echoed(replica_set):
+    wire = encode_frame(Frame("hello", {"version": PROTOCOL_VERSION}))
+    wire += encode_frame(Frame("top_n", {"user": 0, "n": 3, "id": 41}))
+    with socket.create_connection(replica_set.addresses[0],
+                                  timeout=10.0) as sock:
+        sock.settimeout(10.0)
+        sock.sendall(wire)
+        decoder = FrameDecoder()
+        frames = []
+        while len(frames) < 2:
+            frames += decoder.feed(sock.recv(1 << 16))
+    assert frames[0].payload["version"] == PROTOCOL_VERSION
+    assert frames[1].payload["id"] == 41
+
+
+# ---------------------------------------------------------------------------
+# cross-user query fusion
+# ---------------------------------------------------------------------------
+
+def test_fused_top_n_is_bit_identical_to_unfused(snapshot, reference):
+    """The acceptance criterion: fusion changes batching, never bits.
+
+    A storm of concurrent single-user requests against a fused server
+    must produce responses bit-identical (items and score bytes, exact
+    ties included) to the unfused single-user path.
+    """
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=1, fuse_window_ms=5.0) as replicas:
+        results: dict = {}
+        failures: list = []
+        lock = threading.Lock()
+
+        def storm(offset: int) -> None:
+            try:
+                with ServingClient(replicas.addresses) as client:
+                    for user in range(offset, N_USERS, 4):
+                        served = client.top_n(user, n=7)
+                        with lock:
+                            results[user] = served
+            except Exception as error:  # noqa: BLE001
+                with lock:
+                    failures.append(error)
+
+        threads = [threading.Thread(target=storm, args=(offset,))
+                   for offset in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not failures, failures[:3]
+        fuser = replicas.replicas[0].server.fuser
+        stats = fuser.stats()
+
+    assert len(results) == N_USERS  # every user asked exactly once
+    for user, served in results.items():
+        _assert_same_recommendation(reference.top_n(user, n=7), served)
+    # Fusion actually happened: fewer windows than requests.
+    assert stats["fusion_requests"] == len(results)
+    assert 0 < stats["fusion_windows"] < stats["fusion_requests"]
+    assert stats["fusion_max_window"] >= 2
+
+
+def test_fused_bad_request_cannot_poison_the_window(snapshot, reference):
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=1, fuse_window_ms=20.0) as replicas:
+        outcomes: dict = {}
+
+        def one(user: int) -> None:
+            with ServingClient(replicas.addresses) as client:
+                try:
+                    outcomes[user] = client.top_n(user, n=5)
+                except NetError as error:
+                    outcomes[user] = error
+
+        threads = [threading.Thread(target=one, args=(user,))
+                   for user in (2, N_USERS + 9, 7)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+
+    assert isinstance(outcomes[N_USERS + 9], NetError)
+    for user in (2, 7):
+        _assert_same_recommendation(reference.top_n(user, n=5),
+                                    outcomes[user])
+
+
+def test_fusion_deduplicates_same_user_in_one_window(snapshot, reference):
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=1, fuse_window_ms=25.0) as replicas:
+        results: list = []
+        lock = threading.Lock()
+
+        def one() -> None:
+            with ServingClient(replicas.addresses) as client:
+                served = client.top_n(11, n=5)
+                with lock:
+                    results.append(served)
+
+        threads = [threading.Thread(target=one) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        stats = replicas.replicas[0].server.fuser.stats()
+
+    assert len(results) == 3
+    for served in results:
+        _assert_same_recommendation(reference.top_n(11, n=5), served)
+    assert stats["fusion_deduplicated"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# graceful drain
+# ---------------------------------------------------------------------------
+
+def test_stop_drains_and_refuses_new_connections(snapshot, reference):
+    replicas = ReplicaSet(lambda index: PredictionService(snapshot),
+                          n_replicas=1)
+    replicas.start()
+    address = replicas.addresses[0]
+    client = ServingClient([address])
+    _assert_same_recommendation(reference.top_n(3, n=5),
+                                client.top_n(3, n=5))
+    replicas.stop()
+    # The idle cached connection was woken and closed by the drain; a
+    # fresh connect is refused outright.
+    with pytest.raises(NetError):
+        client.top_n(3, n=5)
+    client.close()
+    # Stopping again is a no-op.
+    replicas.stop()

@@ -131,6 +131,22 @@ def test_serve_watch_requires_shards(trained_snapshot, capsys, monkeypatch):
                  "--watch"]) == 2
 
 
+def test_serve_tcp_rejects_malformed_hostport(trained_snapshot, capsys):
+    for bad in ("localhost", "::1", "127.0.0.1:http"):
+        assert main(["serve", "--snapshot", str(trained_snapshot),
+                     "--tcp", bad]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+    assert main(["serve", "--snapshot", str(trained_snapshot),
+                 "--tcp", "127.0.0.1:99999"]) == 2
+    assert "0-65535" in capsys.readouterr().err
+    assert main(["serve", "--snapshot", str(trained_snapshot),
+                 "--tcp", "127.0.0.1:7031", "--replicas", "0"]) == 2
+    assert ">= 1" in capsys.readouterr().err
+    assert main(["serve", "--snapshot", str(trained_snapshot),
+                 "--tcp", "127.0.0.1:65535", "--replicas", "2"]) == 2
+    assert "65535" in capsys.readouterr().err
+
+
 def test_smoke_command(capsys):
     assert main(["smoke"]) == 0
     assert "SMOKE OK" in capsys.readouterr().out

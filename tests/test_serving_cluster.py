@@ -148,6 +148,55 @@ def test_top_n_bit_identical_across_shard_counts(snapshot, train, n_shards):
             _assert_same_recommendation(reference[user], batch[user])
 
 
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_top_n_batch_is_one_dispatch_and_bit_identical(snapshot, train,
+                                                       n_shards):
+    """The fused batch entry: one worker fan-out, per-user exact bits.
+
+    This is the gateway half of the cross-user query-fusion guarantee:
+    however many users share the window, each one's ranking (ties
+    included — the fixture duplicates item rows) must equal their lone
+    ``top_n`` down to the score bytes, and the whole window must cost a
+    single dispatch.
+    """
+    with ShardedScorer(snapshot, n_shards=n_shards, train=train) as scorer:
+        users = [0, 1, 2, 17, 2, N_USERS - 1]  # duplicate user included
+        for exclude in (True, False):
+            singles = {user: scorer.top_n(user, n=8, exclude_seen=exclude)
+                       for user in dict.fromkeys(users)}
+            dispatches_before = scorer.n_batch_dispatches
+            batch = scorer.top_n_batch(users, n=8, exclude_seen=exclude)
+            assert scorer.n_batch_dispatches == dispatches_before + 1
+            assert sorted(batch) == sorted(dict.fromkeys(users))
+            for user, expected in singles.items():
+                _assert_same_recommendation(expected, batch[user])
+        assert scorer.top_n_batch([], n=3) == {}
+        with pytest.raises(ValidationError):
+            scorer.top_n_batch([0, N_USERS + 1], n=3)
+
+
+def test_stats_surface_worker_pool_health(snapshot):
+    with ShardedScorer(snapshot, n_shards=2) as scorer:
+        scorer.top_n(0, n=3)
+        stats = scorer.stats()
+        assert stats["pool_workers"] == 2
+        assert stats["pool_spawns"] == 1
+        assert stats["pool_respawns"] == 0
+        assert stats["pool_worker_deaths"] == 0
+        assert stats["pool_registration_failures"] == 0
+        # Kill a worker: the failed query counts the death, the recovery
+        # counts the respawn.
+        scorer._workers[1][0].terminate()
+        scorer._workers[1][0].join(timeout=5.0)
+        with pytest.raises(ClusterError):
+            scorer.top_n(0, n=3)
+        assert len(scorer.top_n(0, n=3)) == 3
+        stats = scorer.stats()
+        assert stats["pool_spawns"] == 2
+        assert stats["pool_respawns"] == 1
+        assert stats["pool_worker_deaths"] >= 1
+
+
 @pytest.mark.parametrize("n_shards", (2, 3))
 def test_ties_across_shard_boundaries_keep_deterministic_order(
         snapshot, n_shards):
