@@ -4,14 +4,21 @@
 Walks the network frontend (`repro.serving.net`):
 
 1. train BPMF and snapshot the posterior;
-2. start a 2-replica fused TCP server (:class:`ReplicaSet`) — each
-   replica an independent gateway behind the framed RPC protocol;
-3. query it from the sync client (:class:`ServingClient`) with a burst
-   of concurrent requests, and verify every fused response is
-   bit-identical to the single-process :class:`PredictionService`;
-4. fold a cold-start user in over the wire and rate more items
+2. start a 2-replica TCP server (:class:`ReplicaSet`) — each replica an
+   independent gateway behind the framed RPC protocol, with fused
+   batched dispatch on by default (pass ``fuse_window_ms=None`` — or
+   ``--fuse-window 0`` on the CLI — to disable it);
+3. query it from the sync client (:class:`ServingClient`, which
+   negotiates the binary array encoding in the handshake; pass
+   ``binary=False`` to force JSON) with a burst of concurrent requests,
+   and verify every fused response is bit-identical to the
+   single-process :class:`PredictionService`;
+4. pump the same queries through one pipelined connection
+   (``top_n_pipelined`` keeps up to 32 id-tagged frames in flight
+   instead of one blocking round-trip per query) — same bits again;
+5. fold a cold-start user in over the wire and rate more items
    (mutations land on one replica — replicas are share-nothing);
-5. kill one replica mid-traffic and show reads keep succeeding through
+6. kill one replica mid-traffic and show reads keep succeeding through
    automatic client failover.
 
 Run with:  PYTHONPATH=src python examples/net_serving_quickstart.py
@@ -53,10 +60,11 @@ def main() -> None:
 
         reference = PredictionService(snapshot_path)
 
-        # 2. Two independent replicas with a 2 ms fusion window: concurrent
-        #    top-N requests coalesce into one batched dispatch per window.
+        # 2. Two independent replicas; fused dispatch is the default, so
+        #    concurrent top-N requests coalesce into one batched dispatch
+        #    per window with zero added latency when idle.
         with ReplicaSet(lambda index: PredictionService(snapshot_path),
-                        n_replicas=2, fuse_window_ms=2.0) as replicas:
+                        n_replicas=2) as replicas:
             print(f"serving on {replicas.addresses} (2 replicas, fused)")
 
             # 3. A concurrent burst: every fused response must be
@@ -85,7 +93,21 @@ def main() -> None:
                   f"single process ({fusion['fusion_windows']} windows on "
                   f"replica 0, largest {fusion['fusion_max_window']})")
 
-            # 4. Mutations over the wire go to ONE replica (share-nothing):
+            # 4. The same stream down ONE pipelined connection: id-tagged
+            #    frames, up to 32 in flight, replies matched out of order.
+            #    The client negotiated binary frames in the handshake, so
+            #    item ids and scores crossed as raw little-endian arrays.
+            with ServingClient(replicas.addresses) as piped:
+                pipelined = piped.top_n_pipelined(range(40), n=5,
+                                                  max_in_flight=32)
+            for user, served in enumerate(pipelined):
+                expected = reference.top_n(user, n=5)
+                assert served.items.tolist() == expected.items.tolist()
+                assert served.scores.tobytes() == expected.scores.tobytes()
+            print(f"{len(pipelined)} pipelined queries on one connection, "
+                  f"bit-identical again")
+
+            # 5. Mutations over the wire go to ONE replica (share-nothing):
             #    pin a client to replica 0 for the fold-in session.
             with ServingClient(replicas.addresses[:1]) as pinned:
                 cold = pinned.fold_in(np.array([0, 3, 9]),
@@ -99,7 +121,7 @@ def main() -> None:
                 print(f"replica 0 health: {health['status']}, "
                       f"{health['server']['n_requests']} requests served")
 
-            # 5. Kill replica 0 mid-traffic: the client fails reads over to
+            # 6. Kill replica 0 mid-traffic: the client fails reads over to
             #    the survivor; nothing is dropped.
             with ServingClient(replicas.addresses, cooldown=0.1) as client:
                 client.top_n(0, n=5)

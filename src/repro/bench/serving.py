@@ -5,15 +5,19 @@ posterior: the single-process
 :class:`~repro.serving.service.PredictionService` baseline first, then the
 :class:`~repro.serving.cluster.ShardedScorer` across a shards x workers
 grid, then (``transports`` including ``"tcp"``) the same stream through
-the network frontend — a sequential framed-RPC client against a
-single-process and a sharded replica, plus a concurrent fused rung where
-several client threads share one server and the cross-user query fuser
-batches their windows.  Every rung answers the same query stream, so the
-rows are directly comparable; per-query wall-clock latencies feed the
-p50/p95 columns and the aggregate queries-per-second.
+the network frontend.  The TCP rungs walk the dispatch gap one fix at a
+time: ``tcp-json`` (sequential framed RPC, JSON payloads), ``tcp-bin``
+(the negotiated binary array encoding), ``tcp-bin-pipelined`` (binary
+plus many in-flight frames on one connection), and ``tcp-fused`` (a
+concurrent client storm whose windows the server-side query fuser
+batches).  Every rung answers the same query stream, so the rows are
+directly comparable; per-query wall-clock latencies feed the p50/p95
+columns and the aggregate queries-per-second.  For the pipelined rung a
+query's latency is its window's wall clock divided by the window size —
+the amortised cost a batch caller actually pays.
 
 The recorded document (``python -m repro.bench serving --record`` writes
-``BENCH_pr5.json``) carries the same machine metadata as the engine
+``BENCH_pr6.json``) carries the same machine metadata as the engine
 ladder — on a single-core container the sharded rungs can only measure
 their IPC overhead, and the JSON will honestly show that (the committed
 baseline is exactly such a container; see ``environment.cpu_count``).
@@ -153,14 +157,19 @@ def _time_queries(top_n_callable, users: np.ndarray, n: int,
 
 
 def _time_tcp(make_service, users: np.ndarray, n: int, warmup: int,
-              fuse_window_ms=None,
+              fuse_window_ms=2.0, binary: bool = True,
+              pipeline: bool = False, pipeline_window: int = 32,
               n_clients: int = 1) -> Tuple[float, np.ndarray]:
     """Time the query stream through a TCP replica.
 
     With one client the stream is sequential (pure transport overhead on
-    top of the in-process rung); with several, the stream is split across
-    concurrent client threads so the server's query fuser gets windows to
-    coalesce, and ``seconds`` is the storm's wall clock.
+    top of the in-process rung); with ``pipeline`` it is sent in windows
+    of ``pipeline_window`` in-flight frames on one connection (each
+    query's latency is its window's wall clock over the window size);
+    with several clients, the stream is split across concurrent threads
+    so the server's query fuser gets windows to coalesce, and
+    ``seconds`` is the storm's wall clock.  ``binary`` picks the wire
+    encoding the client negotiates.
     """
     import threading
 
@@ -168,12 +177,28 @@ def _time_tcp(make_service, users: np.ndarray, n: int, warmup: int,
 
     with ReplicaSet(make_service, n_replicas=1,
                     fuse_window_ms=fuse_window_ms) as replicas:
-        with ServingClient(replicas.addresses) as warm:
+        with ServingClient(replicas.addresses, binary=binary) as warm:
             for user in users[:warmup]:
                 warm.top_n(int(user), n=n)
         timed = users[warmup:]
+        if pipeline:
+            with ServingClient(replicas.addresses, binary=binary) as client:
+                client.top_n(int(users[0]), n=n)  # untimed primer
+                windows = np.array_split(
+                    timed, max(1, timed.shape[0] // pipeline_window))
+                sink: List[np.ndarray] = []
+                start = time.perf_counter()
+                for window in windows:
+                    begin = time.perf_counter()
+                    client.top_n_pipelined([int(user) for user in window],
+                                           n=n,
+                                           max_in_flight=pipeline_window)
+                    elapsed = time.perf_counter() - begin
+                    sink.append(np.full(window.shape[0],
+                                        elapsed / window.shape[0]))
+                return time.perf_counter() - start, np.concatenate(sink)
         if n_clients == 1:
-            with ServingClient(replicas.addresses) as client:
+            with ServingClient(replicas.addresses, binary=binary) as client:
                 # Untimed primer: connect + handshake must not land in
                 # the first timed sample.
                 client.top_n(int(users[0]), n=n)
@@ -190,7 +215,7 @@ def _time_tcp(make_service, users: np.ndarray, n: int, warmup: int,
         barrier = threading.Barrier(n_clients + 1)
 
         def storm(chunk: np.ndarray, sink: List[float]) -> None:
-            with ServingClient(replicas.addresses) as client:
+            with ServingClient(replicas.addresses, binary=binary) as client:
                 client.top_n(int(users[0]), n=n)  # untimed primer
                 barrier.wait()
                 for user in chunk:
@@ -224,6 +249,7 @@ def run_serving_bench(
     transports: Sequence[str] = ("inproc", "tcp"),
     fuse_window_ms: float = 2.0,
     fused_clients: int = 4,
+    pipeline_window: int = 32,
 ) -> ServingBenchResult:
     """Time the query stream against every serving configuration.
 
@@ -243,9 +269,13 @@ def run_serving_bench(
         (pool spawn and first-touch costs are paid there).
     transports:
         ``"inproc"`` runs the direct ladder, ``"tcp"`` adds the network
-        rungs: sequential framed-RPC against a single-process and a
-        sharded replica, plus a ``fused_clients``-way concurrent storm
-        against a fused server (window ``fuse_window_ms``).
+        rungs against fused-by-default single-process replicas:
+        sequential JSON (``tcp-json``), sequential binary (``tcp-bin``),
+        ``pipeline_window`` in-flight binary frames on one connection
+        (``tcp-bin-pipelined``), and a ``fused_clients``-way concurrent
+        storm (``tcp-fused``, fallback window ``fuse_window_ms``).
+    pipeline_window:
+        In-flight frames per window for the pipelined rung.
     """
     check_positive("n_queries", n_queries)
     check_positive("top_n", top_n)
@@ -292,28 +322,24 @@ def run_serving_bench(
             ))
 
     if "tcp" in transports:
-        tcp_shards = max(shard_counts)
         tcp_cases = [
-            ("tcp", None, None, None, 1),
-            ("tcp", tcp_shards, tcp_shards, None, 1),
-            ("tcp-fused", None, None, fuse_window_ms, fused_clients),
+            ("tcp-json", False, False, 1),
+            ("tcp-bin", True, False, 1),
+            ("tcp-bin-pipelined", True, True, 1),
+            ("tcp-fused", True, False, fused_clients),
         ]
-        for backend, shards, workers, window, n_clients in tcp_cases:
-            if shards is None:
-                make_service = (lambda index:
-                                PredictionService(snapshot,
-                                                  cache_size=max(
-                                                      1, n_users // 16)))
-            else:
-                make_service = (lambda index, s=shards, w=workers:
-                                ShardedScorer(snapshot, n_shards=s,
-                                              n_workers=w))
-            seconds, latencies = _time_tcp(make_service, users, top_n,
-                                           warmup, fuse_window_ms=window,
-                                           n_clients=n_clients)
+        make_service = (lambda index:
+                        PredictionService(snapshot,
+                                          cache_size=max(1, n_users // 16)))
+        for backend, binary, pipeline, n_clients in tcp_cases:
+            seconds, latencies = _time_tcp(
+                make_service, users, top_n, warmup,
+                fuse_window_ms=fuse_window_ms, binary=binary,
+                pipeline=pipeline, pipeline_window=pipeline_window,
+                n_clients=n_clients)
             qps = latencies.shape[0] / seconds
             rows.append(ServingBenchRow(
-                backend=backend, shards=shards, workers=workers,
+                backend=backend, shards=None, workers=None,
                 queries=latencies.shape[0], seconds=seconds, qps=qps,
                 p50_ms=float(np.percentile(latencies, 50) * 1e3),
                 p95_ms=float(np.percentile(latencies, 95) * 1e3),
@@ -333,6 +359,7 @@ def run_serving_bench(
             "transports": list(transports),
             "fuse_window_ms": fuse_window_ms,
             "fused_clients": fused_clients,
+            "pipeline_window": pipeline_window,
         },
         environment=machine_environment(),
         top_n=top_n,

@@ -20,9 +20,10 @@ The full train → snapshot → serve → query lifecycle from a terminal:
     # Interactive line protocol (predict/top/foldin) on stdin.
     echo "top 3 5" | python -m repro.serving serve --snapshot /tmp/model.npz
 
-    # Framed RPC over TCP: 2 fused, independently-failing replicas.
+    # Framed RPC over TCP: 2 independently-failing replicas.  Fused
+    # batched dispatch is the default; --fuse-window 0 disables it.
     python -m repro.serving serve --snapshot /tmp/model.npz \\
-        --tcp 127.0.0.1:7031 --replicas 2 --fuse-window 2 --shards 2
+        --tcp 127.0.0.1:7031 --replicas 2 --shards 2
 
     # End-to-end self-checks (the CI smoke steps).
     python -m repro.serving smoke
@@ -219,8 +220,15 @@ def _parse_hostport(value: str):
     return host or "127.0.0.1", int(port)
 
 
+def _fuse_window_ms(value):
+    """CLI fuse-window semantics: ``0`` (or negative) disables fusion."""
+    if value is None or value <= 0:
+        return None
+    return float(value)
+
+
 def _serve_tcp(args, host: str, port: int) -> int:
-    """The framed RPC transport: N replicas, optional fusion and watch."""
+    """The framed RPC transport: N replicas, fusion (default) and watch."""
 
     def make_service(index: int):
         if args.shards:
@@ -240,11 +248,12 @@ def _serve_tcp(args, host: str, port: int) -> int:
 
     previous = {sig: signal.signal(sig, request_stop)
                 for sig in (signal.SIGTERM, signal.SIGINT)}
+    fuse_window = _fuse_window_ms(args.fuse_window)
     replicas = ReplicaSet(
         make_service, n_replicas=args.replicas, host=host,
         ports=([port + index for index in range(args.replicas)]
                if port else None),
-        make_watcher=make_watcher, fuse_window_ms=args.fuse_window,
+        make_watcher=make_watcher, fuse_window_ms=fuse_window,
         fuse_max_batch=args.fuse_max_batch,
         max_in_flight=args.max_in_flight)
     try:
@@ -252,8 +261,8 @@ def _serve_tcp(args, host: str, port: int) -> int:
         service = replicas.replicas[0].service
         backend = (f"{args.shards}-shard gateway" if args.shards
                    else "single-process")
-        fused = (f"fuse-window {args.fuse_window}ms"
-                 if args.fuse_window is not None else "fusion off")
+        fused = (f"fused dispatch, fallback window {fuse_window}ms"
+                 if fuse_window is not None else "fusion off")
         addresses = ", ".join(f"{h}:{p}" for h, p in replicas.addresses)
         print(f"serving {service.n_users} users x {service.n_items} items "
               f"over tcp on {addresses} ({args.replicas} replicas, "
@@ -278,8 +287,8 @@ def _cmd_serve(args) -> int:
     incremental fold-in update to a previously folded-in user.  With
     ``--tcp HOST:PORT`` the same command set is served over the framed
     RPC protocol instead, with ``--replicas N`` independent gateway
-    replicas (ports PORT..PORT+N-1) and ``--fuse-window MS`` cross-user
-    query fusion.
+    replicas (ports PORT..PORT+N-1); cross-user query fusion is on by
+    default there (``--fuse-window 0`` disables it).
     """
     if args.watch and not args.shards:
         print("--watch requires --shards N", file=sys.stderr)
@@ -444,6 +453,10 @@ def _cmd_net_smoke(args) -> int:
     ``predict``/``foldin``/``rate``/``stats``/``health``, then kills one
     replica mid-storm and checks reads keep succeeding.  Observed
     latencies go to ``--latency-out`` as JSON for the CI artifact.
+
+    ``--encoding {json,binary}`` pins the wire encoding the clients
+    negotiate, and ``--pipeline`` adds a pipelined ``top_n_pipelined``
+    parity pass, so CI covers both encodings and the windowed client.
     """
     from repro.utils.environment import machine_environment
 
@@ -463,16 +476,19 @@ def _cmd_net_smoke(args) -> int:
         parity_queries = 0
         lock = threading.Lock()
 
+        fuse_window = _fuse_window_ms(args.fuse_window)
+        binary = args.encoding == "binary"
         replicas = ReplicaSet(lambda index: PredictionService(path),
                               n_replicas=args.replicas,
-                              fuse_window_ms=args.fuse_window)
+                              fuse_window_ms=fuse_window)
         with replicas:
             def storm() -> None:
                 # Failures are recorded, never raised: an exception (or a
                 # bare assert) inside a worker thread would kill only that
                 # thread and let the smoke report success anyway.
                 nonlocal parity_queries
-                client = ServingClient(replicas.addresses, cooldown=0.05)
+                client = ServingClient(replicas.addresses, cooldown=0.05,
+                                       binary=binary)
                 with client:
                     for user in users:
                         begin = time.perf_counter()
@@ -505,8 +521,23 @@ def _cmd_net_smoke(args) -> int:
             assert not failures, failures[:3]
             assert parity_queries == len(threads) * len(users)
 
+            if args.pipeline:
+                # One connection, many in-flight frames: the windowed
+                # client must match the reference bit for bit too.
+                piped = ServingClient(replicas.addresses, binary=binary)
+                with piped:
+                    served_all = piped.top_n_pipelined(users, n=5)
+                for user, served in zip(users, served_all):
+                    expected = reference.top_n(user, n=5)
+                    assert served.items.tolist() == \
+                        expected.items.tolist() \
+                        and served.scores.tobytes() == \
+                        expected.scores.tobytes(), \
+                        f"pipelined top-N diverged for user {user}"
+                parity_queries += len(users)
+
             # Mutations are per-replica (share-nothing): pin one replica.
-            pinned = ServingClient(replicas.addresses[:1])
+            pinned = ServingClient(replicas.addresses[:1], binary=binary)
             with pinned:
                 cold = pinned.fold_in(np.array([0, 1, 2]),
                                       np.array([4.0, 3.0, 5.0]))
@@ -521,7 +552,8 @@ def _cmd_net_smoke(args) -> int:
 
             # Kill replica 0 mid-storm: reads must keep succeeding.
             survivor_ref = replicas.replicas[1].service
-            client = ServingClient(replicas.addresses, cooldown=0.05)
+            client = ServingClient(replicas.addresses, cooldown=0.05,
+                                   binary=binary)
             with client:
                 client.top_n(0, n=5)
                 replicas.kill(0)
@@ -537,7 +569,9 @@ def _cmd_net_smoke(args) -> int:
             "benchmark": "net-serving-smoke",
             "environment": machine_environment(),
             "replicas": args.replicas,
-            "fuse_window_ms": args.fuse_window,
+            "fuse_window_ms": fuse_window,
+            "encoding": args.encoding,
+            "pipelined": bool(args.pipeline),
             "parity_queries": parity_queries,
             "failovers": failovers,
             "fusion": fusion_stats,
@@ -551,8 +585,8 @@ def _cmd_net_smoke(args) -> int:
             with open(args.latency_out, "w", encoding="utf8") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)
                 handle.write("\n")
-        print(f"NET SMOKE OK: {parity_queries} bit-identical fused queries "
-              f"across {args.replicas} replicas "
+        print(f"NET SMOKE OK: {parity_queries} bit-identical {args.encoding} "
+              f"queries across {args.replicas} replicas "
               f"({fusion_stats['fusion_windows']} fused windows), "
               f"failover survived with {failovers} retries, "
               f"p95 latency {payload['latency_ms']['p95']:.2f} ms")
@@ -621,10 +655,10 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--replicas", type=int, default=1,
                        help="independent gateway replicas for --tcp "
                             "(ports PORT..PORT+N-1)")
-    serve.add_argument("--fuse-window", type=float, default=None,
+    serve.add_argument("--fuse-window", type=float, default=2.0,
                        metavar="MS",
-                       help="fuse concurrent top-N requests within this "
-                            "window into one batched dispatch (--tcp)")
+                       help="fallback window for fused top-N dispatch, the "
+                            "default --tcp path (0 disables fusion)")
     serve.add_argument("--fuse-max-batch", type=int, default=64,
                        help="flush a fusion window early at this many "
                             "requests")
@@ -650,7 +684,12 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP frontend + fusion parity + replica failover self check")
     net_smoke.add_argument("--replicas", type=int, default=2)
     net_smoke.add_argument("--fuse-window", type=float, default=2.0,
-                           metavar="MS")
+                           metavar="MS", help="0 disables fusion")
+    net_smoke.add_argument("--encoding", choices=("json", "binary"),
+                           default="binary",
+                           help="wire encoding the smoke clients negotiate")
+    net_smoke.add_argument("--pipeline", action="store_true",
+                           help="also run a pipelined top-N parity pass")
     net_smoke.add_argument("--latency-out", default=None,
                            help="write observed latencies to this JSON")
     net_smoke.set_defaults(func=_cmd_net_smoke)

@@ -204,9 +204,23 @@ def _cluster_worker_main(worker_id: int, untrack: bool, task_queue,
                                                exclude_seen)
                         if part is not None:
                             user_parts[position].append(part)
+                # Response buffers: the whole window's candidate lists go
+                # back as three packed arrays (per-user lengths + one
+                # item-id buffer + one score buffer) instead of a Python
+                # list of per-user tuples — one pickle of contiguous
+                # memory per window, and the gateway slices views out of
+                # it without copying a single element.
+                merged = [merge_top_n(parts, n) for parts in user_parts]
+                counts = np.array([items.shape[0] for items, _ in merged],
+                                  dtype=np.int64)
+                items_buf = np.concatenate(
+                    [items for items, _ in merged]) if merged \
+                    else np.empty(0, dtype=np.int64)
+                scores_buf = np.concatenate(
+                    [scores for _, scores in merged]) if merged \
+                    else np.empty(0)
                 result_queue.put(("done", worker_id, sequence,
-                                  [merge_top_n(parts, n)
-                                   for parts in user_parts]))
+                                  (counts, items_buf, scores_buf)))
             elif kind == "gather":
                 _, _, _, requests = message
                 shards = {shard_id: items_view for shard_id, _, _, items_view
@@ -543,8 +557,19 @@ class ShardedScorer:
                  bool(exclude_seen)))
             self.n_queries += len(unique)
             self.n_batch_dispatches += 1
-            merged = [merge_top_n([response[position]
-                                   for response in responses.values()], n)
+            # Unpack each worker's packed response buffers into per-user
+            # views (cumsum offsets into the shared item/score buffers —
+            # no per-element copies) and run the same exact k-way merge.
+            per_worker: List[List[Tuple[np.ndarray, np.ndarray]]] = []
+            for counts, items_buf, scores_buf in responses.values():
+                offsets = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+                np.cumsum(counts, out=offsets[1:])
+                per_worker.append(
+                    [(items_buf[offsets[position]:offsets[position + 1]],
+                      scores_buf[offsets[position]:offsets[position + 1]])
+                     for position in range(len(unique))])
+            merged = [merge_top_n([parts[position]
+                                   for parts in per_worker], n)
                       for position in range(len(unique))]
         results: Dict[int, Recommendation] = {}
         for user, (items, scores) in zip(unique, merged):

@@ -5,16 +5,20 @@ store, the single-process :class:`~repro.serving.service.PredictionService`
 and the sharded shared-memory :class:`~repro.serving.cluster.ShardedScorer`;
 this package turns them into a networked service:
 
-* :mod:`repro.serving.net.protocol` — versioned, length-prefixed binary
-  frames (stdlib ``struct`` + JSON payloads), one parser and one
-  executor shared by the TCP transport *and* the stdin REPL;
+* :mod:`repro.serving.net.protocol` — versioned, length-prefixed frames
+  (stdlib ``struct``), one parser and one executor shared by the TCP
+  transport *and* the stdin REPL.  Payloads are JSON by default; peers
+  that both advertise the ``"binary"`` encoding in the hello handshake
+  ship ndarray vectors as raw little-endian blocks instead — bit-exact
+  either way;
 * :mod:`repro.serving.net.server` — :class:`NetServer`: asyncio TCP
   server with a protocol-version handshake, bounded in-flight requests,
-  graceful SIGTERM drain and snapshot hot-reload that never drops a
-  connection;
-* :mod:`repro.serving.net.fusion` — :class:`QueryFuser`: merges
-  concurrent cross-user ``top_n`` requests into one batched gateway
-  dispatch per window, bit-identical per request to serving them alone;
+  concurrent service of id-tagged (pipelined) requests, graceful
+  SIGTERM drain and snapshot hot-reload that never drops a connection;
+* :mod:`repro.serving.net.fusion` — :class:`QueryFuser` (the default
+  dispatch path): merges concurrent cross-user ``top_n`` requests into
+  one batched gateway dispatch per window with zero added latency when
+  idle, bit-identical per request to serving them alone;
 * :mod:`repro.serving.net.replica` — :class:`ReplicaSet`: N independent
   gateway replicas behind one address list;
 * :mod:`repro.serving.net.client` — :class:`ServingClient` /
@@ -28,6 +32,7 @@ this package turns them into a networked service:
 from repro.serving.net.client import AsyncServingClient, NetError, ServingClient
 from repro.serving.net.fusion import QueryFuser
 from repro.serving.net.protocol import (
+    ENCODINGS,
     MAX_PAYLOAD,
     PROTOCOL_VERSION,
     Frame,
@@ -36,6 +41,8 @@ from repro.serving.net.protocol import (
     encode_frame,
     execute,
     format_reply,
+    hello_frame,
+    negotiated_encoding,
     parse_line,
 )
 from repro.serving.net.replica import ReplicaSet
@@ -44,6 +51,9 @@ from repro.serving.net.server import NetServer
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_PAYLOAD",
+    "ENCODINGS",
+    "hello_frame",
+    "negotiated_encoding",
     "Frame",
     "FrameDecoder",
     "ProtocolError",

@@ -11,8 +11,9 @@ list and do health-checked round-robin with automatic failover:
 
 * **Transport failures** (refused, reset, timeout, EOF, torn frames) on
   an *idempotent read* (``top_n``, ``top_n_batch``, ``predict``,
-  ``stats``, ``health``) retry at most once per remaining replica; the
-  failed replica enters a cooldown and is skipped until it expires.
+  ``predict_batch``, ``stats``, ``health``) retry at most once per
+  remaining replica; the failed replica enters a cooldown and is skipped
+  until it expires.
 * **Mutations** (``rate``, ``foldin``) are never replayed — the request
   may have been applied before the connection died, and at-most-once is
   the only honest contract a share-nothing replica set can offer.
@@ -20,25 +21,47 @@ list and do health-checked round-robin with automatic failover:
 * **Server-side domain errors** (an ``error`` frame: bad user id, worker
   crash message) are definitive answers, not transport failures — they
   raise :class:`NetError` immediately, with no failover.
+
+Two wire-speed features ride on the same connections:
+
+* **Binary array frames** — the hello handshake negotiates the binary
+  payload encoding (see :mod:`repro.serving.net.protocol`); when both
+  peers advertise it, item-id and score vectors cross the wire as raw
+  little-endian buffers instead of JSON decimal text, bit-exact either
+  way.  Pass ``binary=False`` to force the JSON fallback.
+* **Request pipelining** — :meth:`ServingClient.top_n_pipelined` keeps a
+  window of id-tagged requests in flight on one connection instead of
+  one round-trip per request; replies are matched by id, so arrival
+  order does not matter.  :class:`AsyncServingClient` dispatches *every*
+  request by id, which makes concurrent use from many coroutines safe
+  and gives :meth:`AsyncServingClient.top_n_pipelined` for free.
+
+Every decoded frame a read produces is queued per connection and
+consumed in order — a read that completes two replies can never drop
+the second one.
 """
 
 from __future__ import annotations
 
 import asyncio
+import collections
 import socket
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Deque, Dict, Iterable, List, Optional, Sequence, Set,
+                    Tuple)
 
 import numpy as np
 
 from repro.core.recommend import Recommendation
 from repro.serving.net.protocol import (
+    ENCODINGS,
     Frame,
     FrameDecoder,
     IDEMPOTENT_KINDS,
     ProtocolError,
     encode_frame,
     hello_frame,
+    negotiated_encoding,
 )
 
 __all__ = ["NetError", "ServingClient", "AsyncServingClient"]
@@ -102,7 +125,16 @@ class _ClientCore:
     """
 
     _ring: _AddressRing
+    binary: bool
     n_failovers: int
+
+    def _hello(self) -> Frame:
+        """The opening frame, offering binary only when we accept it."""
+        return hello_frame(ENCODINGS if self.binary else ("json",))
+
+    def _negotiate(self, reply: Frame) -> bool:
+        """Whether this connection speaks binary frames both ways."""
+        return self.binary and negotiated_encoding(reply.payload) == "binary"
 
     def _on_connect_failure(self, index: int, error: BaseException,
                             failures: List[str]) -> None:
@@ -160,6 +192,16 @@ class _ClientCore:
             "exclude_seen": bool(exclude_seen)})
 
     @staticmethod
+    def _predict_batch_frame(users, items) -> Frame:
+        # ndarray payload values work on both encodings: raw blocks on a
+        # binary connection, exact JSON lists on a JSON one.
+        return Frame("predict_batch", {
+            "users": np.ascontiguousarray(
+                np.asarray(users, dtype=np.int64).ravel()),
+            "items": np.ascontiguousarray(
+                np.asarray(items, dtype=np.int64).ravel())})
+
+    @staticmethod
     def _rating_payload(items, values) -> Dict[str, object]:
         return {"items": [int(item) for item in np.asarray(items).ravel()],
                 "values": [float(value)
@@ -170,35 +212,56 @@ class _ClientCore:
         return {int(entry["user"]): _recommendation(entry)
                 for entry in payload["results"]}
 
+    @staticmethod
+    def _pipeline_errors(errors: Dict[int, str], total: int) -> NetError:
+        slot = min(errors)
+        return NetError(
+            f"{len(errors)} of {total} pipelined requests failed; "
+            f"first (slot {slot}): {errors[slot]}")
+
+
+class _SyncConnection:
+    """One cached socket plus its decode state and negotiated encoding."""
+
+    __slots__ = ("sock", "decoder", "frames", "binary")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.decoder = FrameDecoder()
+        self.frames: Deque[Frame] = collections.deque()
+        self.binary = False
+
 
 class ServingClient(_ClientCore):
     """Blocking client over the replica address list (see module docs).
 
     Connections are cached per replica and re-established on demand; use
-    as a context manager or call :meth:`close`.
+    as a context manager or call :meth:`close`.  ``binary=False`` forces
+    the JSON payload encoding even against a binary-capable server.
     """
 
     def __init__(self, addresses: Sequence[Tuple[str, int]],
-                 timeout: float = 10.0, cooldown: float = 1.0):
+                 timeout: float = 10.0, cooldown: float = 1.0,
+                 binary: bool = True):
         self._ring = _AddressRing(addresses, cooldown=cooldown)
         self.timeout = float(timeout)
-        self._connections: Dict[int, Tuple[socket.socket, FrameDecoder]] = {}
+        self.binary = bool(binary)
+        self._connections: Dict[int, _SyncConnection] = {}
         self.n_failovers = 0
 
     # -- transport ---------------------------------------------------------
 
-    def _connect(self, index: int) -> Tuple[socket.socket, FrameDecoder]:
+    def _connect(self, index: int) -> _SyncConnection:
         cached = self._connections.get(index)
         if cached is not None:
             return cached
         sock = socket.create_connection(self._ring.addresses[index],
                                         timeout=self.timeout)
         sock.settimeout(self.timeout)
-        decoder = FrameDecoder()
-        connection = (sock, decoder)
+        connection = _SyncConnection(sock)
         self._connections[index] = connection
         try:
-            reply = self._roundtrip(connection, hello_frame())
+            reply = self._roundtrip(connection, self._hello())
         except BaseException:
             self._drop(index)
             raise
@@ -207,27 +270,35 @@ class ServingClient(_ClientCore):
             raise NetError(
                 f"replica {self._ring.addresses[index]} refused the "
                 f"handshake: {reply.payload.get('message')}")
+        connection.binary = self._negotiate(reply)
         return connection
 
     def _drop(self, index: int) -> None:
         connection = self._connections.pop(index, None)
         if connection is not None:
             try:
-                connection[0].close()
+                connection.sock.close()
             except OSError:  # pragma: no cover
                 pass
 
     @staticmethod
-    def _roundtrip(connection, frame: Frame) -> Frame:
-        sock, decoder = connection
-        sock.sendall(encode_frame(frame))
-        while True:
-            data = sock.recv(_READ_CHUNK)
+    def _next_frame(connection: _SyncConnection) -> Frame:
+        """The next reply frame, reading only when the queue is empty.
+
+        One socket read can complete several frames; they are queued on
+        the connection and consumed strictly in order, never dropped.
+        """
+        while not connection.frames:
+            data = connection.sock.recv(_READ_CHUNK)
             if not data:
                 raise ConnectionError("server closed the connection")
-            frames = decoder.feed(data)
-            if frames:
-                return frames[0]
+            connection.frames.extend(connection.decoder.feed(data))
+        return connection.frames.popleft()
+
+    def _roundtrip(self, connection: _SyncConnection, frame: Frame) -> Frame:
+        connection.sock.sendall(encode_frame(frame,
+                                             binary=connection.binary))
+        return self._next_frame(connection)
 
     def _request(self, frame: Frame) -> Dict[str, object]:
         failures: List[str] = []
@@ -248,6 +319,92 @@ class ServingClient(_ClientCore):
             return self._on_reply(reply, index, attempt)
         raise self._every_replica_failed(failures)
 
+    # -- pipelining --------------------------------------------------------
+
+    def _pump(self, connection: _SyncConnection, users: List[int], n: int,
+              exclude_seen: bool, remaining: Set[int],
+              results: List[Optional[Recommendation]],
+              errors: Dict[int, str], max_in_flight: int) -> None:
+        """Drive the pipelined send window over one connection.
+
+        ``remaining``/``results``/``errors`` are mutated as replies land,
+        so a mid-stream transport failure leaves exactly the unanswered
+        slots in ``remaining`` for the next replica to retry.
+        """
+        queue: Deque[int] = collections.deque(sorted(remaining))
+        outstanding: Set[int] = set()
+        while queue or outstanding:
+            burst = bytearray()
+            while queue and len(outstanding) < max_in_flight:
+                slot = queue.popleft()
+                burst += encode_frame(Frame("top_n", {
+                    "user": users[slot], "n": n,
+                    "exclude_seen": exclude_seen, "id": slot}),
+                    binary=connection.binary)
+                outstanding.add(slot)
+            if burst:
+                connection.sock.sendall(bytes(burst))
+            reply = self._next_frame(connection)
+            slot = reply.payload.get("id")
+            if not isinstance(slot, int) or slot not in outstanding:
+                raise ProtocolError(
+                    f"pipelined reply carries unmatched id {slot!r}")
+            outstanding.discard(slot)
+            remaining.discard(slot)
+            if reply.is_error:
+                errors[slot] = str(reply.payload.get("message"))
+            else:
+                results[slot] = _recommendation(reply.payload)
+
+    def top_n_pipelined(self, users: Iterable[int], n: int = 10,
+                        exclude_seen: bool = True,
+                        max_in_flight: int = 32) -> List[Recommendation]:
+        """Many ``top_n`` requests down one connection, a window at a time.
+
+        Keeps up to ``max_in_flight`` id-tagged requests outstanding
+        instead of one blocking round-trip per request; returns one
+        Recommendation per input user, in input order (duplicates are
+        served, not deduplicated).  Transport failures retry the
+        *unanswered* slots on the next replica (``top_n`` is idempotent);
+        a server-side error frame for any slot raises :class:`NetError`
+        after the window drains.
+        """
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}")
+        user_list = [int(user) for user in users]
+        if not user_list:
+            return []
+        results: List[Optional[Recommendation]] = [None] * len(user_list)
+        errors: Dict[int, str] = {}
+        remaining: Set[int] = set(range(len(user_list)))
+        failures: List[str] = []
+        for attempt, index in enumerate(self._ring.candidates()):
+            try:
+                connection = self._connect(index)
+            except (OSError, ConnectionError, ProtocolError,
+                    socket.timeout, NetError) as error:
+                self._on_connect_failure(index, error, failures)
+                continue
+            try:
+                self._pump(connection, user_list, int(n),
+                           bool(exclude_seen), remaining, results, errors,
+                           int(max_in_flight))
+            except (OSError, ConnectionError, ProtocolError,
+                    socket.timeout) as error:
+                self._drop(index)
+                self._ring.mark_dead(index)
+                failures.append(f"{self._ring.addresses[index]}: {error!r}")
+                continue
+            self._ring.mark_alive(index)
+            self._ring.mark_used(index)
+            if attempt > 0:
+                self.n_failovers += 1
+            if errors:
+                raise self._pipeline_errors(errors, len(user_list))
+            return results
+        raise self._every_replica_failed(failures)
+
     # -- the serving surface ----------------------------------------------
 
     def top_n(self, user: int, n: int = 10,
@@ -264,6 +421,10 @@ class ServingClient(_ClientCore):
         payload = self._request(Frame("predict", {"user": int(user),
                                                   "item": int(item)}))
         return float(payload["score"])
+
+    def predict_batch(self, users, items) -> np.ndarray:
+        payload = self._request(self._predict_batch_frame(users, items))
+        return np.asarray(payload["scores"], dtype=np.float64)
 
     def fold_in(self, items, values) -> int:
         return int(self._request(
@@ -291,29 +452,55 @@ class ServingClient(_ClientCore):
         self.close()
 
 
+class _AsyncConnection:
+    """One open stream plus the id-keyed reply dispatch state."""
+
+    __slots__ = ("reader", "writer", "decoder", "backlog", "pending",
+                 "binary", "reader_task")
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self.backlog: List[Frame] = []
+        self.pending: Dict[int, asyncio.Future] = {}
+        self.binary = False
+        self.reader_task: Optional[asyncio.Task] = None
+
+
 class AsyncServingClient(_ClientCore):
-    """Asyncio variant of :class:`ServingClient` (same failover policy)."""
+    """Asyncio variant of :class:`ServingClient` (same failover policy).
+
+    Every request carries a client-assigned id and a per-connection
+    reader task matches replies back to their futures, so any number of
+    coroutines can share one client (and one connection) concurrently —
+    requests pipeline naturally instead of serializing round-trips.
+    """
 
     def __init__(self, addresses: Sequence[Tuple[str, int]],
-                 timeout: float = 10.0, cooldown: float = 1.0):
+                 timeout: float = 10.0, cooldown: float = 1.0,
+                 binary: bool = True):
         self._ring = _AddressRing(addresses, cooldown=cooldown)
         self.timeout = float(timeout)
-        self._connections: Dict[int, Tuple[asyncio.StreamReader,
-                                           asyncio.StreamWriter,
-                                           FrameDecoder]] = {}
+        self.binary = bool(binary)
+        self._connections: Dict[int, _AsyncConnection] = {}
+        self._next_id = 0
         self.n_failovers = 0
 
-    async def _connect(self, index: int):
+    # -- transport ---------------------------------------------------------
+
+    async def _connect(self, index: int) -> _AsyncConnection:
         cached = self._connections.get(index)
         if cached is not None:
             return cached
         host, port = self._ring.addresses[index]
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), timeout=self.timeout)
-        connection = (reader, writer, FrameDecoder())
+        connection = _AsyncConnection(reader, writer)
         self._connections[index] = connection
         try:
-            reply = await self._roundtrip(connection, hello_frame())
+            reply = await self._handshake(connection)
         except BaseException:
             await self._drop(index)
             raise
@@ -322,29 +509,108 @@ class AsyncServingClient(_ClientCore):
             raise NetError(
                 f"replica {self._ring.addresses[index]} refused the "
                 f"handshake: {reply.payload.get('message')}")
+        connection.binary = self._negotiate(reply)
+        connection.reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(connection))
         return connection
+
+    async def _handshake(self, connection: _AsyncConnection) -> Frame:
+        """Blocking hello exchange, before the reader task exists.
+
+        Frames decoded beyond the hello reply (none today, but the
+        protocol allows pipelining behind it) go to the backlog the
+        reader task drains first — never dropped.
+        """
+        connection.writer.write(encode_frame(self._hello()))
+        await asyncio.wait_for(connection.writer.drain(),
+                               timeout=self.timeout)
+        while True:
+            data = await asyncio.wait_for(
+                connection.reader.read(_READ_CHUNK), timeout=self.timeout)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            frames = connection.decoder.feed(data)
+            if frames:
+                connection.backlog.extend(frames[1:])
+                return frames[0]
+
+    async def _read_loop(self, connection: _AsyncConnection) -> None:
+        """Match incoming frames to pending request futures by id."""
+        try:
+            for frame in connection.backlog:
+                self._dispatch(connection, frame)
+            connection.backlog.clear()
+            while True:
+                data = await connection.reader.read(_READ_CHUNK)
+                if not data:
+                    raise ConnectionError("server closed the connection")
+                for frame in connection.decoder.feed(data):
+                    self._dispatch(connection, frame)
+        except asyncio.CancelledError:
+            self._fail_pending(connection,
+                               ConnectionError("connection closed"))
+            raise
+        except (OSError, ConnectionError, ProtocolError) as error:
+            self._fail_pending(connection, error)
+
+    @staticmethod
+    def _dispatch(connection: _AsyncConnection, frame: Frame) -> None:
+        request_id = frame.payload.get("id")
+        future = (connection.pending.pop(request_id, None)
+                  if isinstance(request_id, int) else None)
+        if future is None:
+            # A reply we cannot attribute means the stream is desynced;
+            # poison every in-flight request rather than misdeliver.
+            raise ProtocolError(
+                f"reply carries unmatched id {request_id!r}")
+        if not future.done():
+            future.set_result(frame)
+
+    @staticmethod
+    def _fail_pending(connection: _AsyncConnection,
+                      error: BaseException) -> None:
+        pending, connection.pending = connection.pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
 
     async def _drop(self, index: int) -> None:
         connection = self._connections.pop(index, None)
-        if connection is not None:
-            connection[1].close()
+        if connection is None:
+            return
+        if connection.reader_task is not None:
+            connection.reader_task.cancel()
             try:
-                await connection[1].wait_closed()
-            except (OSError, ConnectionError):  # pragma: no cover
+                await connection.reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
                 pass
+        connection.writer.close()
+        try:
+            await connection.writer.wait_closed()
+        except (OSError, ConnectionError):  # pragma: no cover
+            pass
 
-    async def _roundtrip(self, connection, frame: Frame) -> Frame:
-        reader, writer, decoder = connection
-        writer.write(encode_frame(frame))
-        await asyncio.wait_for(writer.drain(), timeout=self.timeout)
-        while True:
-            data = await asyncio.wait_for(reader.read(_READ_CHUNK),
-                                          timeout=self.timeout)
-            if not data:
-                raise ConnectionError("server closed the connection")
-            frames = decoder.feed(data)
-            if frames:
-                return frames[0]
+    async def _roundtrip(self, connection: _AsyncConnection,
+                         frame: Frame) -> Frame:
+        request_id = self._next_id
+        self._next_id += 1
+        frame.payload["id"] = request_id
+        future = asyncio.get_running_loop().create_future()
+        connection.pending[request_id] = future
+        try:
+            connection.writer.write(encode_frame(frame,
+                                                 binary=connection.binary))
+            await asyncio.wait_for(connection.writer.drain(),
+                                   timeout=self.timeout)
+            reply = await asyncio.wait_for(future, timeout=self.timeout)
+        except BaseException:
+            abandoned = connection.pending.pop(request_id, None)
+            if (abandoned is not None and abandoned.done()
+                    and not abandoned.cancelled()):
+                abandoned.exception()  # mark retrieved
+            raise
+        reply.payload.pop("id", None)
+        return reply
 
     async def _request(self, frame: Frame) -> Dict[str, object]:
         failures: List[str] = []
@@ -365,10 +631,35 @@ class AsyncServingClient(_ClientCore):
             return self._on_reply(reply, index, attempt)
         raise self._every_replica_failed(failures)
 
+    # -- the serving surface ----------------------------------------------
+
     async def top_n(self, user: int, n: int = 10,
                     exclude_seen: bool = True) -> Recommendation:
         return _recommendation(await self._request(
             self._top_n_frame(user, n, exclude_seen)))
+
+    async def top_n_pipelined(self, users: Iterable[int], n: int = 10,
+                              exclude_seen: bool = True,
+                              max_in_flight: int = 32
+                              ) -> List[Recommendation]:
+        """Concurrent ``top_n`` for many users over the shared connection.
+
+        The id-dispatched transport pipelines them naturally; the
+        semaphore only bounds how many are outstanding at once.  Returns
+        one Recommendation per input user, in input order.
+        """
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}")
+        gate = asyncio.Semaphore(int(max_in_flight))
+
+        async def one(user: int) -> Recommendation:
+            async with gate:
+                return await self.top_n(user, n=n,
+                                        exclude_seen=exclude_seen)
+
+        return list(await asyncio.gather(
+            *(one(int(user)) for user in users)))
 
     async def top_n_batch(self, users: Iterable[int], n: int = 10,
                           exclude_seen: bool = True
@@ -380,6 +671,11 @@ class AsyncServingClient(_ClientCore):
         payload = await self._request(
             Frame("predict", {"user": int(user), "item": int(item)}))
         return float(payload["score"])
+
+    async def predict_batch(self, users, items) -> np.ndarray:
+        payload = await self._request(
+            self._predict_batch_frame(users, items))
+        return np.asarray(payload["scores"], dtype=np.float64)
 
     async def fold_in(self, items, values) -> int:
         payload = await self._request(

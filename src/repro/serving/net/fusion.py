@@ -3,18 +3,32 @@
 Under heavy traffic many connections ask for rankings at once, and the
 per-request cost is dominated by fixed overhead — a full gateway dispatch
 (lock, delta flush, one IPC round-trip per worker) per user.
-:class:`QueryFuser` batches them: requests arriving within a short window
-(or until the batch cap) are merged into a single
+:class:`QueryFuser` batches them: requests arriving together are merged
+into a single
 :meth:`~repro.serving.cluster.ShardedScorer.top_n_batch` call — one
 fan-out to the workers per *window*, with each worker sweeping its shard
 once for all users of the window (a blocked GEMM over users x shard whose
 microkernel is the single-user GEMV).
+
+Dispatch is *eager*: the first request of a window goes out on the next
+event-loop pass (so requests decoded from the same socket read still
+join it), which means a lone sequential caller pays no window latency at
+all.  While a batch is in flight, newcomers accumulate and are flushed
+the moment it completes — natural batching under load, zero added
+latency when idle.  ``window_ms`` is the fallback timer bounding how
+long an accumulating window can wait if completion flushing is delayed.
 
 De-multiplexing is bit-identical to serving each request alone: the batch
 entry point runs the exact single-request arithmetic per user (pinned by
 the parity tests in ``tests/test_net_server.py`` and
 ``tests/test_serving_cluster.py``), and duplicate users inside one window
 share one computation and one identical result.
+
+Failure containment: a batch call that raises is *partitioned* — every
+distinct user of the window is retried as a singleton batch, so only the
+offending request surfaces the error and the rest of the window resolves
+normally.  A user missing from a batch result gets a per-future
+``LookupError``; no future is ever left pending.
 
 The fuser is transport-agnostic: it only needs an asyncio loop and a
 ``top_n_batch`` callable, so it is testable without sockets.
@@ -23,13 +37,13 @@ The fuser is transport-agnostic: it only needs an asyncio loop and a
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Set, Tuple
 
 __all__ = ["QueryFuser"]
 
 
 class QueryFuser:
-    """Time/size-windowed coalescer for concurrent ``top_n`` requests.
+    """Eagerly-dispatched coalescer for concurrent ``top_n`` requests.
 
     Parameters
     ----------
@@ -38,8 +52,9 @@ class QueryFuser:
         Recommendation]`` — the gateway's batch entry point.  It runs in
         ``executor`` (the serving gateways block on worker IPC).
     window_ms:
-        How long the first request of a window waits for company.  ``0``
-        still fuses whatever arrives within one event-loop pass.
+        Fallback flush timer for a window accumulating behind an
+        in-flight batch.  Dispatch is eager (see module docstring), so
+        this bounds worst-case queueing, not common-case latency.
     max_batch:
         Flush immediately once this many requests are pending.
     executor:
@@ -61,9 +76,11 @@ class QueryFuser:
         self._pending: Dict[Tuple[int, bool],
                             List[Tuple[int, asyncio.Future]]] = {}
         self._timers: Dict[Tuple[int, bool], asyncio.TimerHandle] = {}
+        self._in_flight: Set[asyncio.Future] = set()
         self.n_requests = 0
         self.n_windows = 0
         self.n_deduplicated = 0
+        self.n_partitions = 0
         self.max_window = 0
 
     async def top_n(self, user: int, n: int = 10,
@@ -78,10 +95,26 @@ class QueryFuser:
         if len(waiters) >= self.max_batch:
             self._flush(key)
         elif len(waiters) == 1:
-            # First request of the window arms its flush timer.
-            self._timers[key] = loop.call_later(
-                self.window_ms / 1000.0, self._flush, key)
+            if not self._in_flight:
+                # Eager path: flush on the next loop pass, after every
+                # request already decoded from the same socket read has
+                # had its chance to join the window.
+                loop.call_soon(self._flush_if_idle, key)
+            else:
+                # Busy: accumulate behind the in-flight batch; the timer
+                # is the fallback in case the completion flush stalls.
+                self._timers[key] = loop.call_later(
+                    self.window_ms / 1000.0, self._flush, key)
         return await future
+
+    def _flush_if_idle(self, key: Tuple[int, bool]) -> None:
+        if not self._in_flight:
+            self._flush(key)
+        elif key in self._pending and key not in self._timers:
+            # A batch got in flight between enqueue and this callback;
+            # fall back to accumulate-with-timer.
+            self._timers[key] = asyncio.get_running_loop().call_later(
+                self.window_ms / 1000.0, self._flush, key)
 
     def _flush(self, key: Tuple[int, bool]) -> None:
         timer = self._timers.pop(key, None)
@@ -101,30 +134,106 @@ class QueryFuser:
             return self._top_n_batch(users, n=n, exclude_seen=exclude_seen)
 
         task = loop.run_in_executor(self._executor, run_batch)
+        self._in_flight.add(task)
         task.add_done_callback(
-            lambda done: self._resolve(waiters, done))
+            lambda done: self._on_batch_done(key, waiters, done))
 
-    @staticmethod
-    def _resolve(waiters, done) -> None:
-        error = done.exception()
-        if error is not None:
+    def _on_batch_done(self, key: Tuple[int, bool], waiters,
+                       done: asyncio.Future) -> None:
+        self._in_flight.discard(done)
+        if done.cancelled():
             for _, future in waiters:
                 if not future.done():
-                    future.set_exception(error)
-            return
-        results = done.result()
+                    future.cancel()
+        elif done.exception() is not None:
+            self._partition(key, waiters, done.exception())
+        else:
+            self._resolve(waiters, done.result())
+        # Eager follow-up: whatever accumulated while this batch was in
+        # flight goes out now, without waiting for its fallback timer.
+        if not self._in_flight:
+            for pending_key in list(self._pending):
+                self._flush(pending_key)
+
+    def _resolve(self, waiters, results) -> None:
+        """Demultiplex one batch result onto its waiters.
+
+        A user absent from ``results`` gets a per-future LookupError —
+        indexing straight into the mapping would raise inside this done
+        callback and leave every later waiter pending forever.
+        """
         for user, future in waiters:
-            if not future.done():
+            if future.done():
+                continue
+            if user in results:
                 future.set_result(results[user])
+            else:
+                future.set_exception(LookupError(
+                    f"user {user} missing from fused batch result"))
+
+    def _partition(self, key: Tuple[int, bool], waiters,
+                   error: BaseException) -> None:
+        """A batch call raised: retry each distinct user alone.
+
+        One invalid user must not poison the window — every other
+        request re-runs as a singleton batch and resolves normally;
+        only the offender gets its own error.  A window of one skips
+        the retry (the error is already correctly attributed).
+        """
+        by_user: Dict[int, List[asyncio.Future]] = {}
+        for user, future in waiters:
+            by_user.setdefault(user, []).append(future)
+        if len(by_user) == 1:
+            for futures in by_user.values():
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(error)
+            return
+        self.n_partitions += 1
+        n, exclude_seen = key
+        loop = asyncio.get_running_loop()
+        for user, futures in by_user.items():
+            task = loop.run_in_executor(
+                self._executor,
+                lambda u=user: self._top_n_batch(
+                    [u], n=n, exclude_seen=exclude_seen))
+            self._in_flight.add(task)
+            task.add_done_callback(
+                lambda done, u=user, fs=futures:
+                self._resolve_single(u, fs, done))
+
+    def _resolve_single(self, user: int, futures, done) -> None:
+        self._in_flight.discard(done)
+        if done.cancelled():
+            for future in futures:
+                if not future.done():
+                    future.cancel()
+            return
+        error = done.exception()
+        if error is None:
+            results = done.result()
+            if user in results:
+                for future in futures:
+                    if not future.done():
+                        future.set_result(results[user])
+                return
+            error = LookupError(
+                f"user {user} missing from fused batch result")
+        for future in futures:
+            if not future.done():
+                future.set_exception(error)
 
     async def drain(self) -> None:
-        """Flush every armed window and wait for the pending futures."""
-        futures = [future for waiters in self._pending.values()
-                   for _, future in waiters]
-        for key in list(self._pending):
-            self._flush(key)
-        if futures:
-            await asyncio.gather(*futures, return_exceptions=True)
+        """Flush every window and wait until nothing is pending."""
+        while self._pending or self._in_flight:
+            futures = [future for waiters in self._pending.values()
+                       for _, future in waiters]
+            for key in list(self._pending):
+                self._flush(key)
+            awaitables = futures + list(self._in_flight)
+            if not awaitables:
+                break
+            await asyncio.gather(*awaitables, return_exceptions=True)
 
     def stats(self) -> Dict[str, int]:
         """Fusion counters for the ``health`` frame."""
@@ -132,5 +241,6 @@ class QueryFuser:
             "fusion_requests": self.n_requests,
             "fusion_windows": self.n_windows,
             "fusion_deduplicated": self.n_deduplicated,
+            "fusion_partitions": self.n_partitions,
             "fusion_max_window": self.max_window,
         }

@@ -9,14 +9,35 @@ serving command set.
 Wire format (all integers big-endian)::
 
     +-------+---------+------+----------------+-----------------+
-    | magic | version | kind | payload length | payload (JSON)  |
+    | magic | version | kind | payload length | payload         |
     | 4 B   | 1 B     | 1 B  | 4 B            | length bytes    |
     +-------+---------+------+----------------+-----------------+
 
-The payload is UTF-8 JSON — deliberately msgpack-free so any language
-with ``struct`` and JSON can speak it.  Python's JSON round-trips IEEE
-doubles exactly (shortest-repr encode, exact decode), which is what lets
-the network tests pin *bit-identical* scores across the wire.
+The default payload is UTF-8 JSON — deliberately msgpack-free so any
+language with ``struct`` and JSON can speak it.  Python's JSON
+round-trips IEEE doubles exactly (shortest-repr encode, exact decode),
+which is what lets the network tests pin *bit-identical* scores across
+the wire.
+
+**Binary array payloads.**  JSON turns a top-N reply into thousands of
+decimal-text bytes that both ends must format and re-parse — pure
+dispatch tax on the hot serving path.  When the high bit of the kind
+byte is set (``code | 0x80``) the payload is instead::
+
+    u32 json_length | JSON part | array block ...
+    array block := u8 dtype | u8 ndim | u32 dim[ndim] | raw C-order bytes
+
+where every :class:`numpy.ndarray` in the payload (at any nesting
+depth) is replaced in the JSON part by the marker mapping
+``{"__nd__": i}`` and shipped as the ``i``-th raw little-endian array
+block — item ids and score vectors cross the wire as straight
+``memcpy``s of the float64/int64 buffers the gateway computed, bit-exact
+by construction rather than by careful text formatting.  The binary
+form is a *negotiated capability*: clients advertise
+``{"encodings": [...]}`` in the hello payload, the server answers with
+its own list, and binary frames only flow between peers that both
+advertised ``"binary"`` — a JSON-only peer never sees one, which is why
+the protocol version stays unchanged.
 
 ``Frame`` is also the in-process request/response object: the REPL's
 :func:`parse_line` produces request frames, :func:`execute` runs a frame
@@ -40,13 +61,18 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 __all__ = [
-    "PROTOCOL_VERSION", "MAX_PAYLOAD", "ProtocolError", "Frame",
+    "PROTOCOL_VERSION", "MAX_PAYLOAD", "ENCODINGS", "ProtocolError", "Frame",
     "encode_frame", "FrameDecoder", "parse_line", "execute", "format_reply",
-    "hello_frame", "check_hello",
+    "hello_frame", "check_hello", "negotiated_encoding",
 ]
 
 #: Bump on any wire-visible change; the handshake refuses mismatches.
+#: (The binary payload form is a negotiated capability, not a version
+#: bump: peers that do not advertise it never receive it.)
 PROTOCOL_VERSION = 1
+
+#: Payload encodings this implementation speaks, most preferred first.
+ENCODINGS = ("binary", "json")
 
 #: Frames advertising a larger payload are rejected before buffering.
 MAX_PAYLOAD = 16 * 1024 * 1024
@@ -54,7 +80,11 @@ MAX_PAYLOAD = 16 * 1024 * 1024
 _MAGIC = b"RPRO"
 _HEADER = struct.Struct(">4sBBI")
 
-#: kind name <-> wire code.  Requests sit below 16, responses above.
+#: High bit of the kind byte: payload is the binary array form.
+_BINARY_FLAG = 0x80
+
+#: kind name <-> wire code.  Requests sit below 16, responses above;
+#: every code stays below 0x80 so the binary flag never collides.
 _KIND_CODES = {
     "hello": 1,
     "top_n": 2,
@@ -64,6 +94,7 @@ _KIND_CODES = {
     "foldin": 6,
     "stats": 7,
     "health": 8,
+    "predict_batch": 9,
     "ok": 16,
     "error": 17,
 }
@@ -72,8 +103,16 @@ _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
 #: Request kinds that are safe to retry on another replica: they either
 #: read state or are deterministic lookups.  ``rate``/``foldin`` mutate
 #: the posterior and must never be silently replayed.
-IDEMPOTENT_KINDS = frozenset({"top_n", "top_n_batch", "predict", "stats",
-                              "health", "hello"})
+IDEMPOTENT_KINDS = frozenset({"top_n", "top_n_batch", "predict",
+                              "predict_batch", "stats", "health", "hello"})
+
+#: Array dtypes the binary payload form can carry (code <-> wire dtype).
+#: Explicit little-endian tags: raw bytes mean the same thing on every
+#: architecture, and ``astype`` is zero-copy on little-endian hosts.
+_DTYPE_CODES = {"<f8": 0, "<i8": 1, "<f4": 2, "<i4": 3}
+_CODE_DTYPES = {code: np.dtype(tag) for tag, code in _DTYPE_CODES.items()}
+_ARRAY_HEADER = struct.Struct(">BB")
+_ARRAY_MARKER = "__nd__"
 
 
 class ProtocolError(ValueError):
@@ -93,18 +132,139 @@ class Frame:
         return self.kind == "error"
 
 
-def encode_frame(frame: Frame) -> bytes:
-    """Serialize one frame to wire bytes."""
+def _json_default(value):
+    """JSON fallback for numpy values in payloads (exact conversions)."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(
+        f"payload value of type {type(value).__name__} is not JSON-able")
+
+
+def _extract_arrays(value, arrays: List[np.ndarray]):
+    """Replace every ndarray in ``value`` by a ``{"__nd__": i}`` marker.
+
+    Returns the substituted structure; the arrays land in ``arrays`` in
+    marker order.  Raises on payloads that already contain the reserved
+    marker key (they would be indistinguishable after a round-trip).
+    """
+    if isinstance(value, np.ndarray):
+        index = len(arrays)
+        arrays.append(value)
+        return {_ARRAY_MARKER: index}
+    if isinstance(value, dict):
+        if _ARRAY_MARKER in value:
+            raise ProtocolError(
+                f"payload objects must not use the reserved key "
+                f"{_ARRAY_MARKER!r}")
+        return {key: _extract_arrays(item, arrays)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_extract_arrays(item, arrays) for item in value]
+    return value
+
+
+def _restore_arrays(value, arrays: List[np.ndarray]):
+    """Inverse of :func:`_extract_arrays` on a decoded JSON structure."""
+    if isinstance(value, dict):
+        if set(value) == {_ARRAY_MARKER}:
+            index = value[_ARRAY_MARKER]
+            if not isinstance(index, int) or not 0 <= index < len(arrays):
+                raise ProtocolError(
+                    f"binary payload references array {index!r}, frame "
+                    f"carries {len(arrays)}")
+            return arrays[index]
+        return {key: _restore_arrays(item, arrays)
+                for key, item in value.items()}
+    if isinstance(value, list):
+        return [_restore_arrays(item, arrays) for item in value]
+    return value
+
+
+def _encode_binary_payload(payload: Dict[str, object]) -> bytes:
+    """The binary array payload: JSON part + raw array blocks."""
+    arrays: List[np.ndarray] = []
+    substituted = _extract_arrays(payload, arrays)
+    json_part = json.dumps(substituted, separators=(",", ":"),
+                           sort_keys=True, default=_json_default
+                           ).encode("utf8")
+    blocks = [struct.pack(">I", len(json_part)), json_part]
+    for array in arrays:
+        tag = array.dtype.newbyteorder("<").str
+        code = _DTYPE_CODES.get(tag)
+        if code is None:
+            raise ProtocolError(
+                f"array dtype {array.dtype} has no binary wire form")
+        if array.ndim > 255:
+            raise ProtocolError(f"{array.ndim}-dimensional array payload")
+        wire = np.ascontiguousarray(array).astype(tag, copy=False)
+        blocks.append(_ARRAY_HEADER.pack(code, wire.ndim))
+        blocks.append(struct.pack(f">{wire.ndim}I", *wire.shape))
+        blocks.append(wire.tobytes())
+    return b"".join(blocks)
+
+
+def _decode_binary_payload(body: bytes) -> Dict[str, object]:
+    """Parse the binary array payload back into a payload dict."""
+    try:
+        (json_length,) = struct.unpack_from(">I", body)
+        cursor = 4 + json_length
+        substituted = json.loads(body[4:cursor].decode("utf8"))
+        arrays: List[np.ndarray] = []
+        while cursor < len(body):
+            code, ndim = _ARRAY_HEADER.unpack_from(body, cursor)
+            cursor += _ARRAY_HEADER.size
+            dtype = _CODE_DTYPES.get(code)
+            if dtype is None:
+                raise ProtocolError(f"unknown array dtype code {code}")
+            shape = struct.unpack_from(f">{ndim}I", body, cursor)
+            cursor += 4 * ndim
+            count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+            end = cursor + count * dtype.itemsize
+            if end > len(body):
+                raise ProtocolError("binary payload truncates an array")
+            # frombuffer is zero-copy; the view is read-only, which is
+            # exactly right for decoded request/response vectors.
+            arrays.append(np.frombuffer(body, dtype=dtype, count=count,
+                                        offset=cursor).reshape(shape))
+            cursor = end
+    except (struct.error, UnicodeDecodeError,
+            json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed binary payload: {error}") from error
+    if not isinstance(substituted, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(substituted).__name__}")
+    return _restore_arrays(substituted, arrays)
+
+
+def encode_frame(frame: Frame, binary: bool = False) -> bytes:
+    """Serialize one frame to wire bytes.
+
+    With ``binary=True`` (only after the peer advertised the capability)
+    ndarray payload values ship as raw little-endian array blocks and
+    the kind byte carries the binary flag; without it they are converted
+    to JSON lists (exact for float64/int64 — Python's JSON round-trips
+    IEEE doubles).
+    """
     if frame.kind not in _KIND_CODES:
         raise ProtocolError(f"unknown frame kind {frame.kind!r}")
-    body = json.dumps(frame.payload, separators=(",", ":"),
-                      sort_keys=True).encode("utf8")
+    code = _KIND_CODES[frame.kind]
+    if binary:
+        body = _encode_binary_payload(frame.payload)
+        code |= _BINARY_FLAG
+    else:
+        body = json.dumps(frame.payload, separators=(",", ":"),
+                          sort_keys=True, default=_json_default
+                          ).encode("utf8")
     if len(body) > MAX_PAYLOAD:
         raise ProtocolError(
             f"payload of {len(body)} bytes exceeds the {MAX_PAYLOAD}-byte "
             "frame limit")
-    return _HEADER.pack(_MAGIC, frame.version,
-                        _KIND_CODES[frame.kind], len(body)) + body
+    return _HEADER.pack(_MAGIC, frame.version, code, len(body)) + body
 
 
 class FrameDecoder:
@@ -146,7 +306,8 @@ class FrameDecoder:
             raise ProtocolError(
                 f"frame advertises a {length}-byte payload, over the "
                 f"{MAX_PAYLOAD}-byte limit")
-        kind = _CODE_KINDS.get(code)
+        binary = bool(code & _BINARY_FLAG)
+        kind = _CODE_KINDS.get(code & ~_BINARY_FLAG)
         if kind is None:
             raise ProtocolError(f"unknown frame kind code {code}")
         end = _HEADER.size + length
@@ -154,6 +315,9 @@ class FrameDecoder:
             return None
         body = bytes(self._buffer[_HEADER.size:end])
         del self._buffer[:end]
+        if binary:
+            payload = _decode_binary_payload(body)
+            return Frame(kind=kind, payload=payload, version=version)
         try:
             payload = json.loads(body.decode("utf8")) if length else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -169,9 +333,24 @@ class FrameDecoder:
 # handshake
 # ---------------------------------------------------------------------------
 
-def hello_frame() -> Frame:
-    """The client's opening frame."""
-    return Frame("hello", {"version": PROTOCOL_VERSION})
+def hello_frame(encodings: Tuple[str, ...] = ENCODINGS) -> Frame:
+    """The client's opening frame, advertising its payload encodings."""
+    return Frame("hello", {"version": PROTOCOL_VERSION,
+                           "encodings": list(encodings)})
+
+
+def negotiated_encoding(payload: Dict[str, object]) -> str:
+    """The payload encoding to *send* to the peer behind ``payload``.
+
+    ``payload`` is the peer's hello (or hello-reply) payload; binary
+    frames may only be sent to a peer that explicitly advertised the
+    capability, so absent/malformed advertisements fall back to JSON —
+    version-1 peers from before the capability keep working unchanged.
+    """
+    advertised = payload.get("encodings")
+    if isinstance(advertised, (list, tuple)) and "binary" in advertised:
+        return "binary"
+    return "json"
 
 
 def check_hello(frame: Frame) -> Optional[Frame]:
@@ -260,14 +439,28 @@ def format_reply(request: Frame, response: Frame) -> str:
 # the shared executor
 # ---------------------------------------------------------------------------
 
-def recommendation_payload(recommendation) -> Dict[str, object]:
+def recommendation_payload(recommendation,
+                           arrays: bool = False) -> Dict[str, object]:
+    """One recommendation as a payload dict.
+
+    With ``arrays=True`` the item-id and score vectors stay the gateway's
+    own int64/float64 buffers — the response-buffer path: the frame
+    encoder memcpys them straight onto the wire (binary) or converts
+    exactly (JSON), with no per-element Python round-trip in between.
+    """
+    if arrays:
+        return {"user": int(recommendation.user),
+                "items": np.ascontiguousarray(recommendation.items,
+                                              dtype=np.int64),
+                "scores": np.ascontiguousarray(recommendation.scores,
+                                               dtype=np.float64)}
     return {"user": int(recommendation.user),
             "items": [int(item) for item in recommendation.items],
             "scores": [float(score) for score in recommendation.scores]}
 
 
 def execute(service, request: Frame,
-            extra_health=None) -> Frame:
+            extra_health=None, arrays: bool = False) -> Frame:
     """Run one request frame against a gateway; returns the response frame.
 
     ``service`` is anything with the :class:`PredictionService` serving
@@ -276,6 +469,9 @@ def execute(service, request: Frame,
     ``error`` frames; only programming errors propagate.  ``extra_health``
     optionally supplies server-side counters merged into ``health``
     replies (the TCP server passes its connection/fusion stats).
+    ``arrays=True`` keeps score/item vectors as ndarray response buffers
+    (see :func:`recommendation_payload`) — the TCP server always passes
+    it; the REPL keeps plain lists.
     """
     from repro.serving.cluster import ClusterError
     from repro.utils.validation import ValidationError
@@ -286,19 +482,30 @@ def execute(service, request: Frame,
             recommendation = service.top_n(
                 int(payload["user"]), n=int(payload.get("n", 10)),
                 exclude_seen=bool(payload.get("exclude_seen", True)))
-            return Frame("ok", recommendation_payload(recommendation))
+            return Frame("ok", recommendation_payload(recommendation,
+                                                      arrays=arrays))
         if kind == "top_n_batch":
             results = service.top_n_batch(
                 [int(user) for user in payload["users"]],
                 n=int(payload.get("n", 10)),
                 exclude_seen=bool(payload.get("exclude_seen", True)))
             return Frame("ok", {"results": [
-                recommendation_payload(results[int(user)])
-                for user in dict.fromkeys(payload["users"])]})
+                recommendation_payload(results[int(user)], arrays=arrays)
+                for user in dict.fromkeys(
+                    int(user) for user in payload["users"])]})
         if kind == "predict":
             score = service.predict(int(payload["user"]),
                                     int(payload["item"]))
             return Frame("ok", {"score": float(score)})
+        if kind == "predict_batch":
+            scores = service.predict_batch(
+                np.asarray(payload["users"], dtype=np.int64),
+                np.asarray(payload["items"], dtype=np.int64))
+            if arrays:
+                return Frame("ok", {"scores": np.ascontiguousarray(
+                    scores, dtype=np.float64)})
+            return Frame("ok", {"scores": [float(score)
+                                           for score in scores]})
         if kind == "foldin":
             user = service.fold_in(
                 np.asarray(payload["items"], dtype=np.int64),

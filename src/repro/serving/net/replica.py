@@ -131,14 +131,15 @@ class ReplicaSet:
         Optional ``make_watcher(service) -> SnapshotWatcher`` so every
         replica hot-reloads snapshots independently.
     fuse_window_ms, fuse_max_batch, max_in_flight:
-        Per-replica :class:`NetServer` options.
+        Per-replica :class:`NetServer` options.  Fused dispatch is on by
+        default; ``fuse_window_ms=None`` (or ``<= 0``) disables it.
     """
 
     def __init__(self, make_service: Callable[[int], object],
                  n_replicas: int = 2, host: str = "127.0.0.1",
                  ports: Optional[List[int]] = None,
                  make_watcher: Optional[Callable[[object], object]] = None,
-                 fuse_window_ms: Optional[float] = None,
+                 fuse_window_ms: Optional[float] = 2.0,
                  fuse_max_batch: int = 64, max_in_flight: int = 64):
         check_positive("n_replicas", n_replicas)
         if ports is not None and len(ports) != n_replicas:

@@ -7,6 +7,13 @@
 * **Framing** — every connection speaks the length-prefixed frame
   protocol (:mod:`repro.serving.net.protocol`), opening with a version
   handshake; framing violations drop only the offending connection.
+  The handshake also negotiates the payload encoding: clients that
+  advertise ``"binary"`` get raw-ndarray score blocks, everyone else
+  gets the JSON fallback — bit-exact either way.
+* **Pipelining** — requests carrying an ``id`` are served concurrently
+  and replies may arrive out of order (the id is echoed); bare requests
+  keep strict one-at-a-time ordering, which the REPL-style raw-socket
+  callers rely on.
 * **Bounded concurrency** — a semaphore caps in-flight requests across
   all connections; excess requests queue in arrival order instead of
   piling onto the gateway.
@@ -14,10 +21,13 @@
   single-thread executor (the gateways serialize internally anyway), so
   the event loop never blocks on worker IPC and connection accept/read
   latency stays flat under load.
-* **Query fusion** — with a fuse window, concurrent ``top_n`` requests
-  across connections coalesce into one batched gateway dispatch
+* **Query fusion (default)** — concurrent ``top_n`` requests across
+  connections coalesce into one batched gateway dispatch
   (:class:`~repro.serving.net.fusion.QueryFuser`), bit-identical per
-  request to serving them alone.
+  request to serving them alone.  Dispatch is eager, so a lone
+  sequential caller pays no window latency; pass
+  ``fuse_window_ms=None`` (CLI: ``--fuse-window 0``) to disable fusion
+  and serve every request unbatched.
 * **Graceful drain** — :meth:`stop` stops accepting, lets every in-flight
   request finish and its reply flush, then closes connections; pair it
   with a SIGTERM handler (the CLI does) and the existing gateway teardown
@@ -37,6 +47,7 @@ import numpy as np
 
 from repro.serving.net.fusion import QueryFuser
 from repro.serving.net.protocol import (
+    ENCODINGS,
     Frame,
     FrameDecoder,
     PROTOCOL_VERSION,
@@ -45,6 +56,7 @@ from repro.serving.net.protocol import (
     check_hello,
     encode_frame,
     execute,
+    negotiated_encoding,
 )
 from repro.serving.service import check_user_range
 from repro.utils.validation import ValidationError, check_positive
@@ -65,8 +77,11 @@ class NetServer:
         Bind address; port ``0`` picks a free port (read :attr:`port`
         after :meth:`start`).
     fuse_window_ms:
-        ``None`` disables query fusion; otherwise concurrent ``top_n``
-        requests within this window fuse into one batched dispatch.
+        Fused dispatch is the default: concurrent ``top_n`` requests
+        ride the :class:`QueryFuser` into one batched dispatch, with
+        this fallback flush timer (dispatch itself is eager — see the
+        fuser docs).  ``None`` or a non-positive value disables fusion
+        entirely and serves every request unbatched.
     fuse_max_batch:
         Fusion flushes early at this many pending requests.
     max_in_flight:
@@ -77,7 +92,7 @@ class NetServer:
     """
 
     def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
-                 fuse_window_ms: Optional[float] = None,
+                 fuse_window_ms: Optional[float] = 2.0,
                  fuse_max_batch: int = 64, max_in_flight: int = 64,
                  watcher=None):
         check_positive("max_in_flight", max_in_flight)
@@ -89,7 +104,7 @@ class NetServer:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-net-exec")
         self.fuser: Optional[QueryFuser] = None
-        if fuse_window_ms is not None:
+        if fuse_window_ms is not None and fuse_window_ms > 0:
             self.fuser = QueryFuser(service.top_n_batch,
                                     window_ms=fuse_window_ms,
                                     max_batch=fuse_max_batch,
@@ -200,9 +215,11 @@ class NetServer:
         decoder = FrameDecoder()
         closing_task = asyncio.get_running_loop().create_task(
             self._closing.wait())
+        pending: Set[asyncio.Task] = set()
         try:
-            if not await self._handshake(reader, writer, decoder,
-                                         closing_task):
+            binary = await self._handshake(reader, writer, decoder,
+                                           closing_task, pending)
+            if binary is None:
                 return
             while not self._closing.is_set():
                 try:
@@ -219,10 +236,14 @@ class NetServer:
                                      Frame("error", {"message": str(error)}))
                     return
                 for frame in frames:
-                    await self._respond(writer, frame)
+                    await self._admit(writer, frame, binary, pending)
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            # Flush concurrently-served (id-tagged) requests before the
+            # socket closes, so a drain never truncates a pipeline.
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
             closing_task.cancel()
             try:
                 await closing_task
@@ -234,44 +255,80 @@ class NetServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
+    async def _admit(self, writer: asyncio.StreamWriter, frame: Frame,
+                     binary: bool, pending: Set[asyncio.Task]) -> None:
+        """Serve one request: concurrently when id-tagged, else in order.
+
+        An ``id`` marks the client as pipelining-aware (it matches
+        replies by id, so out-of-order completion is fine); bare frames
+        keep the strict request/reply ordering raw-socket callers expect.
+        """
+        if frame.payload.get("id") is not None:
+            task = asyncio.get_running_loop().create_task(
+                self._respond_safely(writer, frame, binary))
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+        else:
+            await self._respond(writer, frame, binary)
+
+    async def _respond_safely(self, writer: asyncio.StreamWriter,
+                              frame: Frame, binary: bool) -> None:
+        try:
+            await self._respond(writer, frame, binary)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
     async def _handshake(self, reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter,
                          decoder: FrameDecoder,
-                         closing_task: asyncio.Task) -> bool:
-        """Read the hello frame; refuse version/shape mismatches."""
+                         closing_task: asyncio.Task,
+                         pending: Set[asyncio.Task]) -> Optional[bool]:
+        """Read the hello frame; refuse version/shape mismatches.
+
+        Returns ``None`` on refusal, else whether the connection
+        negotiated binary payload frames (the client advertised the
+        capability in its hello).
+        """
         while True:
             try:
                 data = await self._read_chunk(reader, closing_task)
             except (ConnectionError, asyncio.IncompleteReadError):
-                return False
+                return None
             if not data:
-                return False
+                return None
             try:
                 frames = decoder.feed(data)
             except ProtocolError as error:
                 self.n_protocol_errors += 1
                 await self._send(writer,
                                  Frame("error", {"message": str(error)}))
-                return False
+                return None
             if frames:
                 break
         refusal = check_hello(frames[0])
         if refusal is not None:
             self.n_protocol_errors += 1
             await self._send(writer, refusal)
-            return False
+            return None
+        binary = negotiated_encoding(frames[0].payload) == "binary"
+        # The hello reply itself stays JSON (readable by every peer);
+        # it advertises our encodings so the client can commit too.
         await self._send(writer, Frame("ok", {
-            "version": PROTOCOL_VERSION, "server": "repro-serving"}))
+            "version": PROTOCOL_VERSION, "server": "repro-serving",
+            "encodings": list(ENCODINGS)}))
         # Any frames pipelined behind the hello are served in order.
         for frame in frames[1:]:
-            await self._respond(writer, frame)
-        return True
+            await self._admit(writer, frame, binary, pending)
+        return binary
 
-    async def _send(self, writer: asyncio.StreamWriter,
-                    frame: Frame) -> None:
+    async def _send(self, writer: asyncio.StreamWriter, frame: Frame,
+                    binary: bool = False) -> None:
         if frame.is_error:
             self.n_error_replies += 1
-        writer.write(encode_frame(frame))
+        # One write call per frame: writes are atomic appends to the
+        # transport buffer, so concurrent pipelined replies interleave
+        # at frame granularity, never inside one.
+        writer.write(encode_frame(frame, binary=binary))
         await writer.drain()
 
     # -- request execution -------------------------------------------------
@@ -283,19 +340,22 @@ class NetServer:
         return counters
 
     async def _respond(self, writer: asyncio.StreamWriter,
-                       frame: Frame) -> None:
+                       frame: Frame, binary: bool = False) -> None:
         self.n_requests += 1
         async with self._slots:
             if self.fuser is not None and frame.kind == "top_n":
                 response = await self._fused_top_n(frame)
             else:
+                # arrays=True: replies keep the gateway's own ndarray
+                # response buffers, encoded once at _send — no
+                # per-element re-encode on the event loop.
                 response = await asyncio.get_running_loop().run_in_executor(
                     self._executor, execute, self.service, frame,
-                    self._health_extra)
+                    self._health_extra, True)
         request_id = frame.payload.get("id")
         if request_id is not None:
             response.payload.setdefault("id", request_id)
-        await self._send(writer, response)
+        await self._send(writer, response, binary)
 
     async def _fused_top_n(self, frame: Frame) -> Frame:
         """Route one ``top_n`` through the fuser.
@@ -319,7 +379,8 @@ class NetServer:
                                                          True)))
         except Exception as error:  # noqa: BLE001 - worker/gateway failure
             return Frame("error", {"message": str(error)})
-        return Frame("ok", recommendation_payload(recommendation))
+        return Frame("ok", recommendation_payload(recommendation,
+                                                  arrays=True))
 
     # -- introspection -----------------------------------------------------
 

@@ -134,7 +134,8 @@ class TestRunner:
         payload = outcome.result.to_json_payload()
         assert payload["benchmark"] == "serving-ladder"
         backends = {row["backend"] for row in payload["results"]}
-        assert backends == {"single", "sharded", "tcp", "tcp-fused"}
+        assert backends == {"single", "sharded", "tcp-json", "tcp-bin",
+                            "tcp-bin-pipelined", "tcp-fused"}
         assert all(row["qps"] > 0 for row in payload["results"])
         assert payload["workload"]["transports"] == ["inproc", "tcp"]
         assert "Serving ladder" in outcome.render()
@@ -146,7 +147,8 @@ class TestRunner:
         assert backends == {"single", "sharded"}
         outcome = run_experiment("serving", quick=True, transports=("tcp",))
         backends = {row.backend for row in outcome.result.rows}
-        assert backends == {"single", "tcp", "tcp-fused"}
+        assert backends == {"single", "tcp-json", "tcp-bin",
+                            "tcp-bin-pipelined", "tcp-fused"}
 
     def test_run_experiment_by_name(self):
         outcome = run_experiment("fig2", degrees=(1, 64, 2048), repeats=1)

@@ -32,7 +32,14 @@ from repro.serving.net.protocol import (
     hello_frame,
     parse_line,
 )
-from repro.serving.net.protocol import _HEADER, _KIND_CODES, _MAGIC
+from repro.serving.net.protocol import (
+    _BINARY_FLAG,
+    _HEADER,
+    _KIND_CODES,
+    _MAGIC,
+    _encode_binary_payload,
+)
+from repro.serving.net.protocol import ENCODINGS, negotiated_encoding
 from repro.serving.service import PredictionService
 
 ALL_KINDS = sorted(_KIND_CODES)
@@ -93,6 +100,123 @@ def test_scores_round_trip_bit_exactly():
     wire = encode_frame(Frame("ok", {"scores": scores.tolist()}))
     frame = FrameDecoder().feed(wire)[0]
     assert np.asarray(frame.payload["scores"]).tobytes() == scores.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# the binary array payload kind
+# ---------------------------------------------------------------------------
+
+_array_dtypes = st.sampled_from(["<f8", "<i8", "<f4", "<i4"])
+
+
+@st.composite
+def _ndarrays(draw):
+    dtype = np.dtype(draw(_array_dtypes))
+    shape = tuple(draw(st.lists(st.integers(min_value=0, max_value=5),
+                                min_size=1, max_size=3)))
+    count = int(np.prod(shape))
+    if dtype.kind == "f":
+        values = draw(st.lists(
+            st.floats(allow_nan=False, width=32 if dtype.itemsize == 4
+                      else 64),
+            min_size=count, max_size=count))
+    else:
+        bound = 2 ** (8 * dtype.itemsize - 1) - 1
+        values = draw(st.lists(
+            st.integers(min_value=-bound, max_value=bound),
+            min_size=count, max_size=count))
+    return np.asarray(values, dtype=dtype).reshape(shape)
+
+
+@settings(max_examples=100, deadline=None)
+@given(kind=st.sampled_from(ALL_KINDS),
+       arrays=st.lists(_ndarrays(), min_size=1, max_size=3),
+       scalars=_payloads,
+       cut=st.integers(min_value=0, max_value=10_000))
+def test_binary_round_trip_is_bit_exact(kind, arrays, scalars, cut):
+    """ndarray payloads survive the binary wire form exactly, any chunking."""
+    payload = dict(scalars)
+    payload.pop("__nd__", None)
+    for index, array in enumerate(arrays):
+        payload[f"array_{index}"] = array
+    wire = encode_frame(Frame(kind, payload), binary=True)
+    decoder = FrameDecoder()
+    first = wire[:cut % (len(wire) + 1)]
+    frames = decoder.feed(first) + decoder.feed(wire[len(first):])
+    assert len(frames) == 1 and frames[0].kind == kind
+    decoded = frames[0].payload
+    for index, array in enumerate(arrays):
+        out = decoded[f"array_{index}"]
+        assert isinstance(out, np.ndarray)
+        assert out.shape == array.shape
+        assert out.dtype == array.dtype
+        assert out.tobytes() == array.tobytes()
+    for key, value in scalars.items():
+        if key != "__nd__":
+            assert decoded[key] == value
+    assert decoder.pending_bytes == 0
+
+
+def test_binary_and_json_frames_share_one_stream():
+    """The binary flag is per frame: both forms interleave on one socket."""
+    scores = np.random.default_rng(0).standard_normal(8)
+    wire = (encode_frame(Frame("ok", {"scores": scores}), binary=True)
+            + encode_frame(Frame("ok", {"scores": scores.tolist()}))
+            + encode_frame(Frame("stats")))
+    frames = FrameDecoder().feed(wire)
+    assert len(frames) == 3
+    assert frames[0].payload["scores"].tobytes() == scores.tobytes()
+    assert np.asarray(frames[1].payload["scores"]).tobytes() \
+        == scores.tobytes()
+
+
+def test_hello_advertises_encodings_and_negotiation():
+    hello = hello_frame()
+    assert list(hello.payload["encodings"]) == list(ENCODINGS)
+    assert negotiated_encoding(hello.payload) == "binary"
+    assert negotiated_encoding(hello_frame(("json",)).payload) == "json"
+    # Pre-binary peers send no "encodings" key at all: JSON.
+    assert negotiated_encoding({"version": PROTOCOL_VERSION}) == "json"
+
+
+def test_binary_payload_rejects_reserved_marker_key():
+    with pytest.raises(ProtocolError, match="reserved key"):
+        encode_frame(Frame("ok", {"__nd__": 0}), binary=True)
+
+
+def test_binary_payload_rejects_unsupported_dtype():
+    with pytest.raises(ProtocolError, match="no binary wire form"):
+        _encode_binary_payload({"x": np.zeros(2, dtype=np.complex128)})
+
+
+def test_truncated_binary_array_is_rejected():
+    body = _encode_binary_payload(
+        {"scores": np.arange(16, dtype=np.float64)})
+    wire = _HEADER.pack(_MAGIC, PROTOCOL_VERSION,
+                        _KIND_CODES["ok"] | _BINARY_FLAG, len(body) - 8)
+    with pytest.raises(ProtocolError, match="truncates an array"):
+        FrameDecoder().feed(wire + body[:-8])
+
+
+def test_unknown_binary_dtype_code_is_rejected():
+    body = _encode_binary_payload({"scores": np.zeros(4)})
+    # The dtype code byte sits right after the u32 json length + JSON.
+    (json_length,) = np.frombuffer(body[:4], dtype=">u4")
+    corrupt = bytearray(body)
+    corrupt[4 + int(json_length)] = 99
+    wire = _HEADER.pack(_MAGIC, PROTOCOL_VERSION,
+                        _KIND_CODES["ok"] | _BINARY_FLAG, len(corrupt))
+    with pytest.raises(ProtocolError, match="dtype code 99"):
+        FrameDecoder().feed(wire + bytes(corrupt))
+
+
+def test_binary_array_reference_out_of_range_is_rejected():
+    body = json.dumps({"scores": {"__nd__": 3}}).encode("utf8")
+    framed = np.asarray([len(body)], dtype=">u4").tobytes() + body
+    wire = _HEADER.pack(_MAGIC, PROTOCOL_VERSION,
+                        _KIND_CODES["ok"] | _BINARY_FLAG, len(framed))
+    with pytest.raises(ProtocolError, match="references array"):
+        FrameDecoder().feed(wire + framed)
 
 
 # ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@ CLI runs them.
 
 from __future__ import annotations
 
+import asyncio
 import socket
 import threading
 
@@ -27,6 +28,7 @@ from repro.serving.net import (
     ServingClient,
     encode_frame,
 )
+from repro.serving.net.client import _SyncConnection
 from repro.serving.service import PredictionService
 
 N_USERS, N_ITEMS, K = 50, 37, 4
@@ -188,6 +190,90 @@ def test_request_ids_are_echoed(replica_set):
 
 
 # ---------------------------------------------------------------------------
+# wire encodings and pipelining
+# ---------------------------------------------------------------------------
+
+def test_json_and_binary_encodings_serve_identical_bits(replica_set,
+                                                        reference):
+    """Both negotiated encodings, same bytes out — ties included."""
+    with ServingClient(replica_set.addresses, binary=False) as json_client, \
+            ServingClient(replica_set.addresses, binary=True) as bin_client:
+        for user in (0, 2, 17, N_USERS - 1):
+            expected = reference.top_n(user, n=8)
+            _assert_same_recommendation(expected,
+                                        json_client.top_n(user, n=8))
+            _assert_same_recommendation(expected,
+                                        bin_client.top_n(user, n=8))
+
+
+def test_predict_batch_over_the_wire_both_encodings(replica_set, reference):
+    users = np.array([0, 1, 2, 17, 2])
+    items = np.array([3, 5, 1, 30, 35])
+    expected = reference.predict_batch(users, items)
+    for binary in (False, True):
+        with ServingClient(replica_set.addresses, binary=binary) as client:
+            served = client.predict_batch(users, items)
+            assert served.dtype == np.float64
+            assert served.tobytes() == expected.tobytes()
+
+
+def test_pipelined_top_n_matches_sequential_bit_for_bit(replica_set,
+                                                        reference):
+    users = list(range(0, N_USERS, 3)) + [2, 2]  # duplicates served too
+    for binary in (False, True):
+        with ServingClient(replica_set.addresses, binary=binary) as client:
+            served = client.top_n_pipelined(users, n=6, max_in_flight=8)
+        assert len(served) == len(users)
+        for user, recommendation in zip(users, served):
+            _assert_same_recommendation(reference.top_n(user, n=6),
+                                        recommendation)
+
+
+def test_pipelined_invalid_user_raises_after_the_window_drains(replica_set):
+    with ServingClient(replica_set.addresses) as client:
+        with pytest.raises(NetError, match="1 of 3 pipelined"):
+            client.top_n_pipelined([0, N_USERS + 9, 2], n=3)
+        # The connection is still in sync afterwards.
+        assert len(client.top_n(0, n=3)) == 3
+        assert client.n_failovers == 0
+
+
+def test_async_pipelined_top_n_matches_sequential(replica_set, reference):
+    from repro.serving.net import AsyncServingClient
+
+    users = list(range(0, N_USERS, 5))
+
+    async def scenario():
+        client = AsyncServingClient(replica_set.addresses)
+        try:
+            return await client.top_n_pipelined(users, n=6, max_in_flight=4)
+        finally:
+            await client.close()
+
+    served = asyncio.run(scenario())
+    for user, recommendation in zip(users, served):
+        _assert_same_recommendation(reference.top_n(user, n=6),
+                                    recommendation)
+
+
+def test_client_consumes_two_frames_from_one_recv():
+    """One socket read completing two frames must not drop the second."""
+    left, right = socket.socketpair()
+    try:
+        wire = encode_frame(Frame("ok", {"id": 0, "user": 1}))
+        wire += encode_frame(Frame("ok", {"id": 1, "user": 2}))
+        left.sendall(wire)
+        left.close()  # any further recv would see EOF and raise
+        connection = _SyncConnection(right)
+        first = ServingClient._next_frame(connection)
+        second = ServingClient._next_frame(connection)
+        assert first.payload["id"] == 0
+        assert second.payload["id"] == 1
+    finally:
+        right.close()
+
+
+# ---------------------------------------------------------------------------
 # cross-user query fusion
 # ---------------------------------------------------------------------------
 
@@ -260,25 +346,16 @@ def test_fused_bad_request_cannot_poison_the_window(snapshot, reference):
 
 
 def test_fusion_deduplicates_same_user_in_one_window(snapshot, reference):
+    # A pipelined burst lands in one socket read, so the duplicates are
+    # co-decoded and join one fused window deterministically (with eager
+    # dispatch, requests on separate connections may each go out alone).
     with ReplicaSet(lambda index: PredictionService(snapshot),
                     n_replicas=1, fuse_window_ms=25.0) as replicas:
-        results: list = []
-        lock = threading.Lock()
-
-        def one() -> None:
-            with ServingClient(replicas.addresses) as client:
-                served = client.top_n(11, n=5)
-                with lock:
-                    results.append(served)
-
-        threads = [threading.Thread(target=one) for _ in range(3)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join(timeout=60.0)
+        with ServingClient(replicas.addresses) as client:
+            results = client.top_n_pipelined([11] * 8, n=5)
         stats = replicas.replicas[0].server.fuser.stats()
 
-    assert len(results) == 3
+    assert len(results) == 8
     for served in results:
         _assert_same_recommendation(reference.top_n(11, n=5), served)
     assert stats["fusion_deduplicated"] >= 1
