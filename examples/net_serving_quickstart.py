@@ -17,7 +17,8 @@ Walks the network frontend (`repro.serving.net`):
    (``top_n_pipelined`` keeps up to 32 id-tagged frames in flight
    instead of one blocking round-trip per query) — same bits again;
 5. fold a cold-start user in over the wire and rate more items
-   (mutations land on one replica — replicas are share-nothing);
+   (mutations replicate through the write leader — see
+   ``examples/wal_quickstart.py`` for the durability story);
 6. kill one replica mid-traffic and show reads keep succeeding through
    automatic client failover.
 
@@ -107,8 +108,9 @@ def main() -> None:
             print(f"{len(pipelined)} pipelined queries on one connection, "
                   f"bit-identical again")
 
-            # 5. Mutations over the wire go to ONE replica (share-nothing):
-            #    pin a client to replica 0 for the fold-in session.
+            # 5. Mutations over the wire replicate through the write
+            #    leader (replica 0), so any replica accepts them; a
+            #    pinned client works too.
             with ServingClient(replicas.addresses[:1]) as pinned:
                 cold = pinned.fold_in(np.array([0, 3, 9]),
                                       np.array([5.0, 4.0, 4.5]))

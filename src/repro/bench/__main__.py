@@ -5,7 +5,7 @@ figure's data table.  Pass ``--list`` to see what is available, and
 ``--record [PATH]`` to persist recordable timings (the ``engines`` and
 ``serving`` ladders) as ``BENCH_*.json`` documents — without an explicit
 PATH each ladder goes to its committed default
-(``BENCH_pr3.json``/``BENCH_pr6.json``).
+(``BENCH_pr3.json``/``BENCH_pr7.json``).
 """
 
 from __future__ import annotations
@@ -18,7 +18,7 @@ from repro.bench.runner import available_experiments, run_experiment
 
 #: Committed baseline path per recordable experiment.
 DEFAULT_RECORD_PATHS = {"engines": "BENCH_pr3.json",
-                        "serving": "BENCH_pr6.json"}
+                        "serving": "BENCH_pr7.json"}
 
 #: --transport choices mapped to the serving ladder's ``transports`` arg.
 _TRANSPORTS = {"inproc": ("inproc",), "tcp": ("tcp",),

@@ -87,7 +87,8 @@ def _quick_overrides() -> Dict[str, Dict[str, object]]:
                         sweeps=1, repeats=1),
         # The serving-cluster smoke: a 2-shard gateway on a small posterior.
         "serving": dict(n_users=300, n_items=400, num_latent=8,
-                        shard_counts=(1, 2), n_queries=60, warmup=5),
+                        shard_counts=(1, 2), n_queries=60, warmup=5,
+                        wal_writes=40, wal_sync_ladder=(1,)),
         "fig3": dict(chembl_scale=10.0, thread_counts=(1, 2)),
         "fig4": dict(n_ratings=100_000, node_counts=(1, 4)),
         "fig5": dict(n_ratings=100_000, node_counts=(1, 4)),

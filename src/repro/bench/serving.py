@@ -16,8 +16,16 @@ columns and the aggregate queries-per-second.  For the pipelined rung a
 query's latency is its window's wall clock divided by the window size —
 the amortised cost a batch caller actually pays.
 
+With ``"tcp"`` in the transports the ladder also times the *write*
+path: ``tcp-wal-mem`` commits ``rate`` mutations through the replicated
+in-memory log (validate → append → apply → ship to the follower → ack —
+the replication-only floor), and the ``tcp-wal-fsyncN`` rungs add the
+durable segment WAL with an fsync every N appends, walking the
+durability/throughput trade (``fsync1`` is the strict
+fsync-before-every-ack default).
+
 The recorded document (``python -m repro.bench serving --record`` writes
-``BENCH_pr6.json``) carries the same machine metadata as the engine
+``BENCH_pr7.json``) carries the same machine metadata as the engine
 ladder — on a single-core container the sharded rungs can only measure
 their IPC overhead, and the JSON will honestly show that (the committed
 baseline is exactly such a container; see ``environment.cpu_count``).
@@ -236,6 +244,41 @@ def _time_tcp(make_service, users: np.ndarray, n: int, warmup: int,
                                         for sink in outputs])
 
 
+def _time_tcp_wal(make_service, n_writes: int, sync_every: Optional[int],
+                  n_items: int) -> Tuple[float, np.ndarray]:
+    """Time a mutation stream through a 2-replica set's write leader.
+
+    Each timed write is a full replicated commit: validate → append to
+    the log (fsync per ``sync_every``) → apply → ship to the follower →
+    ack.  ``sync_every=None`` runs the log in memory — the
+    replication-only floor the fsync rungs are judged against.  The
+    client pins the leader so the rung measures the commit, not an
+    extra forward hop.
+    """
+    import tempfile
+
+    from repro.serving.net import ReplicaSet, ServingClient
+
+    with tempfile.TemporaryDirectory() as tmp:
+        wal_kwargs = ({"wal_dir": tmp, "wal_sync_every": sync_every}
+                      if sync_every is not None else {})
+        with ReplicaSet(make_service, n_replicas=2,
+                        **wal_kwargs) as replicas:
+            with ServingClient(replicas.addresses[:1]) as client:
+                user = client.fold_in(np.array([0]), np.array([4.0]))
+                client.rate(user, np.array([0]),
+                            np.array([3.0]))  # untimed primer
+                latencies = np.empty(n_writes)
+                start = time.perf_counter()
+                for index in range(n_writes):
+                    begin = time.perf_counter()
+                    client.rate(user, np.array([index % n_items]),
+                                np.array([float(1 + index % 5)]))
+                    latencies[index] = time.perf_counter() - begin
+                seconds = time.perf_counter() - start
+        return seconds, latencies
+
+
 def run_serving_bench(
     n_users: int = 2000,
     n_items: int = 4000,
@@ -250,6 +293,8 @@ def run_serving_bench(
     fuse_window_ms: float = 2.0,
     fused_clients: int = 4,
     pipeline_window: int = 32,
+    wal_writes: int = 300,
+    wal_sync_ladder: Sequence[int] = (1, 8, 64),
 ) -> ServingBenchResult:
     """Time the query stream against every serving configuration.
 
@@ -276,6 +321,11 @@ def run_serving_bench(
         storm (``tcp-fused``, fallback window ``fuse_window_ms``).
     pipeline_window:
         In-flight frames per window for the pipelined rung.
+    wal_writes, wal_sync_ladder:
+        Replicated-write rungs (with ``"tcp"``): ``wal_writes`` timed
+        ``rate`` commits through the in-memory log (``tcp-wal-mem``)
+        and through the durable WAL at each fsync cadence in
+        ``wal_sync_ladder`` (``tcp-wal-fsyncN``).
     """
     check_positive("n_queries", n_queries)
     check_positive("top_n", top_n)
@@ -346,6 +396,23 @@ def run_serving_bench(
                 speedup_vs_single=qps / baseline_qps,
             ))
 
+        # Write path: qps is replicated commits per second; the read
+        # baseline is not comparable, so "vs single" stays blank.
+        wal_cases = [("tcp-wal-mem", None)] + [
+            (f"tcp-wal-fsync{cadence}", cadence)
+            for cadence in wal_sync_ladder]
+        for backend, sync_every in wal_cases:
+            seconds, latencies = _time_tcp_wal(
+                make_service, wal_writes, sync_every, n_items)
+            rows.append(ServingBenchRow(
+                backend=backend, shards=None, workers=None,
+                queries=latencies.shape[0], seconds=seconds,
+                qps=latencies.shape[0] / seconds,
+                p50_ms=float(np.percentile(latencies, 50) * 1e3),
+                p95_ms=float(np.percentile(latencies, 95) * 1e3),
+                speedup_vs_single=None,
+            ))
+
     return ServingBenchResult(
         rows=rows,
         workload={
@@ -360,6 +427,8 @@ def run_serving_bench(
             "fuse_window_ms": fuse_window_ms,
             "fused_clients": fused_clients,
             "pipeline_window": pipeline_window,
+            "wal_writes": wal_writes,
+            "wal_sync_ladder": list(wal_sync_ladder),
         },
         environment=machine_environment(),
         top_n=top_n,

@@ -22,12 +22,16 @@ The full train → snapshot → serve → query lifecycle from a terminal:
 
     # Framed RPC over TCP: 2 independently-failing replicas.  Fused
     # batched dispatch is the default; --fuse-window 0 disables it.
+    # Mutations replicate through the write leader (replica 0); add
+    # --wal DIR to make them durable across restarts.
     python -m repro.serving serve --snapshot /tmp/model.npz \\
-        --tcp 127.0.0.1:7031 --replicas 2 --shards 2
+        --tcp 127.0.0.1:7031 --replicas 2 --shards 2 \\
+        --wal /tmp/model-wal --wal-sync-every 1
 
     # End-to-end self-checks (the CI smoke steps).
     python -m repro.serving smoke
     python -m repro.serving net-smoke
+    python -m repro.serving wal-smoke
 """
 
 from __future__ import annotations
@@ -50,7 +54,7 @@ from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
 from repro.multicore.sampler import MulticoreGibbsSampler, MulticoreOptions
 from repro.serving.checkpoint import CheckpointConfig, load_snapshot
 from repro.serving.cluster import ClusterError, ShardedScorer, SnapshotWatcher
-from repro.serving.net import ReplicaSet, ServingClient
+from repro.serving.net import NetError, ReplicaSet, ServingClient
 from repro.serving.net.protocol import execute, format_reply, parse_line
 from repro.serving.service import PredictionService
 from repro.utils.validation import ValidationError
@@ -255,7 +259,8 @@ def _serve_tcp(args, host: str, port: int) -> int:
                if port else None),
         make_watcher=make_watcher, fuse_window_ms=fuse_window,
         fuse_max_batch=args.fuse_max_batch,
-        max_in_flight=args.max_in_flight)
+        max_in_flight=args.max_in_flight,
+        wal_dir=args.wal, wal_sync_every=args.wal_sync_every)
     try:
         replicas.start()
         service = replicas.replicas[0].service
@@ -263,10 +268,13 @@ def _serve_tcp(args, host: str, port: int) -> int:
                    else "single-process")
         fused = (f"fused dispatch, fallback window {fuse_window}ms"
                  if fuse_window is not None else "fusion off")
+        durable = (f"wal at {args.wal} (sync every {args.wal_sync_every})"
+                   if args.wal else "wal in memory")
         addresses = ", ".join(f"{h}:{p}" for h, p in replicas.addresses)
         print(f"serving {service.n_users} users x {service.n_items} items "
               f"over tcp on {addresses} ({args.replicas} replicas, "
-              f"{backend} each, mode={args.mode}, {fused})", flush=True)
+              f"{backend} each, mode={args.mode}, {fused}, "
+              f"leader-replicated mutations, {durable})", flush=True)
         stop_event.wait()
         print("draining: in-flight requests finish, pools close",
               flush=True)
@@ -536,19 +544,29 @@ def _cmd_net_smoke(args) -> int:
                         f"pipelined top-N diverged for user {user}"
                 parity_queries += len(users)
 
-            # Mutations are per-replica (share-nothing): pin one replica.
-            pinned = ServingClient(replicas.addresses[:1], binary=binary)
-            with pinned:
-                cold = pinned.fold_in(np.array([0, 1, 2]),
+            # Mutations replicate through the write leader: fold in via
+            # any replica, then read the new user back from *every*
+            # replica (read-your-writes across the fleet).
+            writer = ServingClient(replicas.addresses, binary=binary)
+            with writer:
+                cold = writer.fold_in(np.array([0, 1, 2]),
                                       np.array([4.0, 3.0, 5.0]))
-                assert pinned.rate(cold, np.array([5]),
+                assert writer.rate(cold, np.array([5]),
                                    np.array([2.5])) == cold
-                assert np.isfinite(pinned.top_n(cold, n=5).scores).all()
-                health = pinned.health()
-                assert health["status"] == "ok"
-                assert health["fusion"]["fusion_requests"] > 0
-                stats = pinned.stats()
-                assert stats["n_folded_in"] == 1
+                assert writer.last_seqno == 2
+            digests = set()
+            for address in replicas.addresses:
+                pinned = ServingClient([address], binary=binary)
+                with pinned:
+                    assert np.isfinite(
+                        pinned.top_n(cold, n=5).scores).all()
+                    health = pinned.health(digest=True)
+                    assert health["status"] == "ok"
+                    assert health["fusion"]["fusion_requests"] > 0
+                    assert health["wal"]["applied_seqno"] == 2
+                    digests.add(health["digest"])
+                    assert pinned.stats()["n_folded_in"] == 1
+            assert len(digests) == 1, "replicas diverged after mutations"
 
             # Kill replica 0 mid-storm: reads must keep succeeding.
             survivor_ref = replicas.replicas[1].service
@@ -590,6 +608,215 @@ def _cmd_net_smoke(args) -> int:
               f"({fusion_stats['fusion_windows']} fused windows), "
               f"failover survived with {failovers} retries, "
               f"p95 latency {payload['latency_ms']['p95']:.2f} ms")
+    return 0
+
+
+def _cmd_wal_smoke(args) -> int:
+    """CI smoke for the durable mutation log: storm → kill → converge.
+
+    Starts a replica set on a durable WAL directory, storms it with
+    concurrent writers (fold-in + ratings) and readers, kills the write
+    leader mid-storm, restarts it, and then checks the exactly-once
+    contract end to end:
+
+    * reads never failed (readers rode failover through the kill);
+    * writes succeed again after the restart (the leader recovered its
+      log and write-dedup table from disk);
+    * re-delivering an already-applied record to a follower is a counted
+      no-op (``duplicates_skipped`` increments, applied seqno does not);
+    * every replica reports the same state digest *and* the same digest
+      as a fresh service replaying the WAL from scratch — so 100 % of
+      acked writes survived the crash, bit for bit;
+    * mutation latencies go to ``--latency-out`` as the CI artifact.
+    """
+    from repro.serving.wal import MutationReplayer, WriteAheadLog
+    from repro.utils.environment import machine_environment
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "wal.npz"
+        wal_dir = Path(tmp) / "mutation-log"
+        data = make_low_rank_dataset(SyntheticConfig(
+            n_users=60, n_movies=45, rank=3, density=0.3, noise_std=0.3,
+            test_fraction=0.2, seed=11))
+        config = BPMFConfig(num_latent=4, alpha=4.0, burn_in=2, n_samples=3)
+        GibbsSampler(config, SamplerOptions(
+            checkpoint=CheckpointConfig(path=path, every=2))).run(
+            data.split.train, data.split, seed=0)
+        reference = PredictionService(path)
+        read_users = list(range(0, reference.n_train_users, 2))
+
+        n_writers = 2
+        writes_each = max(1, args.writes // n_writers)
+        latencies: list[float] = []
+        acked_seqnos: list[int] = []
+        write_errors = 0
+        read_failures: list[BaseException] = []
+        n_reads = 0
+        lock = threading.Lock()
+        stop_reads = threading.Event()
+
+        replicas = ReplicaSet(lambda index: PredictionService(path),
+                              n_replicas=args.replicas,
+                              wal_dir=str(wal_dir),
+                              wal_sync_every=args.wal_sync_every)
+        with replicas:
+            def write_storm(worker: int) -> None:
+                # Writes hitting the leader-down window fail loudly
+                # (never silently dropped); a real client retries — each
+                # attempt is its own exactly-once mutation — so the storm
+                # rides through the outage instead of draining during it.
+                nonlocal write_errors
+                rng = np.random.default_rng(worker)
+                deadline = time.monotonic() + 90.0
+                client = ServingClient(replicas.addresses, cooldown=0.05)
+                with client:
+                    user = client.fold_in(np.array([0, 1, 2]),
+                                          np.array([4.0, 3.0, 5.0]))
+                    for _ in range(writes_each):
+                        item = int(rng.integers(0, reference.n_items))
+                        value = float(rng.integers(1, 6))
+                        begin = time.perf_counter()
+                        while True:
+                            try:
+                                client.rate(user, np.array([item]),
+                                            np.array([value]))
+                                break
+                            except NetError:
+                                with lock:
+                                    write_errors += 1
+                                if time.monotonic() > deadline:
+                                    return
+                                time.sleep(0.05)
+                        elapsed = (time.perf_counter() - begin) * 1e3
+                        with lock:
+                            latencies.append(elapsed)
+                            acked_seqnos.append(client.last_seqno)
+
+            def read_storm() -> None:
+                nonlocal n_reads
+                client = ServingClient(replicas.addresses, cooldown=0.05)
+                with client:
+                    while not stop_reads.is_set():
+                        user = read_users[n_reads % len(read_users)]
+                        try:
+                            client.top_n(user, n=5)
+                        except Exception as error:  # noqa: BLE001
+                            with lock:
+                                read_failures.append(error)
+                        with lock:
+                            n_reads += 1
+
+            writers = [threading.Thread(target=write_storm, args=(i,))
+                       for i in range(n_writers)]
+            readers = [threading.Thread(target=read_storm)
+                       for _ in range(2)]
+            for thread in writers + readers:
+                thread.start()
+
+            # Kill the write leader once the storm is rolling, leave it
+            # down long enough for writers to hit the outage, restart.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                with lock:
+                    if len(acked_seqnos) >= 20:
+                        break
+                time.sleep(0.01)
+            with lock:
+                acked_before_kill = len(acked_seqnos)
+            assert acked_before_kill >= 20, "storm never got going"
+            replicas.kill(0)
+            time.sleep(0.5)
+            replicas.restart(0)
+
+            for thread in writers:
+                thread.join(timeout=120.0)
+            stop_reads.set()
+            for thread in readers:
+                thread.join(timeout=30.0)
+            assert not any(thread.is_alive()
+                           for thread in writers + readers), "storm hung"
+            assert not read_failures, read_failures[:3]
+
+            # Writes work again: the restarted leader recovered its log.
+            client = ServingClient(replicas.addresses)
+            with client:
+                user = client.fold_in(np.array([3, 4]),
+                                      np.array([2.0, 5.0]))
+                client.rate(user, np.array([0]), np.array([1.0]))
+                final_seqno = client.last_seqno
+            assert final_seqno >= max(acked_seqnos), \
+                "post-restart write did not advance the log"
+
+            # Re-deliver an already-applied record to a follower: the
+            # replayer's high-water mark makes it a counted no-op.
+            leader = replicas.replicas[0].server.wal
+            follower = replicas.replicas[1].server
+            record = leader.log.read_range(1, 1)[0]
+            before = follower.wal.stats()
+            follower.call_serialized(
+                follower.wal.handle_wal_append,
+                {"records": [{"seqno": record.seqno,
+                              "payload": dict(record.payload)}],
+                 "leader_hwm": leader.log.high_seqno,
+                 "leader_instance": leader.instance})
+            after = follower.wal.stats()
+            assert after["duplicates_skipped"] \
+                == before["duplicates_skipped"] + 1
+            assert after["applied_seqno"] == before["applied_seqno"]
+
+            # Fleet convergence: every replica, same digest, same seqno.
+            digests = set()
+            applied = {}
+            for address in replicas.addresses:
+                pinned = ServingClient([address])
+                with pinned:
+                    health = pinned.health(digest=True)
+                    applied[address] = health["wal"]["applied_seqno"]
+                    digests.add(health["digest"])
+            assert set(applied.values()) == {final_seqno}, \
+                f"applied seqnos {applied} never reached acked {final_seqno}"
+            assert len(digests) == 1, "replicas diverged after failover"
+            fleet_digest = digests.pop()
+
+        # Ground truth: a fresh service replaying the log from scratch
+        # must land on the very same bytes — every acked write survived.
+        replayed = PredictionService(path)
+        log = WriteAheadLog(wal_dir)
+        replayer = MutationReplayer(replayed)
+        replayer.apply_all(log.records())
+        log.close()
+        assert replayer.applied_seqno == final_seqno
+        assert replayer.applied_seqno >= max(acked_seqnos)
+        assert str(replayed.state_digest()) == fleet_digest, \
+            "fleet state diverged from a clean WAL replay"
+
+        ladder = np.asarray(latencies)
+        payload = {
+            "benchmark": "wal-serving-smoke",
+            "environment": machine_environment(),
+            "replicas": args.replicas,
+            "wal_sync_every": args.wal_sync_every,
+            "acked_writes": len(acked_seqnos),
+            "acked_before_kill": acked_before_kill,
+            "write_errors_during_outage": write_errors,
+            "reads": n_reads,
+            "final_seqno": final_seqno,
+            "mutation_latency_ms": {
+                "p50": float(np.percentile(ladder, 50)),
+                "p95": float(np.percentile(ladder, 95)),
+                "mean": float(ladder.mean()),
+            },
+        }
+        if args.latency_out:
+            with open(args.latency_out, "w", encoding="utf8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        print(f"WAL SMOKE OK: {len(acked_seqnos)} acked writes "
+              f"({write_errors} refused during the outage), "
+              f"{n_reads} reads with 0 failures through a leader kill, "
+              f"fleet digest == replay digest at seqno {final_seqno}, "
+              f"mutation p95 "
+              f"{payload['mutation_latency_ms']['p95']:.2f} ms")
     return 0
 
 
@@ -665,6 +892,13 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--max-in-flight", type=int, default=64,
                        help="bound on concurrently admitted requests per "
                             "replica (--tcp)")
+    serve.add_argument("--wal", default=None, metavar="DIR",
+                       help="directory for the write leader's durable "
+                            "mutation log (--tcp; default: in-memory log "
+                            "— replication without crash durability)")
+    serve.add_argument("--wal-sync-every", type=int, default=1,
+                       help="fsync the log every N appends (1 = before "
+                            "every ack, the strict default)")
     serve.set_defaults(func=_cmd_serve)
 
     smoke = commands.add_parser("smoke",
@@ -693,6 +927,19 @@ def main(argv: list[str] | None = None) -> int:
     net_smoke.add_argument("--latency-out", default=None,
                            help="write observed latencies to this JSON")
     net_smoke.set_defaults(func=_cmd_net_smoke)
+
+    wal_smoke = commands.add_parser(
+        "wal-smoke",
+        help="durable mutation log: storm + leader kill + convergence "
+             "self check")
+    wal_smoke.add_argument("--replicas", type=int, default=3)
+    wal_smoke.add_argument("--writes", type=int, default=240,
+                           help="total mutations across the writer storm")
+    wal_smoke.add_argument("--wal-sync-every", type=int, default=1,
+                           help="fsync cadence under test (1 = every ack)")
+    wal_smoke.add_argument("--latency-out", default=None,
+                           help="write mutation latencies to this JSON")
+    wal_smoke.set_defaults(func=_cmd_wal_smoke)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -36,6 +36,7 @@ segment itself.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import threading
 from multiprocessing import shared_memory
@@ -363,6 +364,7 @@ class ShardedScorer:
         self._version_ids = itertools.count()
         self._pending_deltas: List[Tuple] = []
         self._foldin = FoldInRegistry(self._user_prior, self._alpha)
+        self._wal_stats = None
         self._closed = False
         self.n_swaps = 0
         self.n_queries = 0
@@ -805,4 +807,27 @@ class ShardedScorer:
             "version": self.version,
         }
         counters.update(self._pool.stats())
+        if self._wal_stats is not None:
+            counters["wal"] = dict(self._wal_stats())
         return counters
+
+    def attach_wal_stats(self, stats_fn) -> None:
+        """Merge a WAL coordinator's counters into :meth:`stats`."""
+        self._wal_stats = stats_fn
+
+    def state_digest(self) -> str:
+        """A hex digest of all mutable serving state, bit-exact.
+
+        Same contract as :meth:`PredictionService.state_digest` — the
+        in-use user rows plus the fold-in registry — so a sharded
+        gateway and a single-process service that absorbed the same
+        mutation history digest identically.
+        """
+        with self._lock:
+            payload = hashlib.sha256()
+            payload.update(f"{self._n_train_users}:{self.n_users}"
+                           .encode("ascii"))
+            rows = self._active.user_block.view()[:self.n_users]
+            payload.update(np.ascontiguousarray(rows).tobytes())
+            payload.update(self._foldin.digest().encode("ascii"))
+            return payload.hexdigest()

@@ -22,6 +22,7 @@ users therefore costs one stacked LAPACK pass per distinct degree.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -168,6 +169,24 @@ class FoldInRegistry:
         fresh.states = {user: state.refreshed(item_factors)
                         for user, state in sorted(self.states.items())}
         return fresh
+
+    def digest(self) -> str:
+        """A hex digest of every user's incremental state, bit-exact.
+
+        Two registries that absorbed the same mutation history digest
+        identically; any float-level drift in a precision matrix or a
+        rating history changes it.  Part of the fleet convergence check
+        (:meth:`PredictionService.state_digest`).
+        """
+        payload = hashlib.sha256()
+        for user in sorted(self.states):
+            state = self.states[user]
+            payload.update(str(user).encode("ascii"))
+            payload.update(np.ascontiguousarray(state.items).tobytes())
+            payload.update(np.ascontiguousarray(state.values).tobytes())
+            payload.update(np.ascontiguousarray(state.precision).tobytes())
+            payload.update(np.ascontiguousarray(state.linear).tobytes())
+        return payload.hexdigest()
 
 
 def _ragged_axis(item_lists: Sequence[np.ndarray],

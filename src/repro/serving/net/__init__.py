@@ -19,11 +19,16 @@ this package turns them into a networked service:
   dispatch path): merges concurrent cross-user ``top_n`` requests into
   one batched gateway dispatch per window with zero added latency when
   idle, bit-identical per request to serving them alone;
-* :mod:`repro.serving.net.replica` — :class:`ReplicaSet`: N independent
-  gateway replicas behind one address list;
+* :mod:`repro.serving.net.replica` — :class:`ReplicaSet`: N gateway
+  replicas behind one address list, converging through the durable
+  mutation log (:mod:`repro.serving.wal`): replica 0 is the write
+  leader, acked writes are readable on every live replica and, with a
+  log directory, survive crashes;
 * :mod:`repro.serving.net.client` — :class:`ServingClient` /
-  :class:`AsyncServingClient`: health-checked round-robin with automatic
-  failover and at-most-once retry for idempotent reads.
+  :class:`AsyncServingClient`: health-checked round-robin with
+  automatic failover; reads retry across replicas, and mutations do
+  too (exactly-once — every mutation carries a ``write_id`` the WAL
+  leader dedups).
 
 ``python -m repro.serving serve --tcp HOST:PORT [--replicas N]
 [--fuse-window MS]`` wires it all together from the command line.

@@ -14,13 +14,20 @@ list and do health-checked round-robin with automatic failover:
   ``predict_batch``, ``stats``, ``health``) retry at most once per
   remaining replica; the failed replica enters a cooldown and is skipped
   until it expires.
-* **Mutations** (``rate``, ``foldin``) are never replayed — the request
-  may have been applied before the connection died, and at-most-once is
-  the only honest contract a share-nothing replica set can offer.
-  Callers get :class:`NetError` naming the replica that failed.
+* **Mutations** (``rate``, ``foldin``) are retryable too — by default
+  every mutation carries a client-unique ``write_id``, and the WAL
+  leader (:mod:`repro.serving.wal`) dedups on it, so replaying the
+  request onto another replica applies it *exactly once*: the retry of
+  an already-committed write gets the original ack back.  Pass
+  ``retry_writes=False`` to drop the write_id and restore the old
+  at-most-once behaviour (a transport failure mid-mutation then raises
+  :class:`NetError` naming the replica, with no failover).
 * **Server-side domain errors** (an ``error`` frame: bad user id, worker
   crash message) are definitive answers, not transport failures — they
-  raise :class:`NetError` immediately, with no failover.
+  raise :class:`NetError` immediately, with no failover.  The one
+  exception is an error frame marked ``"retryable": true`` (the server
+  refused *without applying*, e.g. a replica whose WAL leader is
+  unreachable): those fail over like a transport error.
 
 Two wire-speed features ride on the same connections:
 
@@ -45,6 +52,7 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import secrets
 import socket
 import time
 from typing import (Deque, Dict, Iterable, List, Optional, Sequence, Set,
@@ -126,7 +134,24 @@ class _ClientCore:
 
     _ring: _AddressRing
     binary: bool
+    retry_writes: bool
     n_failovers: int
+
+    def _init_writes(self, retry_writes: bool) -> None:
+        self.retry_writes = bool(retry_writes)
+        # write_ids must be unique per *logical* write across every
+        # client instance that could retry it: a random prefix plus a
+        # local counter, never reused between calls.
+        self._write_prefix = secrets.token_hex(8)
+        self._write_count = 0
+        #: Highest WAL seqno any ack reported — after a write returns,
+        #: every replica whose applied seqno reaches this value reflects
+        #: it (read-your-writes across the fleet).
+        self.last_seqno = 0
+
+    def _new_write_id(self) -> str:
+        self._write_count += 1
+        return f"{self._write_prefix}-{self._write_count}"
 
     def _hello(self) -> Frame:
         """The opening frame, offering binary only when we accept it."""
@@ -151,18 +176,38 @@ class _ClientCore:
                               failures: List[str]) -> None:
         """The request went out and the reply never came back whole.
 
-        Idempotent reads move on to the next replica; mutations raise —
-        the request may already have been applied, and at-most-once is
-        the only honest contract a share-nothing replica set can offer.
+        Idempotent reads move on to the next replica, and so do
+        mutations carrying a ``write_id`` — the WAL leader dedups the
+        replay, so a retry of an already-applied write returns the
+        original ack instead of double-applying.  Only a mutation
+        *without* a write_id (``retry_writes=False``) raises: it may
+        already have been applied and nothing could dedup the replay.
         """
         address = self._ring.addresses[index]
         self._ring.mark_dead(index)
         failures.append(f"{address}: {error!r}")
-        if frame.kind not in IDEMPOTENT_KINDS:
+        if frame.kind not in IDEMPOTENT_KINDS \
+                and "write_id" not in frame.payload:
             raise NetError(
                 f"{frame.kind!r} against {address} failed ({error!r}); "
-                "not retried — the request mutates state and may already "
-                "have been applied") from error
+                "not retried — the request mutates state, may already "
+                "have been applied, and carries no write_id to dedup a "
+                "replay") from error
+
+    @staticmethod
+    def _retryable_error(reply: Frame) -> bool:
+        """An ``error`` frame the server marked ``retryable``: it refused
+        the request *without applying it* (e.g. a replica whose WAL
+        leader is unreachable), so failing over is always safe."""
+        return reply.is_error and bool(reply.payload.get("retryable"))
+
+    def _on_retryable_error(self, reply: Frame, index: int,
+                            failures: List[str]) -> None:
+        """The replica answered but declined: leave it out of cooldown
+        (it is healthy for reads) and move on to the next one."""
+        self._ring.mark_alive(index)
+        failures.append(f"{self._ring.addresses[index]}: "
+                        f"{reply.payload.get('message')}")
 
     def _on_reply(self, reply: Frame, index: int,
                   attempt: int) -> Dict[str, object]:
@@ -174,6 +219,9 @@ class _ClientCore:
             self.n_failovers += 1
         if reply.is_error:
             raise NetError(str(reply.payload.get("message")))
+        seqno = reply.payload.get("seqno")
+        if isinstance(seqno, int):
+            self.last_seqno = max(self.last_seqno, seqno)
         return reply.payload
 
     @staticmethod
@@ -201,11 +249,14 @@ class _ClientCore:
             "items": np.ascontiguousarray(
                 np.asarray(items, dtype=np.int64).ravel())})
 
-    @staticmethod
-    def _rating_payload(items, values) -> Dict[str, object]:
-        return {"items": [int(item) for item in np.asarray(items).ravel()],
-                "values": [float(value)
-                           for value in np.asarray(values).ravel()]}
+    def _rating_payload(self, items, values) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "items": [int(item) for item in np.asarray(items).ravel()],
+            "values": [float(value)
+                       for value in np.asarray(values).ravel()]}
+        if self.retry_writes:
+            payload["write_id"] = self._new_write_id()
+        return payload
 
     @staticmethod
     def _batch_result(payload) -> Dict[int, Recommendation]:
@@ -237,15 +288,18 @@ class ServingClient(_ClientCore):
 
     Connections are cached per replica and re-established on demand; use
     as a context manager or call :meth:`close`.  ``binary=False`` forces
-    the JSON payload encoding even against a binary-capable server.
+    the JSON payload encoding even against a binary-capable server;
+    ``retry_writes=False`` drops the ``write_id`` from mutations and
+    with it their failover (back to at-most-once).
     """
 
     def __init__(self, addresses: Sequence[Tuple[str, int]],
                  timeout: float = 10.0, cooldown: float = 1.0,
-                 binary: bool = True):
+                 binary: bool = True, retry_writes: bool = True):
         self._ring = _AddressRing(addresses, cooldown=cooldown)
         self.timeout = float(timeout)
         self.binary = bool(binary)
+        self._init_writes(retry_writes)
         self._connections: Dict[int, _SyncConnection] = {}
         self.n_failovers = 0
 
@@ -315,6 +369,9 @@ class ServingClient(_ClientCore):
                     socket.timeout) as error:
                 self._drop(index)
                 self._on_roundtrip_failure(frame, index, error, failures)
+                continue
+            if self._retryable_error(reply):
+                self._on_retryable_error(reply, index, failures)
                 continue
             return self._on_reply(reply, index, attempt)
         raise self._every_replica_failed(failures)
@@ -438,8 +495,12 @@ class ServingClient(_ClientCore):
     def stats(self) -> Dict[str, object]:
         return self._request(Frame("stats"))
 
-    def health(self) -> Dict[str, object]:
-        return self._request(Frame("health"))
+    def health(self, digest: bool = False) -> Dict[str, object]:
+        """The health frame; ``digest=True`` asks the replica for its
+        :meth:`~repro.serving.service.PredictionService.state_digest`
+        (pin the client to one address to compare replicas)."""
+        return self._request(
+            Frame("health", {"digest": True} if digest else {}))
 
     def close(self) -> None:
         for index in list(self._connections):
@@ -480,10 +541,11 @@ class AsyncServingClient(_ClientCore):
 
     def __init__(self, addresses: Sequence[Tuple[str, int]],
                  timeout: float = 10.0, cooldown: float = 1.0,
-                 binary: bool = True):
+                 binary: bool = True, retry_writes: bool = True):
         self._ring = _AddressRing(addresses, cooldown=cooldown)
         self.timeout = float(timeout)
         self.binary = bool(binary)
+        self._init_writes(retry_writes)
         self._connections: Dict[int, _AsyncConnection] = {}
         self._next_id = 0
         self.n_failovers = 0
@@ -628,6 +690,9 @@ class AsyncServingClient(_ClientCore):
                 await self._drop(index)
                 self._on_roundtrip_failure(frame, index, error, failures)
                 continue
+            if self._retryable_error(reply):
+                self._on_retryable_error(reply, index, failures)
+                continue
             return self._on_reply(reply, index, attempt)
         raise self._every_replica_failed(failures)
 
@@ -690,8 +755,9 @@ class AsyncServingClient(_ClientCore):
     async def stats(self) -> Dict[str, object]:
         return await self._request(Frame("stats"))
 
-    async def health(self) -> Dict[str, object]:
-        return await self._request(Frame("health"))
+    async def health(self, digest: bool = False) -> Dict[str, object]:
+        return await self._request(
+            Frame("health", {"digest": True} if digest else {}))
 
     async def close(self) -> None:
         for index in list(self._connections):

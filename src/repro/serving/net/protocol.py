@@ -64,6 +64,7 @@ __all__ = [
     "PROTOCOL_VERSION", "MAX_PAYLOAD", "ENCODINGS", "ProtocolError", "Frame",
     "encode_frame", "FrameDecoder", "parse_line", "execute", "format_reply",
     "hello_frame", "check_hello", "negotiated_encoding",
+    "IDEMPOTENT_KINDS", "MUTATION_KINDS",
 ]
 
 #: Bump on any wire-visible change; the handshake refuses mismatches.
@@ -95,6 +96,8 @@ _KIND_CODES = {
     "stats": 7,
     "health": 8,
     "predict_batch": 9,
+    "wal_append": 10,
+    "wal_catchup": 11,
     "ok": 16,
     "error": 17,
 }
@@ -102,9 +105,18 @@ _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
 
 #: Request kinds that are safe to retry on another replica: they either
 #: read state or are deterministic lookups.  ``rate``/``foldin`` mutate
-#: the posterior and must never be silently replayed.
+#: the posterior; a bare retry could double-apply them, so the client
+#: only retries mutations that carry a ``write_id`` (the WAL leader
+#: dedups those — see :mod:`repro.serving.wal.shipper`).
+#: ``wal_catchup`` reads immutable log records, so it rides along.
 IDEMPOTENT_KINDS = frozenset({"top_n", "top_n_batch", "predict",
-                              "predict_batch", "stats", "health", "hello"})
+                              "predict_batch", "stats", "health", "hello",
+                              "wal_catchup"})
+
+#: Request kinds that mutate gateway state.  When a server has a WAL
+#: coordinator attached these are routed through it (commit on the
+#: leader, forward on a follower) instead of the plain executor.
+MUTATION_KINDS = frozenset({"rate", "foldin"})
 
 #: Array dtypes the binary payload form can carry (code <-> wire dtype).
 #: Explicit little-endian tags: raw bytes mean the same thing on every
@@ -527,6 +539,11 @@ def execute(service, request: Frame,
                 "n_items": int(service.n_items),
                 "stats": dict(service.stats()),
             }
+            if payload.get("digest") and hasattr(service, "state_digest"):
+                # Opt-in (it hashes every factor row): the fleet
+                # convergence check — two replicas with equal digests
+                # hold bit-identical mutable state.
+                body["digest"] = str(service.state_digest())
             if extra_health is not None:
                 body.update(extra_health())
             return Frame("ok", body)

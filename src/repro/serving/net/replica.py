@@ -1,9 +1,9 @@
-"""Replicated serving: N independent gateways behind one address list.
+"""Replicated serving: N convergent gateways behind one address list.
 
 The cluster of PR 4 recovers from a dead worker by respawning the whole
 pool — correct, but the gateway blips.  :class:`ReplicaSet` removes the
-blip at one level up: it runs ``n_replicas`` fully independent gateway
-replicas (each with its own factor segments, worker pool and
+blip at one level up: it runs ``n_replicas`` gateway replicas (each with
+its own factor segments, worker pool and
 :class:`~repro.serving.net.server.NetServer` on its own port), and the
 client library fails reads over between them.  Losing a replica loses
 capacity, never availability — the ``kill-a-replica-mid-storm`` test in
@@ -11,10 +11,19 @@ capacity, never availability — the ``kill-a-replica-mid-storm`` test in
 replicas dies under concurrent load.
 
 Each replica runs on its own thread with a private asyncio loop, so a
-wedged replica cannot stall its siblings.  Replicas are intentionally
-share-nothing: mutations (``rate``/``foldin``) apply to one replica only
-and are *not* replicated — durable writes belong to the training
-pipeline, which reaches every replica through the snapshot watchers.
+wedged replica cannot stall its siblings.
+
+**Mutations replicate.**  Replica 0 is the write leader: every
+``rate``/``foldin`` — sent to any replica — commits through its
+:class:`~repro.serving.wal.shipper.LeaderCoordinator` (append to the
+write-ahead log, apply, fan out to the followers) before the ack
+returns, so an acked write is readable on every live replica and, with
+``wal_dir`` set, survives a crash (:meth:`restart` recovers the leader
+by replaying the log).  Followers forward writes to the leader and
+close any shipping gap by seqno-range catch-up.  ``replicate=False``
+restores the historical share-nothing behaviour: mutations then apply
+to one replica only, for the training pipeline to reconcile through
+snapshot watchers.
 """
 
 from __future__ import annotations
@@ -114,7 +123,7 @@ class _Replica(threading.Thread):
 
 
 class ReplicaSet:
-    """Run N independent serving replicas; one address list in front.
+    """Run N serving replicas; one address list, one write leader.
 
     Parameters
     ----------
@@ -123,7 +132,7 @@ class ReplicaSet:
         replica on that replica's thread, so each replica owns a fully
         independent gateway (its own segments and worker pool).
     n_replicas:
-        How many replicas to run.
+        How many replicas to run.  Replica 0 is the write leader.
     host, ports:
         Bind host, and optionally one explicit port per replica
         (default: one free port each).
@@ -133,6 +142,16 @@ class ReplicaSet:
     fuse_window_ms, fuse_max_batch, max_in_flight:
         Per-replica :class:`NetServer` options.  Fused dispatch is on by
         default; ``fuse_window_ms=None`` (or ``<= 0``) disables it.
+    replicate:
+        Mutation replication through the write-ahead log (default on);
+        ``False`` restores the share-nothing fleet.
+    wal_dir:
+        Directory for the leader's log segments.  ``None`` (default)
+        keeps the log in the leader's memory: replication, exactly-once
+        and failover all still work, only crash durability is gone.
+    wal_sync_every:
+        The log's fsync cadence (``1`` = fsync before every ack, the
+        strict default; larger batches syncs for throughput).
     """
 
     def __init__(self, make_service: Callable[[int], object],
@@ -140,17 +159,27 @@ class ReplicaSet:
                  ports: Optional[List[int]] = None,
                  make_watcher: Optional[Callable[[object], object]] = None,
                  fuse_window_ms: Optional[float] = 2.0,
-                 fuse_max_batch: int = 64, max_in_flight: int = 64):
+                 fuse_max_batch: int = 64, max_in_flight: int = 64,
+                 replicate: bool = True,
+                 wal_dir: Optional[str] = None, wal_sync_every: int = 1):
         check_positive("n_replicas", n_replicas)
         if ports is not None and len(ports) != n_replicas:
             raise ValueError(
                 f"got {len(ports)} ports for {n_replicas} replicas")
-        options = {"fuse_window_ms": fuse_window_ms,
-                   "fuse_max_batch": fuse_max_batch,
-                   "max_in_flight": max_in_flight}
+        self.replicate = bool(replicate)
+        self.wal_dir = wal_dir
+        self.wal_sync_every = int(wal_sync_every)
+        self._make_service = make_service
+        self._make_watcher = make_watcher
+        self._host = host
+        self._options = {"fuse_window_ms": fuse_window_ms,
+                         "fuse_max_batch": fuse_max_batch,
+                         "max_in_flight": max_in_flight,
+                         "wal_expected": self.replicate}
         self.replicas = [
             _Replica(index, make_service, make_watcher, host,
-                     ports[index] if ports is not None else 0, options)
+                     ports[index] if ports is not None else 0,
+                     self._options)
             for index in range(n_replicas)]
         self._started = False
 
@@ -160,20 +189,74 @@ class ReplicaSet:
             return self
         for replica in self.replicas:
             replica.start()
-        for replica in self.replicas:
+        self._await_ready(self.replicas, timeout)
+        if self.replicate:
+            for index in range(len(self.replicas)):
+                self._wire_wal(index)
+        self._started = True
+        return self
+
+    def _await_ready(self, replicas: List[_Replica], timeout: float) -> None:
+        for replica in replicas:
             if not replica.ready.wait(timeout=timeout):
                 self.stop()
                 raise TimeoutError(
                     f"replica {replica.index} did not start in {timeout}s")
-        failed = [replica for replica in self.replicas
+        failed = [replica for replica in replicas
                   if replica.error is not None]
         if failed:
             self.stop()
             raise RuntimeError(
                 f"replica {failed[0].index} failed to start"
             ) from failed[0].error
-        self._started = True
-        return self
+
+    # -- replication wiring ------------------------------------------------
+
+    @property
+    def leader(self) -> _Replica:
+        """The write leader (replica 0, by construction)."""
+        return self.replicas[0]
+
+    def _follower_addresses(self) -> List[Tuple[str, int]]:
+        return [replica.address for replica in self.replicas[1:]
+                if replica.is_alive()]
+
+    def _wire_wal(self, index: int) -> None:
+        """Attach a (new) coordinator to one just-started replica.
+
+        Construction runs on the replica's own gateway executor
+        (:meth:`NetServer.call_serialized`): the leader's recovery
+        replay and a follower's initial catch-up both *apply* records,
+        and must serialize with any request already arriving over the
+        socket.  Until the coordinator attaches, ``wal_expected`` makes
+        the server refuse mutations instead of applying them
+        unreplicated.
+        """
+        from repro.serving.wal.log import WriteAheadLog
+        from repro.serving.wal.shipper import (FollowerCoordinator,
+                                               LeaderCoordinator)
+        replica = self.replicas[index]
+        if index == 0:
+            def build_leader():
+                log = WriteAheadLog(self.wal_dir,
+                                    sync_every=self.wal_sync_every)
+                return LeaderCoordinator(replica.service, log)
+            coordinator = replica.server.call_serialized(build_leader)
+            replica.server.set_wal(coordinator)
+            coordinator.set_followers(self._follower_addresses())
+        else:
+            coordinator = FollowerCoordinator(replica.service,
+                                              self.leader.address)
+            replica.server.set_wal(coordinator)
+            if self.leader.is_alive():
+                replica.server.call_serialized(coordinator.catch_up)
+            leader_wal = (self.leader.server.wal
+                          if self.leader.is_alive() and
+                          self.leader.server is not None else None)
+            if leader_wal is not None:
+                leader_wal.set_followers(self._follower_addresses())
+
+    # -- fleet operations --------------------------------------------------
 
     @property
     def addresses(self) -> List[Tuple[str, int]]:
@@ -182,8 +265,35 @@ class ReplicaSet:
                 if replica.is_alive()]
 
     def kill(self, index: int) -> None:
-        """Hard-kill one replica (tests and failure drills)."""
+        """Hard-kill one replica (tests and failure drills).
+
+        Killing a follower costs capacity only.  Killing the leader
+        stops *writes* (they fail loudly, nothing is half-applied) while
+        reads keep flowing; :meth:`restart` brings writes back, with
+        every acked write intact when the log is durable.
+        """
         self.replicas[index].kill()
+
+    def restart(self, index: int, timeout: float = 60.0) -> None:
+        """Bring a dead (or live) replica back up on its old port.
+
+        The replacement gets a fresh gateway from ``make_service``; a
+        restarted leader then recovers by replaying its log (every
+        acked write returns), a restarted follower catches up from the
+        leader by seqno range — either way the fleet reconverges to
+        bit-identical mutable state.
+        """
+        old = self.replicas[index]
+        if old.is_alive():
+            old.kill()
+        port = old.server.port if old.server is not None else old._port
+        replica = _Replica(index, self._make_service, self._make_watcher,
+                           self._host, port, self._options)
+        self.replicas[index] = replica
+        replica.start()
+        self._await_ready([replica], timeout)
+        if self.replicate:
+            self._wire_wal(index)
 
     def stop(self) -> None:
         """Gracefully drain and stop every replica (idempotent)."""
@@ -196,6 +306,13 @@ class ReplicaSet:
         return [replica.server.stats()
                 if replica.is_alive() and replica.server is not None
                 else None
+                for replica in self.replicas]
+
+    def wal_stats(self) -> List[Optional[Dict[str, object]]]:
+        """Per-replica coordinator counters (``None`` when absent/dead)."""
+        return [replica.server.wal.stats()
+                if replica.is_alive() and replica.server is not None
+                and replica.server.wal is not None else None
                 for replica in self.replicas]
 
     def __enter__(self) -> "ReplicaSet":

@@ -50,6 +50,7 @@ from repro.serving.net.protocol import (
     ENCODINGS,
     Frame,
     FrameDecoder,
+    MUTATION_KINDS,
     PROTOCOL_VERSION,
     ProtocolError,
     recommendation_payload,
@@ -94,12 +95,13 @@ class NetServer:
     def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
                  fuse_window_ms: Optional[float] = 2.0,
                  fuse_max_batch: int = 64, max_in_flight: int = 64,
-                 watcher=None):
+                 watcher=None, wal_expected: bool = False):
         check_positive("max_in_flight", max_in_flight)
         self.service = service
         self.host = host
         self.port = int(port)
         self.watcher = watcher
+        self.wal_expected = bool(wal_expected)
         self.max_in_flight = int(max_in_flight)
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-net-exec")
@@ -113,10 +115,44 @@ class NetServer:
         self._slots: Optional[asyncio.Semaphore] = None
         self._closing: Optional[asyncio.Event] = None
         self._connections: Set[asyncio.Task] = set()
+        self.wal = None
+        self._wal_io: Optional[ThreadPoolExecutor] = None
         self.n_connections = 0
         self.n_requests = 0
         self.n_error_replies = 0
         self.n_protocol_errors = 0
+
+    # -- replication wiring ------------------------------------------------
+
+    def set_wal(self, coordinator) -> None:
+        """Attach a WAL coordinator; mutations now route through it.
+
+        On the leader, ``wal_catchup`` gets its own single-thread
+        executor: it reads only immutable log records, and serving it
+        off the gateway executor lets a follower close a gap while the
+        leader is mid-commit (the commit holds the gateway executor
+        while it ships).  Everything that *applies* records — commits
+        here, shipped appends on followers — stays on the gateway
+        executor, so mutations still serialize with reads.
+        """
+        self.wal = coordinator
+        if coordinator is not None and coordinator.role == "leader" \
+                and self._wal_io is None:
+            self._wal_io = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-wal-io")
+        attach = getattr(self.service, "attach_wal_stats", None)
+        if attach is not None and coordinator is not None:
+            attach(coordinator.stats)
+
+    def call_serialized(self, fn, *args, **kwargs):
+        """Run ``fn`` on the gateway executor and return its result.
+
+        The out-of-band way onto the one thread that serializes every
+        gateway call — replica wiring uses it so a follower's initial
+        catch-up (which applies records) cannot race a shipment arriving
+        over the socket.  Safe from any thread.
+        """
+        return self._executor.submit(fn, *args, **kwargs).result()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -164,6 +200,12 @@ class NetServer:
             await asyncio.gather(*self._connections, return_exceptions=True)
         await self._server.wait_closed()
         self._server = None
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+        if self._wal_io is not None:
+            self._wal_io.shutdown(wait=True)
+            self._wal_io = None
         self._executor.shutdown(wait=True)
 
     async def abort(self) -> None:
@@ -182,6 +224,12 @@ class NetServer:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._server = None
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+        if self._wal_io is not None:
+            self._wal_io.shutdown(wait=False, cancel_futures=True)
+            self._wal_io = None
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     # -- connection handling ----------------------------------------------
@@ -337,7 +385,53 @@ class NetServer:
         counters: Dict[str, object] = {"server": self.stats()}
         if self.fuser is not None:
             counters["fusion"] = self.fuser.stats()
+        if self.wal is not None:
+            counters["wal"] = self.wal.stats()
         return counters
+
+    async def _respond_wal(self, frame: Frame) -> Frame:
+        """Route WAL traffic and (when a coordinator is attached)
+        mutations — see :meth:`set_wal` for the executor assignments."""
+        from repro.serving.wal.log import WalError
+        from repro.serving.wal.shipper import WalUnavailableError
+        loop = asyncio.get_running_loop()
+        try:
+            if self.wal is None:
+                # wal_expected and not wired yet (the attach window at
+                # replica start/restart): refusing is what keeps the
+                # mutation out of the unreplicated plain-execute path.
+                raise WalUnavailableError(
+                    f"{frame.kind!r} needs a wal coordinator and this "
+                    "server has none attached yet")
+            if frame.kind == "wal_append":
+                payload = await loop.run_in_executor(
+                    self._executor, self.wal.handle_wal_append,
+                    frame.payload)
+            elif frame.kind == "wal_catchup":
+                executor = self._wal_io if self._wal_io is not None \
+                    else self._executor
+                payload = await loop.run_in_executor(
+                    executor, self.wal.handle_wal_catchup, frame.payload)
+            else:
+                # A commit on the leader (gateway executor: mutations
+                # serialize with reads); a forward on a follower (its
+                # own thread: the gateway executor must stay free to
+                # apply the shipment the forward triggers).
+                executor = self._executor if self.wal.role == "leader" \
+                    else self.wal.forward_pool
+                payload = await loop.run_in_executor(
+                    executor, self.wal.handle_mutation, frame.kind,
+                    dict(frame.payload))
+            return Frame("ok", dict(payload))
+        except (ValidationError, WalError, KeyError, TypeError,
+                ValueError) as error:
+            body: Dict[str, object] = {"message": str(error)}
+            if isinstance(error, WalUnavailableError):
+                # The write was NOT applied: tell the client it may
+                # safely retry elsewhere even though mutations are
+                # normally not retried on errors.
+                body["retryable"] = True
+            return Frame("error", body)
 
     async def _respond(self, writer: asyncio.StreamWriter,
                        frame: Frame, binary: bool = False) -> None:
@@ -345,6 +439,10 @@ class NetServer:
         async with self._slots:
             if self.fuser is not None and frame.kind == "top_n":
                 response = await self._fused_top_n(frame)
+            elif frame.kind in ("wal_append", "wal_catchup") or (
+                    frame.kind in MUTATION_KINDS
+                    and (self.wal is not None or self.wal_expected)):
+                response = await self._respond_wal(frame)
             else:
                 # arrays=True: replies keep the gateway's own ndarray
                 # response buffers, encoded once at _send — no

@@ -26,8 +26,9 @@ Two serving-throughput mechanisms are built in:
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -143,6 +144,7 @@ class PredictionService:
         # Incremental-update state per folded-in user id (rank-k posterior
         # updates when a known cold-start user rates new items).
         self._foldin = FoldInRegistry(self._user_prior, self._alpha)
+        self._wal_stats: Optional[Callable[[], Dict[str, object]]] = None
 
     @staticmethod
     def _combine(loaded: List[Snapshot], mode: str) -> Tuple[np.ndarray, np.ndarray]:
@@ -288,9 +290,14 @@ class PredictionService:
         if self._score_cache.pop(user, None) is not None:
             self.cache_invalidations += 1
 
-    def stats(self) -> Dict[str, int]:
-        """Serving counters: cache behaviour and population sizes."""
-        return {
+    def stats(self) -> Dict[str, object]:
+        """Serving counters: cache behaviour and population sizes.
+
+        When a WAL coordinator is attached (:meth:`attach_wal_stats`)
+        its counters ride along under ``"wal"`` — role, appended,
+        replayed, duplicates skipped, catch-up batches.
+        """
+        counters: Dict[str, object] = {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_invalidations": self.cache_invalidations,
@@ -298,6 +305,31 @@ class PredictionService:
             "n_users": self.n_users,
             "n_folded_in": self.n_users - self._n_train_users,
         }
+        if self._wal_stats is not None:
+            counters["wal"] = dict(self._wal_stats())
+        return counters
+
+    def attach_wal_stats(self,
+                         stats_fn: Callable[[], Dict[str, object]]) -> None:
+        """Merge a WAL coordinator's counters into :meth:`stats`."""
+        self._wal_stats = stats_fn
+
+    def state_digest(self) -> str:
+        """A hex digest of all mutable serving state, bit-exact.
+
+        Covers the user-factor rows in use plus the fold-in registry's
+        incremental statistics — everything ``rate``/``foldin`` can
+        touch.  Two replicas that applied the same mutation sequence to
+        the same snapshot digest identically; a single ULP of drift in
+        any factor row changes it.  This is the fleet convergence
+        invariant the replication tests pin.
+        """
+        payload = hashlib.sha256()
+        payload.update(f"{self._n_train_users}:{self.n_users}"
+                       .encode("ascii"))
+        payload.update(np.ascontiguousarray(self._user_factors).tobytes())
+        payload.update(self._foldin.digest().encode("ascii"))
+        return payload.hexdigest()
 
     # -- cold start ----------------------------------------------------------
 

@@ -1,0 +1,490 @@
+"""Log shipping: one write leader, N converging followers.
+
+The replication layer between the durable log (:mod:`.log`) and the
+serving fleet (:class:`~repro.serving.net.replica.ReplicaSet`):
+
+* :class:`LeaderCoordinator` owns the :class:`WriteAheadLog`.  A
+  mutation committed through it is validated, appended (durably, per
+  the log's ``sync_every``), applied to the leader's own gateway, then
+  fanned out to every follower as a ``wal_append`` frame over the
+  existing framed RPC — only then is the ack (carrying the assigned
+  seqno) returned, so an acked write is durable *and* readable on every
+  live replica (read-your-writes across the fleet).
+* :class:`FollowerCoordinator` applies shipped records through a
+  :class:`MutationReplayer` (duplicates are counted no-ops), forwards
+  any mutation a client sent *it* to the leader, and closes gaps by
+  pulling ``wal_catchup`` batches — on spawn, on reconnect after missed
+  shipments, whenever a record arrives ahead of its high-water mark.
+
+Exactly-once has two independent layers: the replayer's seqno
+high-water mark makes at-least-once *shipping* apply once, and the
+leader's ``write_id`` dedup table makes at-least-once *client retries*
+apply once — a retried mutation whose first attempt was actually
+committed gets the original ack back, byte for byte.  The dedup table
+is rebuilt from the log on recovery, so retries spanning a leader
+restart stay exactly-once too.
+
+Threading contract (deadlock-freedom): the leader's ``commit`` and the
+follower's ``receive`` both run on their server's single gateway
+executor (mutations serialize with reads).  A follower *forwards* on a
+dedicated I/O thread so its gateway executor stays free to apply the
+leader's resulting shipment, and the leader serves ``wal_catchup``
+from a dedicated I/O executor (it reads only immutable log records) so
+a follower can catch up while the leader is mid-commit.
+"""
+
+from __future__ import annotations
+
+import collections
+import secrets
+import socket
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.serving.net.protocol import (
+    Frame,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    hello_frame,
+)
+from repro.serving.wal.log import WalError, WalRecord, WriteAheadLog
+from repro.serving.wal.replay import (
+    MutationReplayer,
+    WalDivergenceError,
+    WalGapError,
+    mutation_record_payload,
+    validate_mutation,
+)
+
+__all__ = ["LeaderCoordinator", "FollowerCoordinator", "WalUnavailableError",
+           "MUTATION_KINDS", "CATCHUP_BATCH"]
+
+#: Request kinds the coordinators own (routed before the plain executor).
+MUTATION_KINDS = frozenset({"rate", "foldin"})
+
+#: Records per ``wal_catchup`` reply (and the follower's pull size).
+CATCHUP_BATCH = 256
+
+#: Client-retry dedup entries the leader retains (LRU).
+DEDUP_CAPACITY = 65536
+
+_READ_CHUNK = 1 << 16
+
+
+class WalUnavailableError(WalError):
+    """The write path is down (leader unreachable / not wired yet)."""
+
+
+class _WalLink:
+    """One blocking framed-RPC connection for coordinator traffic.
+
+    JSON payload encoding only — log records are JSON scalars already,
+    and Python's JSON round-trips IEEE doubles exactly, so replicated
+    values stay bit-identical without the binary negotiation.  Each link
+    is used from exactly one thread (see the module threading contract);
+    reconnects happen on demand.
+    """
+
+    def __init__(self, address: Tuple[str, int], timeout: float = 10.0):
+        self.address = (str(address[0]), int(address[1]))
+        self.timeout = float(timeout)
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder()
+        self._frames: collections.deque = collections.deque()
+
+    def _ensure(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        sock = socket.create_connection(self.address, timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._frames.clear()
+        try:
+            reply = self.request(hello_frame(("json",)))
+        except BaseException:
+            self.close()
+            raise
+        if reply.is_error:
+            self.close()
+            raise WalUnavailableError(
+                f"replica {self.address} refused the wal handshake: "
+                f"{reply.payload.get('message')}")
+        return sock
+
+    def request(self, frame: Frame) -> Frame:
+        """One round-trip; a broken cached socket is dropped and — when
+        the frame is safe to replay — retried once on a fresh connection.
+
+        Safe to replay: ``wal_append``/``wal_catchup`` (idempotent via
+        the replayer's high-water mark) and mutations carrying a
+        ``write_id`` (the leader dedups).  This is what lets a follower
+        heal through a leader restart: the first request after the
+        restart always hits the stale pre-restart socket.
+        """
+        stale = self._sock is not None
+        try:
+            return self._roundtrip(frame)
+        except (OSError, ConnectionError, ProtocolError):
+            self.close()
+            replayable = frame.kind in ("wal_append", "wal_catchup") \
+                or "write_id" in frame.payload
+            if frame.kind == "hello" or not stale or not replayable:
+                raise
+            return self._roundtrip(frame)
+
+    def _roundtrip(self, frame: Frame) -> Frame:
+        sock = self._ensure() if frame.kind != "hello" else self._sock
+        sock.sendall(encode_frame(frame))
+        while not self._frames:
+            data = sock.recv(_READ_CHUNK)
+            if not data:
+                raise ConnectionError("peer closed the wal link")
+            self._frames.extend(self._decoder.feed(data))
+        return self._frames.popleft()
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+
+def _record_wire(record: WalRecord) -> Dict[str, object]:
+    return {"seqno": int(record.seqno), "payload": dict(record.payload)}
+
+
+def _record_from_wire(entry: Dict[str, object]) -> WalRecord:
+    return WalRecord(seqno=int(entry["seqno"]),
+                     payload=dict(entry["payload"]))
+
+
+class _FollowerLink:
+    """A leader-side shipping target with failure cooldown."""
+
+    def __init__(self, address: Tuple[str, int], timeout: float,
+                 cooldown: float):
+        self.link = _WalLink(address, timeout=timeout)
+        self.cooldown = float(cooldown)
+        self.dead_until = 0.0
+
+    @property
+    def shippable(self) -> bool:
+        return time.monotonic() >= self.dead_until
+
+    def mark_dead(self) -> None:
+        self.link.close()
+        self.dead_until = time.monotonic() + self.cooldown
+
+
+class LeaderCoordinator:
+    """The write leader: durable append, local apply, fan-out (see module).
+
+    Parameters
+    ----------
+    service:
+        The leader's own gateway; recovery replays the log into it.
+    log:
+        The (possibly freshly recovered) :class:`WriteAheadLog`.  The
+        coordinator owns it from here on and closes it with itself.
+    ship_timeout, ship_cooldown:
+        Per-follower socket timeout and how long a follower that failed
+        a shipment is skipped before retrying (it self-heals any gap by
+        catch-up once shipping resumes).
+    """
+
+    role = "leader"
+
+    def __init__(self, service, log: WriteAheadLog,
+                 ship_timeout: float = 10.0, ship_cooldown: float = 1.0):
+        self.service = service
+        self.log = log
+        self.replayer = MutationReplayer(service)
+        self.instance = secrets.token_hex(4)
+        self._followers: Dict[Tuple[str, int], _FollowerLink] = {}
+        self._ship_timeout = float(ship_timeout)
+        self._ship_cooldown = float(ship_cooldown)
+        self._dedup: "collections.OrderedDict[str, Dict[str, object]]" = \
+            collections.OrderedDict()
+        self.n_shipped = 0
+        self.n_ship_failures = 0
+        self.n_dedup_hits = 0
+        self.n_catchup_batches_served = 0
+        self.last_ship_error: Optional[str] = None
+        self._recover()
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the recovered log into the gateway; rebuild client dedup."""
+        for record in self.log.records():
+            ack = self.replayer.apply(record)
+            write_id = record.payload.get("write_id")
+            if ack is not None and write_id is not None:
+                ack = dict(ack)
+                ack["seqno"] = record.seqno
+                self._remember(str(write_id), ack)
+
+    def _remember(self, write_id: str, ack: Dict[str, object]) -> None:
+        self._dedup[write_id] = ack
+        while len(self._dedup) > DEDUP_CAPACITY:
+            self._dedup.popitem(last=False)
+
+    # -- membership --------------------------------------------------------
+
+    def set_followers(self, addresses: List[Tuple[str, int]]) -> None:
+        """Replace the shipping target list (ReplicaSet wiring/rewiring)."""
+        wanted = {(str(host), int(port)) for host, port in addresses}
+        for address in list(self._followers):
+            if address not in wanted:
+                self._followers.pop(address).link.close()
+        for address in wanted:
+            if address not in self._followers:
+                self._followers[address] = _FollowerLink(
+                    address, self._ship_timeout, self._ship_cooldown)
+
+    # -- the write path ----------------------------------------------------
+
+    def handle_mutation(self, kind: str,
+                        payload: Dict[str, object]) -> Dict[str, object]:
+        """Commit one mutation: validate → append → apply → ship → ack."""
+        write_id = payload.get("write_id")
+        if write_id is not None:
+            cached = self._dedup.get(str(write_id))
+            if cached is not None:
+                self.n_dedup_hits += 1
+                return dict(cached)
+        validate_mutation(self.service, kind, payload)
+        record_payload = mutation_record_payload(
+            self.service, kind, payload,
+            str(write_id) if write_id is not None else None)
+        seqno = self.log.append(record_payload)
+        record = WalRecord(seqno=seqno, payload=record_payload)
+        ack = self.replayer.apply(record)
+        assert ack is not None  # fresh seqno, never a duplicate
+        ack["seqno"] = seqno
+        self._ship(record)
+        if write_id is not None:
+            self._remember(str(write_id), dict(ack))
+        return ack
+
+    def _ship(self, record: WalRecord) -> None:
+        """Fan one record out to every shippable follower.
+
+        A failed follower goes on cooldown instead of failing the
+        commit — it reconverges by catch-up (the seqno gap it sees on
+        the next successful shipment triggers the pull).
+        """
+        payload = {"records": [_record_wire(record)],
+                   "leader_hwm": self.log.high_seqno,
+                   "leader_instance": self.instance}
+        for follower in self._followers.values():
+            if not follower.shippable:
+                self.n_ship_failures += 1
+                continue
+            try:
+                reply = follower.link.request(Frame("wal_append", payload))
+                if reply.is_error:
+                    raise WalError(str(reply.payload.get("message")))
+                self.n_shipped += 1
+            except (OSError, ConnectionError, ProtocolError,
+                    WalError) as error:
+                follower.mark_dead()
+                self.n_ship_failures += 1
+                self.last_ship_error = repr(error)
+
+    # -- serving catch-up --------------------------------------------------
+
+    def handle_wal_catchup(self,
+                           payload: Dict[str, object]) -> Dict[str, object]:
+        """One catch-up batch.  Reads only immutable, already-appended
+        records, so it may run concurrently with a commit (the follower
+        simply re-pulls anything it races past)."""
+        start = int(payload.get("from", 1))
+        limit = min(int(payload.get("limit", CATCHUP_BATCH)), CATCHUP_BATCH)
+        records = self.log.read_range(start, max(1, limit))
+        self.n_catchup_batches_served += 1
+        return {"records": [_record_wire(record) for record in records],
+                "high_seqno": self.log.high_seqno,
+                "leader_instance": self.instance}
+
+    def handle_wal_append(self, payload) -> Dict[str, object]:
+        raise WalError("the leader does not accept shipped records")
+
+    # -- lifecycle / observability ----------------------------------------
+
+    def close(self) -> None:
+        for follower in self._followers.values():
+            follower.link.close()
+        self._followers.clear()
+        self.log.close()
+
+    def stats(self) -> Dict[str, object]:
+        log_stats = self.log.stats()
+        replay_stats = self.replayer.stats()
+        return {
+            "role": "leader",
+            "appended": log_stats["appended"],
+            "high_seqno": log_stats["high_seqno"],
+            "applied_seqno": replay_stats["applied_seqno"],
+            "replayed": replay_stats["replayed"],
+            "duplicates_skipped": replay_stats["duplicates_skipped"],
+            "recovered": log_stats["recovered"],
+            "catchup_batches": self.n_catchup_batches_served,
+            "shipped": self.n_shipped,
+            "ship_failures": self.n_ship_failures,
+            "dedup_hits": self.n_dedup_hits,
+            "followers": len(self._followers),
+            "log": log_stats,
+        }
+
+
+class FollowerCoordinator:
+    """A follower: apply shipments, forward writes, pull catch-up batches."""
+
+    role = "follower"
+
+    def __init__(self, service, leader_address: Tuple[str, int],
+                 timeout: float = 10.0):
+        self.service = service
+        self.leader_address = (str(leader_address[0]),
+                               int(leader_address[1]))
+        self.replayer = MutationReplayer(service)
+        # Two links on purpose: forwarding runs on the dedicated forward
+        # thread while catch-up runs on the gateway executor — one
+        # socket shared across threads would interleave frames.
+        self._forward_link = _WalLink(self.leader_address, timeout=timeout)
+        self._catchup_link = _WalLink(self.leader_address, timeout=timeout)
+        self._forward_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-wal-forward")
+        self._leader_instance: Optional[str] = None
+        self.n_forwarded = 0
+        self.n_forward_failures = 0
+        self.n_catchup_batches = 0
+
+    # -- the write path (forwarding) ---------------------------------------
+
+    @property
+    def forward_pool(self) -> ThreadPoolExecutor:
+        """Run :meth:`handle_mutation` here, never on the gateway
+        executor: forwarding blocks on the leader, whose resulting
+        shipment needs this replica's gateway executor to apply."""
+        return self._forward_pool
+
+    def handle_mutation(self, kind: str,
+                        payload: Dict[str, object]) -> Dict[str, object]:
+        """Forward one mutation to the leader; relay its ack or error."""
+        frame = Frame(kind, {key: value for key, value in payload.items()
+                             if key != "id"})
+        try:
+            reply = self._forward_link.request(frame)
+        except (OSError, ConnectionError, ProtocolError) as error:
+            self._forward_link.close()
+            self.n_forward_failures += 1
+            raise WalUnavailableError(
+                f"write leader {self.leader_address} unreachable "
+                f"({error!r}); the write was not applied here — retry "
+                "(mutations carry a write_id, so a retry is exactly-once)"
+            ) from error
+        self.n_forwarded += 1
+        if reply.is_error:
+            raise WalError(str(reply.payload.get("message")))
+        return dict(reply.payload)
+
+    # -- the replication path ----------------------------------------------
+
+    def _check_instance(self, payload: Dict[str, object],
+                        leader_hwm: int) -> None:
+        instance = payload.get("leader_instance")
+        if instance is None:
+            return
+        if self._leader_instance is None:
+            self._leader_instance = str(instance)
+            return
+        if str(instance) != self._leader_instance:
+            self._leader_instance = str(instance)
+            if leader_hwm < self.replayer.applied_seqno:
+                # A restarted leader with *less* history than we applied
+                # (an in-memory log died with it): silently rewinding
+                # would diverge the fleet — fail loudly instead.
+                raise WalDivergenceError(
+                    f"leader restarted with high seqno {leader_hwm} below "
+                    f"this replica's applied seqno "
+                    f"{self.replayer.applied_seqno}; a non-durable log was "
+                    "lost — restart this replica from the snapshot")
+
+    def handle_wal_append(self,
+                          payload: Dict[str, object]) -> Dict[str, object]:
+        """Apply one shipped batch; close any gap by catching up first."""
+        leader_hwm = int(payload.get("leader_hwm", 0))
+        self._check_instance(payload, leader_hwm)
+        for entry in payload.get("records", ()):
+            record = _record_from_wire(entry)
+            try:
+                self.replayer.apply(record)
+            except WalGapError:
+                self.catch_up(up_to=record.seqno - 1)
+                self.replayer.apply(record)  # duplicate-safe by now
+        return {"applied": self.replayer.applied_seqno}
+
+    def catch_up(self, up_to: Optional[int] = None) -> int:
+        """Pull records from the leader until the gap is closed.
+
+        Pulls batches starting at the high-water mark until the leader
+        reports nothing newer (or ``up_to`` is reached).  Returns how
+        many records were applied.  Runs on the gateway executor —
+        callers already hold it (``receive``) or request it
+        (ReplicaSet wiring) — so application serializes with reads.
+        """
+        applied = 0
+        while True:
+            start = self.replayer.applied_seqno + 1
+            if up_to is not None and start > up_to:
+                return applied
+            try:
+                reply = self._catchup_link.request(Frame("wal_catchup", {
+                    "from": start, "limit": CATCHUP_BATCH}))
+            except (OSError, ConnectionError, ProtocolError) as error:
+                self._catchup_link.close()
+                raise WalUnavailableError(
+                    f"catch-up from leader {self.leader_address} failed "
+                    f"({error!r})") from error
+            if reply.is_error:
+                raise WalError(str(reply.payload.get("message")))
+            self._check_instance(reply.payload,
+                                 int(reply.payload.get("high_seqno", 0)))
+            records = [_record_from_wire(entry)
+                       for entry in reply.payload.get("records", ())]
+            applied += self.replayer.apply_all(records)
+            self.n_catchup_batches += 1
+            high = int(reply.payload.get("high_seqno", 0))
+            if not records or self.replayer.applied_seqno >= \
+                    (min(high, up_to) if up_to is not None else high):
+                return applied
+
+    def handle_wal_catchup(self, payload) -> Dict[str, object]:
+        raise WalError("catch-up is served by the leader")
+
+    # -- lifecycle / observability ----------------------------------------
+
+    def close(self) -> None:
+        self._forward_pool.shutdown(wait=False, cancel_futures=True)
+        self._forward_link.close()
+        self._catchup_link.close()
+
+    def stats(self) -> Dict[str, object]:
+        replay_stats = self.replayer.stats()
+        return {
+            "role": "follower",
+            "applied_seqno": replay_stats["applied_seqno"],
+            "replayed": replay_stats["replayed"],
+            "duplicates_skipped": replay_stats["duplicates_skipped"],
+            "catchup_batches": self.n_catchup_batches,
+            "forwarded": self.n_forwarded,
+            "forward_failures": self.n_forward_failures,
+            "leader": list(self.leader_address),
+        }

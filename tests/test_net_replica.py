@@ -3,8 +3,10 @@
 The acceptance bar from the issue: with two replicas and concurrent
 query traffic, killing one replica mid-storm must keep **100% of reads
 succeeding** (each bit-identical to the reference), with the client
-failing over automatically.  Mutations are deliberately not replayed —
-the at-most-once contract is pinned here too.
+failing over automatically.  Mutations replicate through the write
+leader (replica 0) and retry exactly-once by default; the old
+at-most-once, share-nothing behaviour stays available (and pinned here)
+via ``retry_writes=False`` / ``replicate=False``.
 """
 
 from __future__ import annotations
@@ -96,20 +98,23 @@ def test_kill_a_replica_mid_storm_keeps_reads_succeeding(snapshot,
         assert stats[0] is None and stats[1] is not None
 
 
-def test_mutations_are_never_replayed_after_a_transport_failure(snapshot):
+def test_opted_out_mutations_are_never_replayed_after_a_failure(snapshot):
+    """``retry_writes=False`` pins the old at-most-once contract."""
     with ReplicaSet(lambda index: PredictionService(snapshot),
                     n_replicas=2) as replicas:
         addresses = list(replicas.addresses)
         dead_address = addresses[0]
-        with ServingClient(addresses, cooldown=0.05, timeout=2.0) as client:
+        with ServingClient(addresses, cooldown=0.05, timeout=2.0,
+                           retry_writes=False) as client:
             # Cache live connections to both replicas, leaving the ring
             # pointed back at replica 0.
             assert len(client.top_n(0, n=3)) == 3  # served by replica 0
             assert len(client.top_n(0, n=3)) == 3  # served by replica 1
             replicas.kill(0)
             # The rate goes out on the cached (now dead) connection: the
-            # request bytes may have been consumed before the crash, so
-            # it must NOT be replayed on the survivor.
+            # request bytes may have been consumed before the crash and
+            # it carries no write_id, so it must NOT be replayed on the
+            # survivor.
             with pytest.raises(NetError, match="not retried"):
                 client.rate(0, np.array([1]), np.array([3.0]))
             # Reads fail over fine on the same client: the failed rate
@@ -124,21 +129,24 @@ def test_mutations_are_never_replayed_after_a_transport_failure(snapshot):
 
 
 def test_mutations_do_fail_over_when_nothing_was_sent(snapshot):
-    """Connect-phase failures are retryable even for mutations.
+    """Connect-phase failures are retryable even for opted-out mutations.
 
-    A fresh client whose first candidate is a dead replica never sends a
-    byte of the request, so the mutation safely lands on the survivor —
-    at-most-once refers to transmitted requests, not connection attempts.
+    A fresh client whose first candidate is a dead *follower* never
+    sends a byte of the request, so the mutation safely lands on the
+    next replica — at-most-once refers to transmitted requests, not
+    connection attempts.
     """
     with ReplicaSet(lambda index: PredictionService(snapshot),
                     n_replicas=2) as replicas:
-        addresses = list(replicas.addresses)
-        replicas.kill(0)
-        with ServingClient(addresses, cooldown=5.0, timeout=2.0) as client:
+        # Follower first in the ring, then the leader; kill the follower.
+        addresses = list(reversed(replicas.addresses))
+        replicas.kill(1)
+        with ServingClient(addresses, cooldown=5.0, timeout=2.0,
+                           retry_writes=False) as client:
             cold = client.fold_in(np.array([0, 1]), np.array([4.0, 3.0]))
             assert cold == N_USERS
             assert client.rate(cold, np.array([2]), np.array([3.5])) == cold
-        assert replicas.replicas[1].service.stats()["n_folded_in"] == 1
+        assert replicas.replicas[0].service.stats()["n_folded_in"] == 1
 
 
 def test_async_client_fails_over_too(snapshot, reference):
@@ -163,10 +171,30 @@ def test_async_client_fails_over_too(snapshot, reference):
     assert health["status"] == "ok"
 
 
-def test_replicas_are_share_nothing_for_mutations(snapshot):
-    """fold-in lands on one replica only — documented, pinned semantics."""
+def test_mutations_replicate_to_every_replica(snapshot):
+    """fold-in through any replica is readable on all of them."""
     with ReplicaSet(lambda index: PredictionService(snapshot),
                     n_replicas=2) as replicas:
+        first = ServingClient(replicas.addresses[:1])
+        second = ServingClient(replicas.addresses[1:])
+        with first, second:
+            # Write through the *follower*: it forwards to the leader,
+            # which ships back — read-your-writes on both.
+            cold = second.fold_in(np.array([0, 1]), np.array([4.0, 3.0]))
+            assert cold == N_USERS
+            assert first.stats()["n_folded_in"] == 1
+            assert second.stats()["n_folded_in"] == 1
+            assert len(first.top_n(cold, n=3)) == 3
+            assert len(second.top_n(cold, n=3)) == 3
+            digests = {client.health(digest=True)["digest"]
+                       for client in (first, second)}
+            assert len(digests) == 1
+
+
+def test_share_nothing_mode_is_still_available(snapshot):
+    """``replicate=False`` restores per-replica mutations, pinned."""
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=2, replicate=False) as replicas:
         first = ServingClient(replicas.addresses[:1])
         second = ServingClient(replicas.addresses[1:])
         with first, second:
