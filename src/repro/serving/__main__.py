@@ -32,6 +32,7 @@ The full train → snapshot → serve → query lifecycle from a terminal:
     python -m repro.serving smoke
     python -m repro.serving net-smoke
     python -m repro.serving wal-smoke
+    python -m repro.serving chaos-smoke --seed 1
 """
 
 from __future__ import annotations
@@ -260,7 +261,8 @@ def _serve_tcp(args, host: str, port: int) -> int:
         make_watcher=make_watcher, fuse_window_ms=fuse_window,
         fuse_max_batch=args.fuse_max_batch,
         max_in_flight=args.max_in_flight,
-        wal_dir=args.wal, wal_sync_every=args.wal_sync_every)
+        wal_dir=args.wal, wal_sync_every=args.wal_sync_every,
+        ship_cooldown=args.cooldown, ship_backoff_max=args.backoff_max)
     try:
         replicas.start()
         service = replicas.replicas[0].service
@@ -495,7 +497,9 @@ def _cmd_net_smoke(args) -> int:
                 # bare assert) inside a worker thread would kill only that
                 # thread and let the smoke report success anyway.
                 nonlocal parity_queries
-                client = ServingClient(replicas.addresses, cooldown=0.05,
+                client = ServingClient(replicas.addresses,
+                                       cooldown=args.cooldown,
+                                       backoff_max=args.backoff_max,
                                        binary=binary)
                 with client:
                     for user in users:
@@ -570,7 +574,9 @@ def _cmd_net_smoke(args) -> int:
 
             # Kill replica 0 mid-storm: reads must keep succeeding.
             survivor_ref = replicas.replicas[1].service
-            client = ServingClient(replicas.addresses, cooldown=0.05,
+            client = ServingClient(replicas.addresses,
+                                   cooldown=args.cooldown,
+                                   backoff_max=args.backoff_max,
                                    binary=binary)
             with client:
                 client.top_n(0, n=5)
@@ -668,7 +674,9 @@ def _cmd_wal_smoke(args) -> int:
                 nonlocal write_errors
                 rng = np.random.default_rng(worker)
                 deadline = time.monotonic() + 90.0
-                client = ServingClient(replicas.addresses, cooldown=0.05)
+                client = ServingClient(replicas.addresses,
+                                        cooldown=args.cooldown,
+                                        backoff_max=args.backoff_max)
                 with client:
                     user = client.fold_in(np.array([0, 1, 2]),
                                           np.array([4.0, 3.0, 5.0]))
@@ -694,7 +702,9 @@ def _cmd_wal_smoke(args) -> int:
 
             def read_storm() -> None:
                 nonlocal n_reads
-                client = ServingClient(replicas.addresses, cooldown=0.05)
+                client = ServingClient(replicas.addresses,
+                                        cooldown=args.cooldown,
+                                        backoff_max=args.backoff_max)
                 with client:
                     while not stop_reads.is_set():
                         user = read_users[n_reads % len(read_users)]
@@ -820,6 +830,319 @@ def _cmd_wal_smoke(args) -> int:
     return 0
 
 
+def _cmd_chaos_smoke(args) -> int:
+    """CI chaos drill: a seeded fault schedule against a live fleet.
+
+    Generates a deterministic :class:`FaultPlan` from ``--seed``, starts
+    a durable replica fleet with the WAL fault sites armed, and runs a
+    read/write storm through chaos clients whose sockets execute the
+    scheduled network faults, while a :class:`FleetConductor` applies
+    the plan's kill/pause timeline.  When the schedule ends, four
+    invariants are checked:
+
+    * **no acked write lost** — every acked seqno is present in a clean
+      replay of the log, and the fleet digest equals the replay digest
+      bit for bit;
+    * **reads fail soft** — every read either succeeded bit-identically
+      to an undisturbed reference service or failed with a *retryable*
+      error (failover exhaustion or ``deadline_exceeded``) within its
+      deadline budget;
+    * **nothing hangs** — every storm thread and the conductor join;
+    * **the fleet converges** — after the schedule, all replicas report
+      one digest and zero replication lag.
+
+    The full schedule, the triggered fault log and the invariant results
+    go to ``--report-out`` as the CI artifact; re-running the same seed
+    regenerates the byte-identical schedule.
+    """
+    from repro.serving.chaos import FaultInjector, FaultPlan, FleetConductor
+    from repro.serving.net import DeadlineError
+    from repro.serving.wal import MutationReplayer, WriteAheadLog
+    from repro.utils.environment import machine_environment
+
+    plan = FaultPlan.generate(
+        seed=args.seed, n_events=args.faults, horizon=args.horizon,
+        n_replicas=args.replicas, n_fleet_events=args.fleet_events,
+        fleet_span=args.fleet_span)
+    injector = FaultInjector(plan)
+    deadline_s = args.deadline_ms / 1000.0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "chaos.npz"
+        wal_dir = Path(tmp) / "mutation-log"
+        data = make_low_rank_dataset(SyntheticConfig(
+            n_users=60, n_movies=45, rank=3, density=0.3, noise_std=0.3,
+            test_fraction=0.2, seed=13))
+        config = BPMFConfig(num_latent=4, alpha=4.0, burn_in=2, n_samples=3)
+        GibbsSampler(config, SamplerOptions(
+            checkpoint=CheckpointConfig(path=path, every=2))).run(
+            data.split.train, data.split, seed=0)
+        reference = PredictionService(path)
+        read_users = list(range(0, reference.n_train_users, 2))
+
+        n_writers = 2
+        writes_each = max(1, args.writes // n_writers)
+        violations: list[str] = []
+        acked_seqnos: list[int] = []
+        write_retries = 0
+        n_reads = 0
+        n_read_retryable = 0
+        n_read_deadline = 0
+        lock = threading.Lock()
+        stop_reads = threading.Event()
+
+        def chaos_client() -> ServingClient:
+            return ServingClient(replicas.addresses, timeout=2.0,
+                                 cooldown=args.cooldown,
+                                 backoff_max=args.backoff_max,
+                                 backoff_seed=args.seed,
+                                 fault_injector=injector)
+
+        replicas = ReplicaSet(lambda index: PredictionService(path),
+                              n_replicas=args.replicas,
+                              wal_dir=str(wal_dir), wal_sync_every=1,
+                              ship_cooldown=args.cooldown,
+                              ship_backoff_max=args.backoff_max,
+                              ship_backoff_seed=args.seed,
+                              fault_injector=injector)
+        with replicas:
+            def write_storm(worker: int) -> None:
+                # Every mutation retries until acked (each attempt is
+                # exactly-once via its write_id); a *non-retryable*
+                # failure is an invariant violation — injected faults
+                # must surface as retryable errors, never as silent
+                # corruption or misclassified domain errors.
+                nonlocal write_retries
+                rng = np.random.default_rng(worker)
+                give_up = time.monotonic() + 120.0
+                with chaos_client() as client:
+                    def commit(mutate):
+                        nonlocal write_retries
+                        while True:
+                            try:
+                                return mutate()
+                            except NetError as error:
+                                if not getattr(error, "retryable", False):
+                                    with lock:
+                                        violations.append(
+                                            "non-retryable write failure: "
+                                            f"{error!r}")
+                                    return None
+                                with lock:
+                                    write_retries += 1
+                                if time.monotonic() > give_up:
+                                    with lock:
+                                        violations.append(
+                                            "write storm never finished")
+                                    return None
+                                time.sleep(0.05)
+
+                    user = commit(lambda: client.fold_in(
+                        np.array([0, 1, 2]), np.array([4.0, 3.0, 5.0])))
+                    if user is None:
+                        return
+                    for _ in range(writes_each):
+                        item = int(rng.integers(0, reference.n_items))
+                        value = float(rng.integers(1, 6))
+                        if commit(lambda: client.rate(
+                                user, np.array([item]),
+                                np.array([value]))) is None:
+                            return
+                        with lock:
+                            acked_seqnos.append(client.last_seqno)
+
+            def read_storm() -> None:
+                # Each read carries a deadline; it must either succeed
+                # bit-identically to the reference or fail retryably
+                # within (roughly) its budget.  The grace term covers
+                # the last socket timeout an injected drop waits out.
+                nonlocal n_reads, n_read_retryable, n_read_deadline
+                with chaos_client() as client:
+                    while not stop_reads.is_set():
+                        with lock:
+                            user = read_users[n_reads % len(read_users)]
+                            n_reads += 1
+                        begin = time.monotonic()
+                        try:
+                            served = client.top_n(
+                                user, n=5, deadline_ms=args.deadline_ms)
+                        except DeadlineError:
+                            with lock:
+                                n_read_deadline += 1
+                            continue
+                        except NetError as error:
+                            elapsed = time.monotonic() - begin
+                            with lock:
+                                if not getattr(error, "retryable", False):
+                                    violations.append(
+                                        "non-retryable read failure: "
+                                        f"{error!r}")
+                                elif elapsed > deadline_s + 2.5:
+                                    violations.append(
+                                        f"read failed after {elapsed:.2f}s "
+                                        f"(deadline {deadline_s:.2f}s): "
+                                        f"{error!r}")
+                                else:
+                                    n_read_retryable += 1
+                            continue
+                        expected = reference.top_n(user, n=5)
+                        if served.items.tolist() != expected.items.tolist() \
+                                or served.scores.tobytes() \
+                                != expected.scores.tobytes():
+                            with lock:
+                                violations.append(
+                                    f"top-N diverged for user {user} "
+                                    "under chaos")
+
+            writers = [threading.Thread(target=write_storm, args=(i,))
+                       for i in range(n_writers)]
+            readers = [threading.Thread(target=read_storm)
+                       for _ in range(2)]
+            for thread in writers + readers:
+                thread.start()
+
+            # Unleash the fleet schedule once the storm is rolling.
+            start_deadline = time.monotonic() + 30.0
+            while time.monotonic() < start_deadline:
+                with lock:
+                    if len(acked_seqnos) >= 5:
+                        break
+                time.sleep(0.01)
+            conductor = FleetConductor(replicas, plan.fleet)
+            conductor.start()
+
+            for thread in writers:
+                thread.join(timeout=150.0)
+            fleet_log = conductor.finish(timeout=90.0)
+            stop_reads.set()
+            for thread in readers:
+                thread.join(timeout=30.0)
+            hung = any(thread.is_alive() for thread in writers + readers)
+            if hung:
+                violations.append("storm threads hung")
+
+            # Convergence: probe writes re-open shipping to any follower
+            # still in backoff from the schedule; every replica must
+            # reach the probe's seqno with one fleet-wide digest.
+            final_seqno = None
+            fleet_digest = None
+            converged = False
+            with ServingClient(replicas.addresses,
+                               cooldown=args.cooldown,
+                               backoff_max=args.backoff_max) as probe:
+                converge_deadline = time.monotonic() + 30.0
+                probe_user = None
+                while probe_user is None \
+                        and time.monotonic() < converge_deadline:
+                    try:
+                        probe_user = probe.fold_in(np.array([3, 4]),
+                                                   np.array([2.0, 5.0]))
+                    except NetError:  # a residual scheduled fault fired
+                        time.sleep(0.25)
+                while probe_user is not None \
+                        and time.monotonic() < converge_deadline:
+                    try:
+                        probe.rate(probe_user, np.array([0]),
+                                   np.array([1.0]))
+                    except NetError:  # a residual scheduled fault fired
+                        time.sleep(0.25)
+                        continue
+                    final_seqno = probe.last_seqno
+                    digests = set()
+                    applied = set()
+                    for address in replicas.addresses:
+                        with ServingClient([address]) as pinned:
+                            health = pinned.health(digest=True)
+                            applied.add(health["wal"]["applied_seqno"])
+                            digests.add(health["digest"])
+                    if applied == {final_seqno} and len(digests) == 1:
+                        fleet_digest = digests.pop()
+                        converged = True
+                        break
+                    time.sleep(0.25)
+            if not converged:
+                violations.append("fleet did not converge after the "
+                                  "schedule ended")
+
+            # Replication lag must read zero once converged.
+            lag_ok = True
+            for stats in replicas.wal_stats():
+                if stats is None:
+                    continue
+                lag = stats.get("max_follower_lag" if stats["role"]
+                                == "leader" else "lag", 0)
+                if lag != 0:
+                    lag_ok = False
+                    violations.append(
+                        f"{stats['role']} reports lag {lag} "
+                        "after convergence")
+
+        # Ground truth: a clean replay of the log must land on the very
+        # same bytes the fleet serves — every acked write survived the
+        # schedule (including any injected WAL faults).
+        replay_ok = False
+        if converged and acked_seqnos:
+            replayed = PredictionService(path)
+            log = WriteAheadLog(wal_dir)
+            replayer = MutationReplayer(replayed)
+            replayer.apply_all(log.records())
+            log.close()
+            if replayer.applied_seqno != final_seqno:
+                violations.append(
+                    f"replay stopped at {replayer.applied_seqno}, fleet "
+                    f"acked {final_seqno}")
+            elif replayer.applied_seqno < max(acked_seqnos):
+                violations.append("an acked write is missing from the log")
+            elif str(replayed.state_digest()) != fleet_digest:
+                violations.append("fleet digest != clean replay digest")
+            else:
+                replay_ok = True
+
+        report = {
+            "benchmark": "chaos-smoke",
+            "environment": machine_environment(),
+            "seed": args.seed,
+            "replicas": args.replicas,
+            "deadline_ms": args.deadline_ms,
+            "plan": plan.to_json(),
+            "plan_digest": plan.digest(),
+            "triggered": list(injector.log),
+            "site_calls": injector.counts(),
+            "fleet_log": fleet_log,
+            "acked_writes": len(acked_seqnos),
+            "write_retries": write_retries,
+            "reads": n_reads,
+            "read_retryable_failures": n_read_retryable,
+            "read_deadline_failures": n_read_deadline,
+            "invariants": {
+                "no_acked_write_lost": replay_ok,
+                "reads_fail_soft": not any(
+                    "read" in v or "diverged" in v for v in violations),
+                "no_hangs": not hung,
+                "fleet_converged": converged and lag_ok,
+            },
+            "violations": violations,
+        }
+        if args.report_out:
+            with open(args.report_out, "w", encoding="utf8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if violations:
+            print(f"CHAOS SMOKE FAILED (seed {args.seed}): "
+                  + "; ".join(violations[:5]), file=sys.stderr)
+            return 1
+        print(f"CHAOS SMOKE OK: seed {args.seed}, "
+              f"{len(injector.log)} faults fired "
+              f"({len(plan.events)} scheduled, "
+              f"{len(fleet_log)} fleet actions), "
+              f"{len(acked_seqnos)} acked writes all durable "
+              f"({write_retries} retries), {n_reads} reads "
+              f"({n_read_retryable} failovers exhausted, "
+              f"{n_read_deadline} deadline-shed, 0 violations), "
+              f"fleet converged at seqno {final_seqno}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serving",
@@ -896,6 +1219,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="directory for the write leader's durable "
                             "mutation log (--tcp; default: in-memory log "
                             "— replication without crash durability)")
+    serve.add_argument("--cooldown", type=float, default=1.0,
+                       help="base backoff after a failed follower "
+                            "shipment, seconds (doubles per consecutive "
+                            "failure)")
+    serve.add_argument("--backoff-max", type=float, default=30.0,
+                       help="cap on the exponential shipment backoff, "
+                            "seconds")
     serve.add_argument("--wal-sync-every", type=int, default=1,
                        help="fsync the log every N appends (1 = before "
                             "every ack, the strict default)")
@@ -924,6 +1254,10 @@ def main(argv: list[str] | None = None) -> int:
                            help="wire encoding the smoke clients negotiate")
     net_smoke.add_argument("--pipeline", action="store_true",
                            help="also run a pipelined top-N parity pass")
+    net_smoke.add_argument("--cooldown", type=float, default=0.05,
+                           help="client failover backoff base, seconds")
+    net_smoke.add_argument("--backoff-max", type=float, default=1.0,
+                           help="client failover backoff cap, seconds")
     net_smoke.add_argument("--latency-out", default=None,
                            help="write observed latencies to this JSON")
     net_smoke.set_defaults(func=_cmd_net_smoke)
@@ -937,9 +1271,42 @@ def main(argv: list[str] | None = None) -> int:
                            help="total mutations across the writer storm")
     wal_smoke.add_argument("--wal-sync-every", type=int, default=1,
                            help="fsync cadence under test (1 = every ack)")
+    wal_smoke.add_argument("--cooldown", type=float, default=0.05,
+                           help="client failover backoff base, seconds")
+    wal_smoke.add_argument("--backoff-max", type=float, default=1.0,
+                           help="client failover backoff cap, seconds")
     wal_smoke.add_argument("--latency-out", default=None,
                            help="write mutation latencies to this JSON")
     wal_smoke.set_defaults(func=_cmd_wal_smoke)
+
+    chaos_smoke = commands.add_parser(
+        "chaos-smoke",
+        help="seeded fault-injection drill against a replica fleet")
+    chaos_smoke.add_argument("--seed", type=int, default=0,
+                             help="fault schedule seed (same seed, same "
+                                  "schedule, byte for byte)")
+    chaos_smoke.add_argument("--replicas", type=int, default=3)
+    chaos_smoke.add_argument("--writes", type=int, default=120,
+                             help="acked mutations the storm commits")
+    chaos_smoke.add_argument("--faults", type=int, default=24,
+                             help="per-site fault events to schedule")
+    chaos_smoke.add_argument("--horizon", type=int, default=150,
+                             help="call-step range the per-site faults "
+                                  "land in")
+    chaos_smoke.add_argument("--fleet-events", type=int, default=3,
+                             help="kill/pause events on the fleet timeline")
+    chaos_smoke.add_argument("--fleet-span", type=float, default=5.0,
+                             help="seconds the fleet timeline spans")
+    chaos_smoke.add_argument("--deadline-ms", type=float, default=2000.0,
+                             help="per-read deadline budget")
+    chaos_smoke.add_argument("--cooldown", type=float, default=0.05,
+                             help="failover/shipping backoff base, seconds")
+    chaos_smoke.add_argument("--backoff-max", type=float, default=1.0,
+                             help="failover/shipping backoff cap, seconds")
+    chaos_smoke.add_argument("--report-out", default=None,
+                             help="write the schedule + fault log + "
+                                  "invariant report as JSON")
+    chaos_smoke.set_defaults(func=_cmd_chaos_smoke)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -405,6 +405,22 @@ class ShardedScorer:
         """The pool's (Process, task_queue) pairs (tests kill through it)."""
         return self._pool.workers
 
+    def kill_worker(self, worker_id: int) -> None:
+        """Hard-kill one shard worker process (chaos drills).
+
+        The in-flight query against it fails with :class:`ClusterError`;
+        the next query respawns the whole pool and re-registers every
+        shard, so the scorer self-heals without caller intervention.
+        """
+        workers = self._pool.workers
+        if not 0 <= worker_id < len(workers):
+            raise ValidationError(
+                f"worker_id must be in [0, {len(workers)}), got {worker_id}")
+        process = workers[worker_id][0]
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+
     # -- pool lifecycle ----------------------------------------------------
 
     def _owned_shards(self, worker_id: int) -> List[int]:

@@ -34,16 +34,25 @@ this package turns them into a networked service:
 [--fuse-window MS]`` wires it all together from the command line.
 """
 
-from repro.serving.net.client import AsyncServingClient, NetError, ServingClient
+from repro.serving.net.backoff import Backoff
+from repro.serving.net.client import (
+    AsyncServingClient,
+    DeadlineError,
+    NetError,
+    ServingClient,
+)
 from repro.serving.net.fusion import QueryFuser
 from repro.serving.net.protocol import (
     ENCODINGS,
+    ERROR_DEADLINE,
+    ERROR_OVERLOADED,
     MAX_PAYLOAD,
     PROTOCOL_VERSION,
     Frame,
     FrameDecoder,
     ProtocolError,
     encode_frame,
+    error_frame,
     execute,
     format_reply,
     hello_frame,
@@ -72,4 +81,9 @@ __all__ = [
     "ServingClient",
     "AsyncServingClient",
     "NetError",
+    "DeadlineError",
+    "Backoff",
+    "ERROR_DEADLINE",
+    "ERROR_OVERLOADED",
+    "error_frame",
 ]

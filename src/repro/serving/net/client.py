@@ -61,8 +61,10 @@ from typing import (Deque, Dict, Iterable, List, Optional, Sequence, Set,
 import numpy as np
 
 from repro.core.recommend import Recommendation
+from repro.serving.net.backoff import Backoff
 from repro.serving.net.protocol import (
     ENCODINGS,
+    ERROR_DEADLINE,
     Frame,
     FrameDecoder,
     IDEMPOTENT_KINDS,
@@ -72,26 +74,59 @@ from repro.serving.net.protocol import (
     negotiated_encoding,
 )
 
-__all__ = ["NetError", "ServingClient", "AsyncServingClient"]
+__all__ = ["NetError", "DeadlineError", "ServingClient",
+           "AsyncServingClient"]
 
 _READ_CHUNK = 1 << 16
 
 
 class NetError(RuntimeError):
-    """A request could not be served (transport or server-side)."""
+    """A request could not be served (transport or server-side).
+
+    ``retryable`` is True when the failed request is known *not* to have
+    been applied anywhere (an all-replicas-down read, a shed write): the
+    caller may safely re-issue it.  It is False for definitive
+    server-side answers and for an unreplayable mutation failure.
+    """
+
+    def __init__(self, message: str, retryable: bool = False):
+        super().__init__(message)
+        self.retryable = bool(retryable)
+
+
+class DeadlineError(NetError):
+    """The request's ``deadline_ms`` budget expired before it was served.
+
+    Always retryable — expiry happens *before* dispatch (client-side, or
+    the server's pre-dispatch gate), so nothing was applied — but never
+    failed over automatically: the budget is spent, and replaying the
+    request elsewhere with an already-expired deadline could only
+    produce more of the same error.  Callers that still care re-issue
+    with a fresh budget.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, retryable=True)
 
 
 class _AddressRing:
-    """Round-robin address selection with per-address failure cooldown."""
+    """Round-robin address selection with per-address failure backoff.
+
+    A replica's cooldown grows exponentially with its *consecutive*
+    failure count (capped, jittered — see :class:`Backoff`) and resets
+    on the first success, so a flapping replica is probed quickly while
+    a down one stops eating a connect-timeout from every request cycle.
+    """
 
     def __init__(self, addresses: Sequence[Tuple[str, int]],
-                 cooldown: float = 1.0):
+                 backoff: Optional[Backoff] = None):
         if not addresses:
             raise ValueError("at least one replica address is required")
         self.addresses = [(str(host), int(port))
                           for host, port in addresses]
-        self.cooldown = float(cooldown)
+        self.backoff = backoff if backoff is not None else Backoff()
         self._next = 0
+        self._failures: Dict[int, int] = {}
         self._dead_until: Dict[int, float] = {}
 
     def candidates(self) -> List[int]:
@@ -111,9 +146,13 @@ class _AddressRing:
 
     def mark_alive(self, index: int) -> None:
         self._dead_until.pop(index, None)
+        self._failures.pop(index, None)
 
     def mark_dead(self, index: int) -> None:
-        self._dead_until[index] = time.monotonic() + self.cooldown
+        failures = self._failures.get(index, 0) + 1
+        self._failures[index] = failures
+        self._dead_until[index] = (time.monotonic()
+                                   + self.backoff.delay(failures))
 
 
 def _recommendation(payload: Dict[str, object]) -> Recommendation:
@@ -198,8 +237,22 @@ class _ClientCore:
     def _retryable_error(reply: Frame) -> bool:
         """An ``error`` frame the server marked ``retryable``: it refused
         the request *without applying it* (e.g. a replica whose WAL
-        leader is unreachable), so failing over is always safe."""
+        leader is unreachable, or admission control shed it), so failing
+        over is always safe."""
         return reply.is_error and bool(reply.payload.get("retryable"))
+
+    def _raise_if_deadline_reply(self, reply: Frame, index: int) -> None:
+        """A ``deadline_exceeded`` error ends the request *now*.
+
+        The frame is marked retryable (nothing was applied), but failing
+        over would replay an already-spent budget — so unlike other
+        retryable errors it surfaces immediately, as
+        :class:`DeadlineError`, and the replica (which answered
+        promptly and healthily) stays out of cooldown.
+        """
+        if reply.is_error and reply.payload.get("code") == ERROR_DEADLINE:
+            self._ring.mark_alive(index)
+            raise DeadlineError(str(reply.payload.get("message")))
 
     def _on_retryable_error(self, reply: Frame, index: int,
                             failures: List[str]) -> None:
@@ -226,7 +279,55 @@ class _ClientCore:
 
     @staticmethod
     def _every_replica_failed(failures: List[str]) -> NetError:
-        return NetError("every replica failed: " + "; ".join(failures))
+        # Retryable by construction: any request that exhausts the ring
+        # was safe to fail over in the first place (an idempotent read,
+        # or a mutation whose write_id dedups a replay) — an unreplayable
+        # mutation raised on its first transport failure instead.
+        return NetError("every replica failed: " + "; ".join(failures),
+                        retryable=True)
+
+    class _DeadlineClock:
+        """Per-request budget bookkeeping shared by both clients.
+
+        Created once per logical request; each failover attempt asks for
+        the *remaining* budget, which is stamped into that attempt's
+        frame as ``deadline_ms`` (and bounds its transport timeout), so
+        queue time on a first replica is never granted again on the
+        second.
+        """
+
+        __slots__ = ("budget_s", "started")
+
+        def __init__(self, deadline_ms: Optional[float]):
+            self.budget_s = (None if deadline_ms is None
+                             else float(deadline_ms) / 1000.0)
+            if self.budget_s is not None and self.budget_s <= 0:
+                raise DeadlineError(
+                    f"deadline_ms={deadline_ms} leaves no budget")
+            self.started = time.monotonic()
+
+        def remaining(self, frame: Frame) -> Optional[float]:
+            """Seconds left; stamps the frame and raises when spent."""
+            if self.budget_s is None:
+                frame.payload.pop("deadline_ms", None)
+                return None
+            left = self.budget_s - (time.monotonic() - self.started)
+            if left <= 0:
+                raise DeadlineError(
+                    f"{frame.kind!r} spent its "
+                    f"{self.budget_s * 1000.0:.0f} ms budget before "
+                    "any replica answered")
+            frame.payload["deadline_ms"] = round(left * 1000.0, 3)
+            return left
+
+        def expired(self) -> bool:
+            return (self.budget_s is not None and
+                    time.monotonic() - self.started >= self.budget_s)
+
+        def spent(self, frame: Frame, failures: List[str]) -> DeadlineError:
+            return DeadlineError(
+                f"{frame.kind!r} spent its {self.budget_s * 1000.0:.0f} ms "
+                f"budget retrying ({'; '.join(failures[-2:])})")
 
     @staticmethod
     def _top_n_frame(user, n, exclude_seen) -> Frame:
@@ -291,15 +392,30 @@ class ServingClient(_ClientCore):
     the JSON payload encoding even against a binary-capable server;
     ``retry_writes=False`` drops the ``write_id`` from mutations and
     with it their failover (back to at-most-once).
+
+    ``cooldown``/``backoff_max`` shape the failure backoff: a replica's
+    cooldown starts at ``cooldown`` seconds and doubles per consecutive
+    failure up to ``backoff_max`` (with seeded jitter via
+    ``backoff_seed`` — chaos drills pin it for replayable timing).
+    ``fault_injector`` (a :class:`~repro.serving.chaos.FaultInjector`)
+    wraps every connection in a :class:`~repro.serving.chaos.ChaosSocket`
+    and drives the ``net.connect``/``net.send``/``net.recv`` fault
+    sites; ``None`` (the default) leaves the transport untouched.
     """
 
     def __init__(self, addresses: Sequence[Tuple[str, int]],
                  timeout: float = 10.0, cooldown: float = 1.0,
-                 binary: bool = True, retry_writes: bool = True):
-        self._ring = _AddressRing(addresses, cooldown=cooldown)
+                 backoff_max: float = 30.0,
+                 backoff_seed: Optional[int] = None,
+                 binary: bool = True, retry_writes: bool = True,
+                 fault_injector=None):
+        self._ring = _AddressRing(addresses, backoff=Backoff(
+            base=cooldown, cap=max(float(backoff_max), float(cooldown)),
+            seed=backoff_seed))
         self.timeout = float(timeout)
         self.binary = bool(binary)
         self._init_writes(retry_writes)
+        self._fault_injector = fault_injector
         self._connections: Dict[int, _SyncConnection] = {}
         self.n_failovers = 0
 
@@ -309,9 +425,22 @@ class ServingClient(_ClientCore):
         cached = self._connections.get(index)
         if cached is not None:
             return cached
+        if self._fault_injector is not None:
+            event = self._fault_injector.check("net.connect")
+            if event is not None:
+                from repro.serving.chaos.shims import InjectedConnectError
+                if event.action == "fail":
+                    raise InjectedConnectError(
+                        f"injected connect failure to "
+                        f"{self._ring.addresses[index]}")
+                if event.action == "delay":
+                    time.sleep(event.arg)
         sock = socket.create_connection(self._ring.addresses[index],
                                         timeout=self.timeout)
         sock.settimeout(self.timeout)
+        if self._fault_injector is not None:
+            from repro.serving.chaos.shims import ChaosSocket
+            sock = ChaosSocket(sock, self._fault_injector)
         connection = _SyncConnection(sock)
         self._connections[index] = connection
         try:
@@ -354,15 +483,25 @@ class ServingClient(_ClientCore):
                                              binary=connection.binary))
         return self._next_frame(connection)
 
-    def _request(self, frame: Frame) -> Dict[str, object]:
+    def _request(self, frame: Frame, timeout: Optional[float] = None,
+                 deadline_ms: Optional[float] = None) -> Dict[str, object]:
+        clock = self._DeadlineClock(deadline_ms)
+        base_timeout = self.timeout if timeout is None else float(timeout)
         failures: List[str] = []
         for attempt, index in enumerate(self._ring.candidates()):
+            # Each attempt re-stamps the *remaining* budget (raising
+            # DeadlineError once it is spent) and never blocks on the
+            # socket longer than that budget.
+            remaining = clock.remaining(frame)
             try:
                 connection = self._connect(index)
             except (OSError, ConnectionError, ProtocolError,
                     socket.timeout, NetError) as error:
                 self._on_connect_failure(index, error, failures)
                 continue
+            connection.sock.settimeout(
+                base_timeout if remaining is None
+                else min(base_timeout, remaining))
             try:
                 reply = self._roundtrip(connection, frame)
             except (OSError, ConnectionError, ProtocolError,
@@ -370,10 +509,16 @@ class ServingClient(_ClientCore):
                 self._drop(index)
                 self._on_roundtrip_failure(frame, index, error, failures)
                 continue
+            self._raise_if_deadline_reply(reply, index)
             if self._retryable_error(reply):
                 self._on_retryable_error(reply, index, failures)
                 continue
             return self._on_reply(reply, index, attempt)
+        if clock.expired():
+            # The last attempt's socket wait was clamped to the budget:
+            # running out of replicas *because* the budget ran out is a
+            # deadline failure, not a fleet failure.
+            raise clock.spent(frame, failures)
         raise self._every_replica_failed(failures)
 
     # -- pipelining --------------------------------------------------------
@@ -388,6 +533,7 @@ class ServingClient(_ClientCore):
         so a mid-stream transport failure leaves exactly the unanswered
         slots in ``remaining`` for the next replica to retry.
         """
+        connection.sock.settimeout(self.timeout)  # undo per-call overrides
         queue: Deque[int] = collections.deque(sorted(remaining))
         outstanding: Set[int] = set()
         while queue or outstanding:
@@ -464,43 +610,71 @@ class ServingClient(_ClientCore):
 
     # -- the serving surface ----------------------------------------------
 
-    def top_n(self, user: int, n: int = 10,
-              exclude_seen: bool = True) -> Recommendation:
+    # Every request method takes per-call ``timeout=`` (socket-level
+    # override of the constructor-wide timeout, seconds) and
+    # ``deadline_ms=`` (an end-to-end budget stamped into the frame:
+    # the server sheds the request instead of serving it late, and the
+    # client raises :class:`DeadlineError` once the budget is spent).
+
+    def top_n(self, user: int, n: int = 10, exclude_seen: bool = True,
+              timeout: Optional[float] = None,
+              deadline_ms: Optional[float] = None) -> Recommendation:
         return _recommendation(self._request(
-            self._top_n_frame(user, n, exclude_seen)))
+            self._top_n_frame(user, n, exclude_seen),
+            timeout=timeout, deadline_ms=deadline_ms))
 
     def top_n_batch(self, users: Iterable[int], n: int = 10,
-                    exclude_seen: bool = True) -> Dict[int, Recommendation]:
+                    exclude_seen: bool = True,
+                    timeout: Optional[float] = None,
+                    deadline_ms: Optional[float] = None
+                    ) -> Dict[int, Recommendation]:
         return self._batch_result(self._request(
-            self._batch_frame(users, n, exclude_seen)))
+            self._batch_frame(users, n, exclude_seen),
+            timeout=timeout, deadline_ms=deadline_ms))
 
-    def predict(self, user: int, item: int) -> float:
-        payload = self._request(Frame("predict", {"user": int(user),
-                                                  "item": int(item)}))
+    def predict(self, user: int, item: int,
+                timeout: Optional[float] = None,
+                deadline_ms: Optional[float] = None) -> float:
+        payload = self._request(
+            Frame("predict", {"user": int(user), "item": int(item)}),
+            timeout=timeout, deadline_ms=deadline_ms)
         return float(payload["score"])
 
-    def predict_batch(self, users, items) -> np.ndarray:
-        payload = self._request(self._predict_batch_frame(users, items))
+    def predict_batch(self, users, items,
+                      timeout: Optional[float] = None,
+                      deadline_ms: Optional[float] = None) -> np.ndarray:
+        payload = self._request(self._predict_batch_frame(users, items),
+                                timeout=timeout, deadline_ms=deadline_ms)
         return np.asarray(payload["scores"], dtype=np.float64)
 
-    def fold_in(self, items, values) -> int:
+    def fold_in(self, items, values, timeout: Optional[float] = None,
+                deadline_ms: Optional[float] = None) -> int:
         return int(self._request(
-            Frame("foldin", self._rating_payload(items, values)))["user"])
+            Frame("foldin", self._rating_payload(items, values)),
+            timeout=timeout, deadline_ms=deadline_ms)["user"])
 
-    def rate(self, user: int, items, values) -> int:
+    def rate(self, user: int, items, values,
+             timeout: Optional[float] = None,
+             deadline_ms: Optional[float] = None) -> int:
         payload = self._rating_payload(items, values)
         payload["user"] = int(user)
-        return int(self._request(Frame("rate", payload))["user"])
+        return int(self._request(Frame("rate", payload), timeout=timeout,
+                                 deadline_ms=deadline_ms)["user"])
 
-    def stats(self) -> Dict[str, object]:
-        return self._request(Frame("stats"))
+    def stats(self, timeout: Optional[float] = None,
+              deadline_ms: Optional[float] = None) -> Dict[str, object]:
+        return self._request(Frame("stats"), timeout=timeout,
+                             deadline_ms=deadline_ms)
 
-    def health(self, digest: bool = False) -> Dict[str, object]:
+    def health(self, digest: bool = False,
+               timeout: Optional[float] = None,
+               deadline_ms: Optional[float] = None) -> Dict[str, object]:
         """The health frame; ``digest=True`` asks the replica for its
         :meth:`~repro.serving.service.PredictionService.state_digest`
         (pin the client to one address to compare replicas)."""
         return self._request(
-            Frame("health", {"digest": True} if digest else {}))
+            Frame("health", {"digest": True} if digest else {}),
+            timeout=timeout, deadline_ms=deadline_ms)
 
     def close(self) -> None:
         for index in list(self._connections):
@@ -541,8 +715,12 @@ class AsyncServingClient(_ClientCore):
 
     def __init__(self, addresses: Sequence[Tuple[str, int]],
                  timeout: float = 10.0, cooldown: float = 1.0,
+                 backoff_max: float = 30.0,
+                 backoff_seed: Optional[int] = None,
                  binary: bool = True, retry_writes: bool = True):
-        self._ring = _AddressRing(addresses, cooldown=cooldown)
+        self._ring = _AddressRing(addresses, backoff=Backoff(
+            base=cooldown, cap=max(float(backoff_max), float(cooldown)),
+            seed=backoff_seed))
         self.timeout = float(timeout)
         self.binary = bool(binary)
         self._init_writes(retry_writes)
@@ -652,8 +830,9 @@ class AsyncServingClient(_ClientCore):
         except (OSError, ConnectionError):  # pragma: no cover
             pass
 
-    async def _roundtrip(self, connection: _AsyncConnection,
-                         frame: Frame) -> Frame:
+    async def _roundtrip(self, connection: _AsyncConnection, frame: Frame,
+                         timeout: Optional[float] = None) -> Frame:
+        wait = self.timeout if timeout is None else float(timeout)
         request_id = self._next_id
         self._next_id += 1
         frame.payload["id"] = request_id
@@ -662,9 +841,8 @@ class AsyncServingClient(_ClientCore):
         try:
             connection.writer.write(encode_frame(frame,
                                                  binary=connection.binary))
-            await asyncio.wait_for(connection.writer.drain(),
-                                   timeout=self.timeout)
-            reply = await asyncio.wait_for(future, timeout=self.timeout)
+            await asyncio.wait_for(connection.writer.drain(), timeout=wait)
+            reply = await asyncio.wait_for(future, timeout=wait)
         except BaseException:
             abandoned = connection.pending.pop(request_id, None)
             if (abandoned is not None and abandoned.done()
@@ -674,9 +852,17 @@ class AsyncServingClient(_ClientCore):
         reply.payload.pop("id", None)
         return reply
 
-    async def _request(self, frame: Frame) -> Dict[str, object]:
+    async def _request(self, frame: Frame,
+                       timeout: Optional[float] = None,
+                       deadline_ms: Optional[float] = None
+                       ) -> Dict[str, object]:
+        clock = self._DeadlineClock(deadline_ms)
+        base_timeout = self.timeout if timeout is None else float(timeout)
         failures: List[str] = []
         for attempt, index in enumerate(self._ring.candidates()):
+            remaining = clock.remaining(frame)
+            effective = (base_timeout if remaining is None
+                         else min(base_timeout, remaining))
             try:
                 connection = await self._connect(index)
             except (OSError, ConnectionError, ProtocolError,
@@ -684,24 +870,34 @@ class AsyncServingClient(_ClientCore):
                 self._on_connect_failure(index, error, failures)
                 continue
             try:
-                reply = await self._roundtrip(connection, frame)
+                reply = await self._roundtrip(connection, frame,
+                                              timeout=effective)
             except (OSError, ConnectionError, ProtocolError,
                     asyncio.TimeoutError) as error:
                 await self._drop(index)
                 self._on_roundtrip_failure(frame, index, error, failures)
                 continue
+            self._raise_if_deadline_reply(reply, index)
             if self._retryable_error(reply):
                 self._on_retryable_error(reply, index, failures)
                 continue
             return self._on_reply(reply, index, attempt)
+        if clock.expired():
+            raise clock.spent(frame, failures)
         raise self._every_replica_failed(failures)
 
     # -- the serving surface ----------------------------------------------
 
+    # As on the sync client, every request method takes per-call
+    # ``timeout=``/``deadline_ms=`` overrides.
+
     async def top_n(self, user: int, n: int = 10,
-                    exclude_seen: bool = True) -> Recommendation:
+                    exclude_seen: bool = True,
+                    timeout: Optional[float] = None,
+                    deadline_ms: Optional[float] = None) -> Recommendation:
         return _recommendation(await self._request(
-            self._top_n_frame(user, n, exclude_seen)))
+            self._top_n_frame(user, n, exclude_seen),
+            timeout=timeout, deadline_ms=deadline_ms))
 
     async def top_n_pipelined(self, users: Iterable[int], n: int = 10,
                               exclude_seen: bool = True,
@@ -727,37 +923,61 @@ class AsyncServingClient(_ClientCore):
             *(one(int(user)) for user in users)))
 
     async def top_n_batch(self, users: Iterable[int], n: int = 10,
-                          exclude_seen: bool = True
+                          exclude_seen: bool = True,
+                          timeout: Optional[float] = None,
+                          deadline_ms: Optional[float] = None
                           ) -> Dict[int, Recommendation]:
         return self._batch_result(await self._request(
-            self._batch_frame(users, n, exclude_seen)))
+            self._batch_frame(users, n, exclude_seen),
+            timeout=timeout, deadline_ms=deadline_ms))
 
-    async def predict(self, user: int, item: int) -> float:
+    async def predict(self, user: int, item: int,
+                      timeout: Optional[float] = None,
+                      deadline_ms: Optional[float] = None) -> float:
         payload = await self._request(
-            Frame("predict", {"user": int(user), "item": int(item)}))
+            Frame("predict", {"user": int(user), "item": int(item)}),
+            timeout=timeout, deadline_ms=deadline_ms)
         return float(payload["score"])
 
-    async def predict_batch(self, users, items) -> np.ndarray:
+    async def predict_batch(self, users, items,
+                            timeout: Optional[float] = None,
+                            deadline_ms: Optional[float] = None
+                            ) -> np.ndarray:
         payload = await self._request(
-            self._predict_batch_frame(users, items))
+            self._predict_batch_frame(users, items),
+            timeout=timeout, deadline_ms=deadline_ms)
         return np.asarray(payload["scores"], dtype=np.float64)
 
-    async def fold_in(self, items, values) -> int:
+    async def fold_in(self, items, values,
+                      timeout: Optional[float] = None,
+                      deadline_ms: Optional[float] = None) -> int:
         payload = await self._request(
-            Frame("foldin", self._rating_payload(items, values)))
+            Frame("foldin", self._rating_payload(items, values)),
+            timeout=timeout, deadline_ms=deadline_ms)
         return int(payload["user"])
 
-    async def rate(self, user: int, items, values) -> int:
+    async def rate(self, user: int, items, values,
+                   timeout: Optional[float] = None,
+                   deadline_ms: Optional[float] = None) -> int:
         payload = self._rating_payload(items, values)
         payload["user"] = int(user)
-        return int((await self._request(Frame("rate", payload)))["user"])
+        return int((await self._request(
+            Frame("rate", payload), timeout=timeout,
+            deadline_ms=deadline_ms))["user"])
 
-    async def stats(self) -> Dict[str, object]:
-        return await self._request(Frame("stats"))
+    async def stats(self, timeout: Optional[float] = None,
+                    deadline_ms: Optional[float] = None
+                    ) -> Dict[str, object]:
+        return await self._request(Frame("stats"), timeout=timeout,
+                                   deadline_ms=deadline_ms)
 
-    async def health(self, digest: bool = False) -> Dict[str, object]:
+    async def health(self, digest: bool = False,
+                     timeout: Optional[float] = None,
+                     deadline_ms: Optional[float] = None
+                     ) -> Dict[str, object]:
         return await self._request(
-            Frame("health", {"digest": True} if digest else {}))
+            Frame("health", {"digest": True} if digest else {}),
+            timeout=timeout, deadline_ms=deadline_ms)
 
     async def close(self) -> None:
         for index in list(self._connections):

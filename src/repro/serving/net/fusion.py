@@ -37,9 +37,21 @@ The fuser is transport-agnostic: it only needs an asyncio loop and a
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Set, Tuple
+import time
+from typing import Dict, List, Optional, Set, Tuple
 
-__all__ = ["QueryFuser"]
+__all__ = ["QueryFuser", "DeadlineExpired"]
+
+
+class DeadlineExpired(RuntimeError):
+    """A fused request's deadline ran out while it queued for dispatch.
+
+    Raised on the waiter's future *instead of* scoring it: expired work
+    is shed at the flush boundary, so a slow batch ahead in the queue
+    never causes the gateway to burn a worker fan-out computing results
+    nobody is still waiting for.  The server turns this into a
+    ``deadline_exceeded`` error frame.
+    """
 
 
 class QueryFuser:
@@ -71,26 +83,36 @@ class QueryFuser:
         self.window_ms = float(window_ms)
         self.max_batch = int(max_batch)
         self._executor = executor
-        # key -> list of (user, future); one window per (n, exclude_seen)
-        # key so a flush is a single homogeneous batch call.
+        # key -> list of (user, future, deadline); one window per
+        # (n, exclude_seen) key so a flush is a single homogeneous batch
+        # call.  ``deadline`` is an absolute time.monotonic() instant or
+        # None; expired waiters are shed at flush, never dispatched.
         self._pending: Dict[Tuple[int, bool],
-                            List[Tuple[int, asyncio.Future]]] = {}
+                            List[Tuple[int, asyncio.Future,
+                                       Optional[float]]]] = {}
         self._timers: Dict[Tuple[int, bool], asyncio.TimerHandle] = {}
         self._in_flight: Set[asyncio.Future] = set()
         self.n_requests = 0
         self.n_windows = 0
         self.n_deduplicated = 0
         self.n_partitions = 0
+        self.n_expired = 0
         self.max_window = 0
 
-    async def top_n(self, user: int, n: int = 10,
-                    exclude_seen: bool = True):
-        """Queue one request; resolves with the user's Recommendation."""
+    async def top_n(self, user: int, n: int = 10, exclude_seen: bool = True,
+                    deadline: Optional[float] = None):
+        """Queue one request; resolves with the user's Recommendation.
+
+        ``deadline`` (absolute ``time.monotonic()`` seconds) marks when
+        the caller stops caring: a waiter still queued past it gets
+        :class:`DeadlineExpired` instead of being dispatched.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         key = (int(n), bool(exclude_seen))
         waiters = self._pending.setdefault(key, [])
-        waiters.append((int(user), future))
+        waiters.append((int(user), future,
+                        float(deadline) if deadline is not None else None))
         self.n_requests += 1
         if len(waiters) >= self.max_batch:
             self._flush(key)
@@ -116,16 +138,38 @@ class QueryFuser:
             self._timers[key] = asyncio.get_running_loop().call_later(
                 self.window_ms / 1000.0, self._flush, key)
 
+    def _expire(self, waiters) -> list:
+        """Shed waiters whose deadline has passed; returns the live rest.
+
+        The invariant the chaos tests pin: an expired request is *never*
+        handed to a scorer — its future fails with
+        :class:`DeadlineExpired` right here, at the flush boundary.
+        """
+        now = time.monotonic()
+        alive = []
+        for user, future, deadline in waiters:
+            if deadline is not None and now >= deadline:
+                self.n_expired += 1
+                if not future.done():
+                    future.set_exception(DeadlineExpired(
+                        f"top_n for user {user} queued past its deadline "
+                        f"({(now - deadline) * 1000.0:.1f} ms over)"))
+            else:
+                alive.append((user, future, deadline))
+        return alive
+
     def _flush(self, key: Tuple[int, bool]) -> None:
         timer = self._timers.pop(key, None)
         if timer is not None:
             timer.cancel()
         waiters = self._pending.pop(key, None)
+        if waiters:
+            waiters = self._expire(waiters)
         if not waiters:
             return
         self.n_windows += 1
         self.max_window = max(self.max_window, len(waiters))
-        users = [user for user, _ in waiters]
+        users = [user for user, _, _ in waiters]
         self.n_deduplicated += len(users) - len(set(users))
         n, exclude_seen = key
         loop = asyncio.get_running_loop()
@@ -142,7 +186,7 @@ class QueryFuser:
                        done: asyncio.Future) -> None:
         self._in_flight.discard(done)
         if done.cancelled():
-            for _, future in waiters:
+            for _, future, _ in waiters:
                 if not future.done():
                     future.cancel()
         elif done.exception() is not None:
@@ -162,7 +206,7 @@ class QueryFuser:
         indexing straight into the mapping would raise inside this done
         callback and leave every later waiter pending forever.
         """
-        for user, future in waiters:
+        for user, future, _ in waiters:
             if future.done():
                 continue
             if user in results:
@@ -181,7 +225,7 @@ class QueryFuser:
         the retry (the error is already correctly attributed).
         """
         by_user: Dict[int, List[asyncio.Future]] = {}
-        for user, future in waiters:
+        for user, future, _ in waiters:
             by_user.setdefault(user, []).append(future)
         if len(by_user) == 1:
             for futures in by_user.values():
@@ -227,7 +271,7 @@ class QueryFuser:
         """Flush every window and wait until nothing is pending."""
         while self._pending or self._in_flight:
             futures = [future for waiters in self._pending.values()
-                       for _, future in waiters]
+                       for _, future, _ in waiters]
             for key in list(self._pending):
                 self._flush(key)
             awaitables = futures + list(self._in_flight)
@@ -242,5 +286,6 @@ class QueryFuser:
             "fusion_windows": self.n_windows,
             "fusion_deduplicated": self.n_deduplicated,
             "fusion_partitions": self.n_partitions,
+            "fusion_expired": self.n_expired,
             "fusion_max_window": self.max_window,
         }

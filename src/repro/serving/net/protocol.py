@@ -65,6 +65,7 @@ __all__ = [
     "encode_frame", "FrameDecoder", "parse_line", "execute", "format_reply",
     "hello_frame", "check_hello", "negotiated_encoding",
     "IDEMPOTENT_KINDS", "MUTATION_KINDS",
+    "ERROR_DEADLINE", "ERROR_OVERLOADED", "error_frame",
 ]
 
 #: Bump on any wire-visible change; the handshake refuses mismatches.
@@ -129,6 +130,36 @@ _ARRAY_MARKER = "__nd__"
 
 class ProtocolError(ValueError):
     """A frame or command line that violates the protocol."""
+
+
+#: Machine-readable ``error`` frame codes for the overload defenses.
+#: ``deadline_exceeded``: the request's ``deadline_ms`` budget ran out
+#: before dispatch — the work was *not* done (retryable with a fresh
+#: deadline, but pointless to replay with the spent one, which is why
+#: the clients surface it as :class:`~repro.serving.net.client.
+#: DeadlineError` instead of failing over).  ``overloaded``: admission
+#: control shed the request before any state changed — always safe to
+#: retry on another replica, and the clients do.
+ERROR_DEADLINE = "deadline_exceeded"
+ERROR_OVERLOADED = "overloaded"
+
+
+def error_frame(message: str, code: Optional[str] = None,
+                retryable: bool = False) -> Frame:
+    """Build an ``error`` frame, optionally coded and marked retryable.
+
+    ``retryable`` is the server's promise that the request was refused
+    *without being applied*; clients fail such errors over to another
+    replica (mutations included).  ``code`` gives defenses a
+    machine-readable identity (see :data:`ERROR_DEADLINE` /
+    :data:`ERROR_OVERLOADED`) on top of the human-readable message.
+    """
+    payload: Dict[str, object] = {"message": str(message)}
+    if code is not None:
+        payload["code"] = str(code)
+    if retryable:
+        payload["retryable"] = True
+    return Frame("error", payload)
 
 
 @dataclass

@@ -152,6 +152,19 @@ class ReplicaSet:
     wal_sync_every:
         The log's fsync cadence (``1`` = fsync before every ack, the
         strict default; larger batches syncs for throughput).
+    max_queue_depth:
+        Per-replica admission-control bound (see :class:`NetServer`);
+        ``None`` disables overload shedding.
+    ship_cooldown, ship_backoff_max, ship_backoff_seed:
+        The leader's per-follower shipping backoff: base skip window
+        after a failed shipment, its exponential cap, and the jitter
+        seed (see :class:`~repro.serving.wal.shipper.LeaderCoordinator`).
+    fault_injector:
+        Optional :class:`~repro.serving.chaos.FaultInjector` threaded
+        into the leader's :class:`WriteAheadLog` (``wal.append`` /
+        ``wal.fsync`` fault sites).  Survives :meth:`restart` because
+        re-wiring rebuilds the log from this handle.  ``None`` (the
+        default) means zero injection code on any hot path.
     """
 
     def __init__(self, make_service: Callable[[int], object],
@@ -161,7 +174,11 @@ class ReplicaSet:
                  fuse_window_ms: Optional[float] = 2.0,
                  fuse_max_batch: int = 64, max_in_flight: int = 64,
                  replicate: bool = True,
-                 wal_dir: Optional[str] = None, wal_sync_every: int = 1):
+                 wal_dir: Optional[str] = None, wal_sync_every: int = 1,
+                 max_queue_depth: Optional[int] = 256,
+                 ship_cooldown: float = 1.0, ship_backoff_max: float = 30.0,
+                 ship_backoff_seed: Optional[int] = None,
+                 fault_injector=None):
         check_positive("n_replicas", n_replicas)
         if ports is not None and len(ports) != n_replicas:
             raise ValueError(
@@ -169,12 +186,17 @@ class ReplicaSet:
         self.replicate = bool(replicate)
         self.wal_dir = wal_dir
         self.wal_sync_every = int(wal_sync_every)
+        self.ship_cooldown = float(ship_cooldown)
+        self.ship_backoff_max = float(ship_backoff_max)
+        self.ship_backoff_seed = ship_backoff_seed
+        self.fault_injector = fault_injector
         self._make_service = make_service
         self._make_watcher = make_watcher
         self._host = host
         self._options = {"fuse_window_ms": fuse_window_ms,
                          "fuse_max_batch": fuse_max_batch,
                          "max_in_flight": max_in_flight,
+                         "max_queue_depth": max_queue_depth,
                          "wal_expected": self.replicate}
         self.replicas = [
             _Replica(index, make_service, make_watcher, host,
@@ -239,8 +261,13 @@ class ReplicaSet:
         if index == 0:
             def build_leader():
                 log = WriteAheadLog(self.wal_dir,
-                                    sync_every=self.wal_sync_every)
-                return LeaderCoordinator(replica.service, log)
+                                    sync_every=self.wal_sync_every,
+                                    fault_injector=self.fault_injector)
+                return LeaderCoordinator(
+                    replica.service, log,
+                    ship_cooldown=self.ship_cooldown,
+                    ship_backoff_max=self.ship_backoff_max,
+                    ship_backoff_seed=self.ship_backoff_seed)
             coordinator = replica.server.call_serialized(build_leader)
             replica.server.set_wal(coordinator)
             coordinator.set_followers(self._follower_addresses())
@@ -273,6 +300,18 @@ class ReplicaSet:
         every acked write intact when the log is durable.
         """
         self.replicas[index].kill()
+
+    def pause(self, index: int, seconds: float) -> None:
+        """Stall one replica's gateway executor for ``seconds`` (chaos).
+
+        The replica stays connected but stops answering — the shape of a
+        GC pause or an I/O hiccup, distinct from :meth:`kill`'s dropped
+        connections.  Clients ride it out with their socket timeout and
+        failover.
+        """
+        replica = self.replicas[index]
+        if replica.is_alive() and replica.server is not None:
+            replica.server.stall(float(seconds))
 
     def restart(self, index: int, timeout: float = 60.0) -> None:
         """Bring a dead (or live) replica back up on its old port.

@@ -40,19 +40,23 @@
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.serving.net.fusion import QueryFuser
+from repro.serving.net.fusion import DeadlineExpired, QueryFuser
 from repro.serving.net.protocol import (
     ENCODINGS,
+    ERROR_DEADLINE,
+    ERROR_OVERLOADED,
     Frame,
     FrameDecoder,
     MUTATION_KINDS,
     PROTOCOL_VERSION,
     ProtocolError,
+    error_frame,
     recommendation_payload,
     check_hello,
     encode_frame,
@@ -65,6 +69,15 @@ from repro.utils.validation import ValidationError, check_positive
 __all__ = ["NetServer"]
 
 _READ_CHUNK = 1 << 16
+
+#: Request kinds that mutate state, for per-class admission control:
+#: shedding reads under a read storm must not also starve writes (and
+#: vice versa), so each class has its own queue-depth budget.
+_WRITE_KINDS = frozenset(MUTATION_KINDS | {"wal_append"})
+
+
+def _request_class(kind: str) -> str:
+    return "write" if kind in _WRITE_KINDS else "read"
 
 
 class NetServer:
@@ -87,6 +100,13 @@ class NetServer:
         Fusion flushes early at this many pending requests.
     max_in_flight:
         Cap on concurrently admitted requests across all connections.
+    max_queue_depth:
+        Admission control: with every in-flight slot busy, at most this
+        many requests *per class* (reads vs writes, independently) may
+        queue for a slot; the excess is shed immediately with a
+        retryable ``overloaded`` error frame instead of building an
+        unbounded backlog.  ``None`` disables shedding (the historical
+        queue-forever behaviour).
     watcher:
         Optional :class:`SnapshotWatcher` whose lifecycle should follow
         the server's.
@@ -95,14 +115,19 @@ class NetServer:
     def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
                  fuse_window_ms: Optional[float] = 2.0,
                  fuse_max_batch: int = 64, max_in_flight: int = 64,
+                 max_queue_depth: Optional[int] = 256,
                  watcher=None, wal_expected: bool = False):
         check_positive("max_in_flight", max_in_flight)
+        if max_queue_depth is not None:
+            check_positive("max_queue_depth", max_queue_depth)
         self.service = service
         self.host = host
         self.port = int(port)
         self.watcher = watcher
         self.wal_expected = bool(wal_expected)
         self.max_in_flight = int(max_in_flight)
+        self.max_queue_depth = (int(max_queue_depth)
+                                if max_queue_depth is not None else None)
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-net-exec")
         self.fuser: Optional[QueryFuser] = None
@@ -121,6 +146,12 @@ class NetServer:
         self.n_requests = 0
         self.n_error_replies = 0
         self.n_protocol_errors = 0
+        self.n_stalls = 0
+        # Admission / deadline bookkeeping: requests currently waiting
+        # for an in-flight slot, per class, plus shed counters.
+        self._queued: Dict[str, int] = {"read": 0, "write": 0}
+        self.n_overload_shed: Dict[str, int] = {"read": 0, "write": 0}
+        self.n_deadline_shed = 0
 
     # -- replication wiring ------------------------------------------------
 
@@ -392,7 +423,7 @@ class NetServer:
     async def _respond_wal(self, frame: Frame) -> Frame:
         """Route WAL traffic and (when a coordinator is attached)
         mutations — see :meth:`set_wal` for the executor assignments."""
-        from repro.serving.wal.log import WalError
+        from repro.serving.wal.log import WalError, WalWriteError
         from repro.serving.wal.shipper import WalUnavailableError
         loop = asyncio.get_running_loop()
         try:
@@ -426,40 +457,100 @@ class NetServer:
         except (ValidationError, WalError, KeyError, TypeError,
                 ValueError) as error:
             body: Dict[str, object] = {"message": str(error)}
-            if isinstance(error, WalUnavailableError):
-                # The write was NOT applied: tell the client it may
+            if isinstance(error, (WalUnavailableError, WalWriteError)):
+                # The write was NOT applied (leader unreachable, or the
+                # append rolled itself back): tell the client it may
                 # safely retry elsewhere even though mutations are
                 # normally not retried on errors.
                 body["retryable"] = True
             return Frame("error", body)
 
+    @staticmethod
+    def _frame_deadline(frame: Frame, arrival: float) -> Optional[float]:
+        """The absolute monotonic deadline a request frame carries.
+
+        ``deadline_ms`` is a *relative* budget (milliseconds remaining
+        when the client sent this attempt) — relative so clock skew
+        between client and server never mis-expires a request; the cost
+        is that one-way network latency eats silently into the budget.
+        """
+        budget = frame.payload.get("deadline_ms")
+        if budget is None:
+            return None
+        try:
+            return arrival + float(budget) / 1000.0
+        except (TypeError, ValueError):
+            return None  # unparseable budgets never constrain a request
+
+    def _shed_overload(self, frame: Frame) -> Optional[Frame]:
+        """Admission control: refuse the request if its class's queue is
+        full.  Runs before anything waits on the slot semaphore, so a
+        shed request costs the server one frame decode and one error
+        frame — nothing else."""
+        if self.max_queue_depth is None or not self._slots.locked():
+            return None
+        cls = _request_class(frame.kind)
+        if self._queued[cls] < self.max_queue_depth:
+            return None
+        self.n_overload_shed[cls] += 1
+        return error_frame(
+            f"overloaded: {self._queued[cls]} {cls}s already queued "
+            f"behind {self.max_in_flight} in-flight requests",
+            code=ERROR_OVERLOADED, retryable=True)
+
     async def _respond(self, writer: asyncio.StreamWriter,
                        frame: Frame, binary: bool = False) -> None:
         self.n_requests += 1
-        async with self._slots:
-            if self.fuser is not None and frame.kind == "top_n":
-                response = await self._fused_top_n(frame)
-            elif frame.kind in ("wal_append", "wal_catchup") or (
-                    frame.kind in MUTATION_KINDS
-                    and (self.wal is not None or self.wal_expected)):
-                response = await self._respond_wal(frame)
-            else:
-                # arrays=True: replies keep the gateway's own ndarray
-                # response buffers, encoded once at _send — no
-                # per-element re-encode on the event loop.
-                response = await asyncio.get_running_loop().run_in_executor(
-                    self._executor, execute, self.service, frame,
-                    self._health_extra, True)
+        arrival = time.monotonic()
+        deadline = self._frame_deadline(frame, arrival)
+        response = self._shed_overload(frame)
+        if response is None:
+            cls = _request_class(frame.kind)
+            self._queued[cls] += 1
+            try:
+                await self._slots.acquire()
+            finally:
+                self._queued[cls] -= 1
+            try:
+                # The gate sits *after* the slot wait on purpose: time
+                # spent queueing counts against the budget, so a request
+                # that expired in the queue is shed before any gateway
+                # work, not scored late.
+                if deadline is not None and time.monotonic() >= deadline:
+                    self.n_deadline_shed += 1
+                    response = error_frame(
+                        f"deadline_exceeded: {frame.kind!r} spent its "
+                        f"{frame.payload.get('deadline_ms')} ms budget "
+                        "queueing", code=ERROR_DEADLINE, retryable=True)
+                elif self.fuser is not None and frame.kind == "top_n":
+                    response = await self._fused_top_n(frame, deadline)
+                elif frame.kind in ("wal_append", "wal_catchup") or (
+                        frame.kind in MUTATION_KINDS
+                        and (self.wal is not None or self.wal_expected)):
+                    response = await self._respond_wal(frame)
+                else:
+                    # arrays=True: replies keep the gateway's own ndarray
+                    # response buffers, encoded once at _send — no
+                    # per-element re-encode on the event loop.
+                    response = await asyncio.get_running_loop() \
+                        .run_in_executor(
+                            self._executor, execute, self.service, frame,
+                            self._health_extra, True)
+            finally:
+                self._slots.release()
         request_id = frame.payload.get("id")
         if request_id is not None:
             response.payload.setdefault("id", request_id)
         await self._send(writer, response, binary)
 
-    async def _fused_top_n(self, frame: Frame) -> Frame:
+    async def _fused_top_n(self, frame: Frame,
+                           deadline: Optional[float] = None) -> Frame:
         """Route one ``top_n`` through the fuser.
 
         Arguments are validated *before* entering the window, so one bad
-        request cannot poison the whole fused batch.
+        request cannot poison the whole fused batch.  The deadline rides
+        into the window: a waiter still queued when it passes is shed by
+        the fuser instead of dispatched (see :class:`DeadlineExpired`).
         """
         payload = frame.payload
         try:
@@ -473,22 +564,46 @@ class NetServer:
             return Frame("error", {"message": str(error)})
         try:
             recommendation = await self.fuser.top_n(
-                user, n=n, exclude_seen=bool(payload.get("exclude_seen",
-                                                         True)))
+                user, n=n,
+                exclude_seen=bool(payload.get("exclude_seen", True)),
+                deadline=deadline)
+        except DeadlineExpired as error:
+            self.n_deadline_shed += 1
+            return error_frame(str(error), code=ERROR_DEADLINE,
+                               retryable=True)
         except Exception as error:  # noqa: BLE001 - worker/gateway failure
             return Frame("error", {"message": str(error)})
         return Frame("ok", recommendation_payload(recommendation,
                                                   arrays=True))
 
+    # -- chaos hooks --------------------------------------------------------
+
+    def stall(self, seconds: float) -> None:
+        """Wedge the gateway executor for ``seconds`` (fault injection).
+
+        Schedules a sleep on the single gateway thread and returns
+        immediately: every queued request behind it waits it out,
+        exactly like a gateway stuck in a long worker IPC — the drill
+        that provokes deadline expiry and queue shedding without killing
+        anything.  Safe to call from any thread.
+        """
+        self.n_stalls += 1
+        self._executor.submit(time.sleep, float(seconds))
+
     # -- introspection -----------------------------------------------------
 
-    def stats(self) -> Dict[str, int]:
-        """Server-level counters (connections, requests, errors)."""
+    def stats(self) -> Dict[str, object]:
+        """Server-level counters (connections, requests, errors, load)."""
         return {
             "n_connections": self.n_connections,
             "n_open_connections": len(self._connections),
             "n_requests": self.n_requests,
             "n_error_replies": self.n_error_replies,
             "n_protocol_errors": self.n_protocol_errors,
+            "n_deadline_shed": self.n_deadline_shed,
+            "n_overload_shed": dict(self.n_overload_shed),
+            "n_stalls": self.n_stalls,
+            "queue_depth": dict(self._queued),
+            "max_queue_depth": self.max_queue_depth,
             "max_in_flight": self.max_in_flight,
         }

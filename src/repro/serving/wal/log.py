@@ -53,7 +53,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["WalRecord", "WriteAheadLog", "WalError", "WalCorruptionError"]
+__all__ = ["WalRecord", "WriteAheadLog", "WalError", "WalCorruptionError",
+           "WalWriteError"]
 
 _RECORD_HEADER = struct.Struct(">IIQ")
 _SEGMENT_RE = re.compile(r"^wal-(\d{20})\.seg$")
@@ -71,6 +72,19 @@ class WalCorruptionError(WalError):
     """Damage recovery must not repair silently: a broken record in the
     *interior* of the log (valid data follows it), where truncating
     would drop acknowledged writes."""
+
+
+class WalWriteError(WalError):
+    """An append failed *before* the record became part of the log.
+
+    The contract that makes this retryable: whenever it is raised the
+    log's on-disk bytes and in-memory record list are exactly as they
+    were before the append — no record, no seqno, no partial bytes — so
+    the mutation was never applied and the server surfaces the refusal
+    as a retryable error frame.  Raised by the injected filesystem
+    faults (ENOSPC / torn write / fsync failure); a real ``OSError``
+    from the filesystem still propagates as itself, because then the
+    no-partial-state promise cannot be made."""
 
 
 @dataclass(frozen=True)
@@ -113,10 +127,20 @@ class WriteAheadLog:
         Rotate to a new segment file once the current one reaches this
         size (checked before each append, so one oversized record never
         splits).
+    fault_injector:
+        Optional :class:`~repro.serving.chaos.FaultInjector` driving the
+        ``wal.append`` (ENOSPC / torn write) and ``wal.fsync`` fault
+        sites inside :meth:`append`.  ``None`` (default): no injection,
+        no overhead.  An injected fault always rolls the segment back to
+        its pre-append bytes and raises :class:`WalWriteError` — the
+        torn-write case deliberately exercises the same code path a
+        crash-plus-recovery would (partial bytes written, then removed
+        before anything was acked).
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None,
-                 sync_every: int = 1, segment_bytes: int = 4 * 1024 * 1024):
+                 sync_every: int = 1, segment_bytes: int = 4 * 1024 * 1024,
+                 fault_injector=None):
         if sync_every < 1:
             raise WalError(f"sync_every must be >= 1, got {sync_every}")
         if segment_bytes < 1:
@@ -125,6 +149,8 @@ class WriteAheadLog:
         self.directory = Path(directory) if directory is not None else None
         self.sync_every = int(sync_every)
         self.segment_bytes = int(segment_bytes)
+        self.fault_injector = fault_injector
+        self.n_injected_faults = 0
         self._records: List[WalRecord] = []
         self._handle = None
         self._handle_path: Optional[Path] = None
@@ -261,6 +287,27 @@ class WriteAheadLog:
             self.n_syncs += 1
         self._unsynced = 0
 
+    def _rollback_bytes(self, offset: int) -> None:
+        """Remove this append's partial bytes (injected-fault recovery).
+
+        Leaves the segment exactly as before the append, so the live log
+        stays self-consistent — an orphan half-record in the *interior*
+        would read as corruption (not a torn tail) on the next recovery.
+        """
+        self._handle.flush()
+        self._handle.truncate(offset)
+        # truncate() leaves the file position past the new EOF; re-seek
+        # so tell() keeps reporting real offsets (the next rollback's
+        # truncate target) instead of phantom ones past the end.
+        self._handle.seek(0, os.SEEK_END)
+        os.fsync(self._handle.fileno())
+
+    def _injected_append_fault(self) -> Optional[str]:
+        if self.fault_injector is None:
+            return None
+        event = self.fault_injector.check("wal.append")
+        return event.action if event is not None else None
+
     def append(self, payload: Dict[str, object]) -> int:
         """Durably append one record; returns its sequence number.
 
@@ -271,16 +318,49 @@ class WriteAheadLog:
         encoded = _encode_record(seqno, payload)
         record = WalRecord(seqno=seqno, payload=json.loads(
             json.dumps(payload, separators=(",", ":"), sort_keys=True)))
+        fault = self._injected_append_fault()
+        if fault == "enospc":
+            self.n_injected_faults += 1
+            raise WalWriteError(
+                f"injected ENOSPC: no space for record {seqno}")
+        if fault == "torn" and self.directory is None:
+            # No file to tear; the append still fails un-applied.
+            self.n_injected_faults += 1
+            raise WalWriteError(
+                f"injected torn write: record {seqno} lost")
         if self.directory is not None:
             if (self._handle is not None
                     and self._handle.tell() >= self.segment_bytes):
                 self._close_handle()
             if self._handle is None:
                 self._open_segment(seqno)
+            start = self._handle.tell()
+            if fault == "torn":
+                # Write a prefix of the record, then recover exactly as
+                # a restart would: truncate the torn tail away.  One
+                # step models crash-during-append plus recovery.
+                self.n_injected_faults += 1
+                self._handle.write(encoded[:max(1, len(encoded) // 2)])
+                self._rollback_bytes(start)
+                raise WalWriteError(
+                    f"injected torn write: record {seqno} truncated "
+                    "back out of the segment")
             self._handle.write(encoded)
             self._handle.flush()
             self._unsynced += 1
             if self._unsynced >= self.sync_every:
+                if self.fault_injector is not None:
+                    event = self.fault_injector.check("wal.fsync")
+                    if event is not None and event.action == "fail":
+                        # The record hit the OS but its durability sync
+                        # failed; honour the WalWriteError contract by
+                        # rolling the append back entirely.
+                        self.n_injected_faults += 1
+                        self._rollback_bytes(start)
+                        self._unsynced -= 1
+                        raise WalWriteError(
+                            f"injected fsync failure: record {seqno} "
+                            "rolled back")
                 self._flush_and_sync()
         self._records.append(record)
         self.n_appended += 1
@@ -349,6 +429,7 @@ class WriteAheadLog:
             "high_seqno": self.high_seqno,
             "durable": self.directory is not None,
             "sync_every": self.sync_every,
+            "injected_faults": self.n_injected_faults,
         }
 
     def __enter__(self) -> "WriteAheadLog":

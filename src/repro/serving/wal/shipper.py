@@ -42,6 +42,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
+from repro.serving.net.backoff import Backoff
 from repro.serving.net.protocol import (
     Frame,
     FrameDecoder,
@@ -49,7 +50,12 @@ from repro.serving.net.protocol import (
     encode_frame,
     hello_frame,
 )
-from repro.serving.wal.log import WalError, WalRecord, WriteAheadLog
+from repro.serving.wal.log import (
+    WalError,
+    WalRecord,
+    WalWriteError,
+    WriteAheadLog,
+)
 from repro.serving.wal.replay import (
     MutationReplayer,
     WalDivergenceError,
@@ -164,21 +170,37 @@ def _record_from_wire(entry: Dict[str, object]) -> WalRecord:
 
 
 class _FollowerLink:
-    """A leader-side shipping target with failure cooldown."""
+    """A leader-side shipping target with exponential failure backoff.
+
+    Consecutive shipment failures double the skip window (capped,
+    jittered — the shared :class:`Backoff` policy), so a down follower
+    stops costing the commit path a connect-timeout per write; the first
+    successful shipment resets it.  ``applied_seqno`` remembers the
+    follower's acked high-water mark from its last shipment reply — the
+    leader's view of that follower's replication lag.
+    """
 
     def __init__(self, address: Tuple[str, int], timeout: float,
-                 cooldown: float):
+                 backoff: Backoff):
         self.link = _WalLink(address, timeout=timeout)
-        self.cooldown = float(cooldown)
+        self.backoff = backoff
+        self.failures = 0
         self.dead_until = 0.0
+        self.applied_seqno = 0
 
     @property
     def shippable(self) -> bool:
         return time.monotonic() >= self.dead_until
 
+    def mark_alive(self) -> None:
+        self.failures = 0
+        self.dead_until = 0.0
+
     def mark_dead(self) -> None:
         self.link.close()
-        self.dead_until = time.monotonic() + self.cooldown
+        self.failures += 1
+        self.dead_until = (time.monotonic()
+                           + self.backoff.delay(self.failures))
 
 
 class LeaderCoordinator:
@@ -192,15 +214,22 @@ class LeaderCoordinator:
         The (possibly freshly recovered) :class:`WriteAheadLog`.  The
         coordinator owns it from here on and closes it with itself.
     ship_timeout, ship_cooldown:
-        Per-follower socket timeout and how long a follower that failed
-        a shipment is skipped before retrying (it self-heals any gap by
-        catch-up once shipping resumes).
+        Per-follower socket timeout and the *base* skip window after a
+        failed shipment (it self-heals any gap by catch-up once shipping
+        resumes).
+    ship_backoff_max, ship_backoff_seed:
+        Cap and jitter seed for the per-follower exponential backoff:
+        consecutive failures double the skip window from ``ship_cooldown``
+        up to ``ship_backoff_max``.  Seeding makes the jitter sequence
+        reproducible for the chaos drills.
     """
 
     role = "leader"
 
     def __init__(self, service, log: WriteAheadLog,
-                 ship_timeout: float = 10.0, ship_cooldown: float = 1.0):
+                 ship_timeout: float = 10.0, ship_cooldown: float = 1.0,
+                 ship_backoff_max: float = 30.0,
+                 ship_backoff_seed: Optional[int] = None):
         self.service = service
         self.log = log
         self.replayer = MutationReplayer(service)
@@ -208,6 +237,9 @@ class LeaderCoordinator:
         self._followers: Dict[Tuple[str, int], _FollowerLink] = {}
         self._ship_timeout = float(ship_timeout)
         self._ship_cooldown = float(ship_cooldown)
+        self._ship_backoff_max = max(float(ship_backoff_max),
+                                     float(ship_cooldown))
+        self._ship_backoff_seed = ship_backoff_seed
         self._dedup: "collections.OrderedDict[str, Dict[str, object]]" = \
             collections.OrderedDict()
         self.n_shipped = 0
@@ -244,8 +276,16 @@ class LeaderCoordinator:
                 self._followers.pop(address).link.close()
         for address in wanted:
             if address not in self._followers:
+                # Each follower gets its own Backoff so one flapping
+                # target does not advance another's jitter stream; the
+                # port keeps seeded runs deterministic per follower.
+                seed = self._ship_backoff_seed
+                if seed is not None:
+                    seed = int(seed) + int(address[1])
                 self._followers[address] = _FollowerLink(
-                    address, self._ship_timeout, self._ship_cooldown)
+                    address, self._ship_timeout,
+                    Backoff(base=self._ship_cooldown,
+                            cap=self._ship_backoff_max, seed=seed))
 
     # -- the write path ----------------------------------------------------
 
@@ -291,6 +331,9 @@ class LeaderCoordinator:
                 if reply.is_error:
                     raise WalError(str(reply.payload.get("message")))
                 self.n_shipped += 1
+                follower.mark_alive()
+                follower.applied_seqno = int(
+                    reply.payload.get("applied", follower.applied_seqno))
             except (OSError, ConnectionError, ProtocolError,
                     WalError) as error:
                 follower.mark_dead()
@@ -326,6 +369,16 @@ class LeaderCoordinator:
     def stats(self) -> Dict[str, object]:
         log_stats = self.log.stats()
         replay_stats = self.replayer.stats()
+        # Replication lag as the leader sees it: its own high seqno minus
+        # each follower's last-acked applied seqno.  A follower that has
+        # never acked reads as fully lagged — which is the truth.
+        follower_applied = {
+            f"{host}:{port}": follower.applied_seqno
+            for (host, port), follower in self._followers.items()}
+        high = log_stats["high_seqno"]
+        max_lag = max((high - applied
+                       for applied in follower_applied.values()),
+                      default=0)
         return {
             "role": "leader",
             "appended": log_stats["appended"],
@@ -339,6 +392,8 @@ class LeaderCoordinator:
             "ship_failures": self.n_ship_failures,
             "dedup_hits": self.n_dedup_hits,
             "followers": len(self._followers),
+            "follower_applied": follower_applied,
+            "max_follower_lag": max_lag,
             "log": log_stats,
         }
 
@@ -362,6 +417,10 @@ class FollowerCoordinator:
         self._forward_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-wal-forward")
         self._leader_instance: Optional[str] = None
+        #: Highest leader seqno this follower has *heard of* (from
+        #: shipment and catch-up headers) — the reference point for its
+        #: own replication lag.
+        self.leader_hwm = 0
         self.n_forwarded = 0
         self.n_forward_failures = 0
         self.n_catchup_batches = 0
@@ -392,7 +451,14 @@ class FollowerCoordinator:
             ) from error
         self.n_forwarded += 1
         if reply.is_error:
-            raise WalError(str(reply.payload.get("message")))
+            message = str(reply.payload.get("message"))
+            if reply.payload.get("retryable"):
+                # The leader said the write was NOT applied (e.g. the
+                # append rolled itself back): keep that retryability
+                # when relaying, or the client would treat an injected
+                # disk fault as a definitive domain error.
+                raise WalWriteError(message)
+            raise WalError(message)
         return dict(reply.payload)
 
     # -- the replication path ----------------------------------------------
@@ -422,6 +488,7 @@ class FollowerCoordinator:
         """Apply one shipped batch; close any gap by catching up first."""
         leader_hwm = int(payload.get("leader_hwm", 0))
         self._check_instance(payload, leader_hwm)
+        self.leader_hwm = max(self.leader_hwm, leader_hwm)
         for entry in payload.get("records", ()):
             record = _record_from_wire(entry)
             try:
@@ -455,13 +522,14 @@ class FollowerCoordinator:
                     f"({error!r})") from error
             if reply.is_error:
                 raise WalError(str(reply.payload.get("message")))
-            self._check_instance(reply.payload,
-                                 int(reply.payload.get("high_seqno", 0)))
+            high_seqno = int(reply.payload.get("high_seqno", 0))
+            self._check_instance(reply.payload, high_seqno)
+            self.leader_hwm = max(self.leader_hwm, high_seqno)
             records = [_record_from_wire(entry)
                        for entry in reply.payload.get("records", ())]
             applied += self.replayer.apply_all(records)
             self.n_catchup_batches += 1
-            high = int(reply.payload.get("high_seqno", 0))
+            high = high_seqno
             if not records or self.replayer.applied_seqno >= \
                     (min(high, up_to) if up_to is not None else high):
                 return applied
@@ -478,13 +546,16 @@ class FollowerCoordinator:
 
     def stats(self) -> Dict[str, object]:
         replay_stats = self.replayer.stats()
+        applied = replay_stats["applied_seqno"]
         return {
             "role": "follower",
-            "applied_seqno": replay_stats["applied_seqno"],
+            "applied_seqno": applied,
             "replayed": replay_stats["replayed"],
             "duplicates_skipped": replay_stats["duplicates_skipped"],
             "catchup_batches": self.n_catchup_batches,
             "forwarded": self.n_forwarded,
             "forward_failures": self.n_forward_failures,
             "leader": list(self.leader_address),
+            "leader_hwm": self.leader_hwm,
+            "lag": max(0, self.leader_hwm - applied),
         }

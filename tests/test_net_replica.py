@@ -18,7 +18,7 @@ import numpy as np
 import pytest
 
 from repro.bench.serving import make_bench_snapshot
-from repro.serving.net import NetError, ReplicaSet, ServingClient
+from repro.serving.net import Backoff, NetError, ReplicaSet, ServingClient
 from repro.serving.net.client import AsyncServingClient, _AddressRing
 from repro.serving.service import PredictionService
 
@@ -207,7 +207,8 @@ def test_share_nothing_mode_is_still_available(snapshot):
 
 
 def test_address_ring_round_robin_and_cooldown():
-    ring = _AddressRing([("a", 1), ("b", 2), ("c", 3)], cooldown=0.2)
+    backoff = Backoff(base=0.2, cap=0.2, jitter=0.0)
+    ring = _AddressRing([("a", 1), ("b", 2), ("c", 3)], backoff=backoff)
     assert ring.candidates() == [0, 1, 2]
     ring.mark_used(0)
     assert ring.candidates() == [1, 2, 0]
