@@ -5,7 +5,7 @@ figure's data table.  Pass ``--list`` to see what is available, and
 ``--record [PATH]`` to persist recordable timings (the ``engines`` and
 ``serving`` ladders) as ``BENCH_*.json`` documents — without an explicit
 PATH each ladder goes to its committed default
-(``BENCH_pr3.json``/``BENCH_pr7.json``).
+(``BENCH_pr3.json``/``BENCH_pr9.json``).
 """
 
 from __future__ import annotations
@@ -15,10 +15,11 @@ import json
 import sys
 
 from repro.bench.runner import available_experiments, run_experiment
+from repro.utils.logging import set_verbosity
 
 #: Committed baseline path per recordable experiment.
 DEFAULT_RECORD_PATHS = {"engines": "BENCH_pr3.json",
-                        "serving": "BENCH_pr7.json"}
+                        "serving": "BENCH_pr9.json"}
 
 #: --transport choices mapped to the serving ladder's ``transports`` arg.
 _TRANSPORTS = {"inproc": ("inproc",), "tcp": ("tcp",),
@@ -49,7 +50,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="serving-ladder rungs: direct in-process "
                              "calls, the framed-RPC TCP frontend, or both "
                              "(other experiments ignore this)")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="emit library logs on stderr at this level "
+                             "(default: logging stays untouched)")
     args = parser.parse_args(argv)
+    if args.log_level:
+        set_verbosity(args.log_level)
 
     registry = available_experiments()
     if args.list:

@@ -167,7 +167,8 @@ def _time_queries(top_n_callable, users: np.ndarray, n: int,
 def _time_tcp(make_service, users: np.ndarray, n: int, warmup: int,
               fuse_window_ms=2.0, binary: bool = True,
               pipeline: bool = False, pipeline_window: int = 32,
-              n_clients: int = 1) -> Tuple[float, np.ndarray]:
+              n_clients: int = 1,
+              trace: bool = False) -> Tuple[float, np.ndarray]:
     """Time the query stream through a TCP replica.
 
     With one client the stream is sequential (pure transport overhead on
@@ -177,15 +178,22 @@ def _time_tcp(make_service, users: np.ndarray, n: int, warmup: int,
     with several clients, the stream is split across concurrent threads
     so the server's query fuser gets windows to coalesce, and
     ``seconds`` is the storm's wall clock.  ``binary`` picks the wire
-    encoding the client negotiates.
+    encoding the client negotiates.  ``trace`` runs both ends with a
+    shared in-memory tracer, so every query carries trace context and
+    opens its client/admission/execute spans — the cost of tracing
+    *enabled*, judged against the identical untraced rung.
     """
     import threading
 
+    from repro.obs import Tracer
     from repro.serving.net import ReplicaSet, ServingClient
 
+    tracer = Tracer(capacity=4096) if trace else None
     with ReplicaSet(make_service, n_replicas=1,
-                    fuse_window_ms=fuse_window_ms) as replicas:
-        with ServingClient(replicas.addresses, binary=binary) as warm:
+                    fuse_window_ms=fuse_window_ms,
+                    tracer=tracer) as replicas:
+        with ServingClient(replicas.addresses, binary=binary,
+                           tracer=tracer) as warm:
             for user in users[:warmup]:
                 warm.top_n(int(user), n=n)
         timed = users[warmup:]
@@ -206,7 +214,8 @@ def _time_tcp(make_service, users: np.ndarray, n: int, warmup: int,
                                         elapsed / window.shape[0]))
                 return time.perf_counter() - start, np.concatenate(sink)
         if n_clients == 1:
-            with ServingClient(replicas.addresses, binary=binary) as client:
+            with ServingClient(replicas.addresses, binary=binary,
+                               tracer=tracer) as client:
                 # Untimed primer: connect + handshake must not land in
                 # the first timed sample.
                 client.top_n(int(users[0]), n=n)
@@ -223,7 +232,8 @@ def _time_tcp(make_service, users: np.ndarray, n: int, warmup: int,
         barrier = threading.Barrier(n_clients + 1)
 
         def storm(chunk: np.ndarray, sink: List[float]) -> None:
-            with ServingClient(replicas.addresses, binary=binary) as client:
+            with ServingClient(replicas.addresses, binary=binary,
+                               tracer=tracer) as client:
                 client.top_n(int(users[0]), n=n)  # untimed primer
                 barrier.wait()
                 for user in chunk:
@@ -316,9 +326,12 @@ def run_serving_bench(
         ``"inproc"`` runs the direct ladder, ``"tcp"`` adds the network
         rungs against fused-by-default single-process replicas:
         sequential JSON (``tcp-json``), sequential binary (``tcp-bin``),
-        ``pipeline_window`` in-flight binary frames on one connection
-        (``tcp-bin-pipelined``), and a ``fused_clients``-way concurrent
-        storm (``tcp-fused``, fallback window ``fuse_window_ms``).
+        the same binary stream with end-to-end tracing enabled
+        (``tcp-bin-traced`` — the tracing-overhead rung, judged against
+        ``tcp-bin``), ``pipeline_window`` in-flight binary frames on one
+        connection (``tcp-bin-pipelined``), and a ``fused_clients``-way
+        concurrent storm (``tcp-fused``, fallback window
+        ``fuse_window_ms``).
     pipeline_window:
         In-flight frames per window for the pipelined rung.
     wal_writes, wal_sync_ladder:
@@ -373,20 +386,21 @@ def run_serving_bench(
 
     if "tcp" in transports:
         tcp_cases = [
-            ("tcp-json", False, False, 1),
-            ("tcp-bin", True, False, 1),
-            ("tcp-bin-pipelined", True, True, 1),
-            ("tcp-fused", True, False, fused_clients),
+            ("tcp-json", False, False, 1, False),
+            ("tcp-bin", True, False, 1, False),
+            ("tcp-bin-traced", True, False, 1, True),
+            ("tcp-bin-pipelined", True, True, 1, False),
+            ("tcp-fused", True, False, fused_clients, False),
         ]
         make_service = (lambda index:
                         PredictionService(snapshot,
                                           cache_size=max(1, n_users // 16)))
-        for backend, binary, pipeline, n_clients in tcp_cases:
+        for backend, binary, pipeline, n_clients, trace in tcp_cases:
             seconds, latencies = _time_tcp(
                 make_service, users, top_n, warmup,
                 fuse_window_ms=fuse_window_ms, binary=binary,
                 pipeline=pipeline, pipeline_window=pipeline_window,
-                n_clients=n_clients)
+                n_clients=n_clients, trace=trace)
             qps = latencies.shape[0] / seconds
             rows.append(ServingBenchRow(
                 backend=backend, shards=None, workers=None,

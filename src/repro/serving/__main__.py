@@ -33,6 +33,7 @@ The full train → snapshot → serve → query lifecycle from a terminal:
     python -m repro.serving net-smoke
     python -m repro.serving wal-smoke
     python -m repro.serving chaos-smoke --seed 1
+    python -m repro.serving obs-smoke --trace-out /tmp/spans.jsonl
 """
 
 from __future__ import annotations
@@ -53,11 +54,13 @@ from repro.core.priors import BPMFConfig
 from repro.core.recommend import recommend_for_user
 from repro.datasets.synthetic import SyntheticConfig, make_low_rank_dataset
 from repro.multicore.sampler import MulticoreGibbsSampler, MulticoreOptions
+from repro.obs import Tracer
 from repro.serving.checkpoint import CheckpointConfig, load_snapshot
 from repro.serving.cluster import ClusterError, ShardedScorer, SnapshotWatcher
 from repro.serving.net import NetError, ReplicaSet, ServingClient
 from repro.serving.net.protocol import execute, format_reply, parse_line
 from repro.serving.service import PredictionService
+from repro.utils.logging import set_verbosity
 from repro.utils.validation import ValidationError
 
 _BACKENDS = ("sequential", "multicore")
@@ -67,6 +70,13 @@ _ENGINES = ("batched", "shared", "reference")
 def _add_snapshot_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--snapshot", required=True,
                         help="snapshot .npz path")
+
+
+def _add_log_level(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="emit library logs on stderr at this level "
+                             "(default: logging stays untouched)")
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -254,6 +264,7 @@ def _serve_tcp(args, host: str, port: int) -> int:
     previous = {sig: signal.signal(sig, request_stop)
                 for sig in (signal.SIGTERM, signal.SIGINT)}
     fuse_window = _fuse_window_ms(args.fuse_window)
+    tracer = Tracer(sink_dir=args.trace_dir) if args.trace_dir else None
     replicas = ReplicaSet(
         make_service, n_replicas=args.replicas, host=host,
         ports=([port + index for index in range(args.replicas)]
@@ -262,7 +273,8 @@ def _serve_tcp(args, host: str, port: int) -> int:
         fuse_max_batch=args.fuse_max_batch,
         max_in_flight=args.max_in_flight,
         wal_dir=args.wal, wal_sync_every=args.wal_sync_every,
-        ship_cooldown=args.cooldown, ship_backoff_max=args.backoff_max)
+        ship_cooldown=args.cooldown, ship_backoff_max=args.backoff_max,
+        tracer=tracer)
     try:
         replicas.start()
         service = replicas.replicas[0].service
@@ -272,11 +284,13 @@ def _serve_tcp(args, host: str, port: int) -> int:
                  if fuse_window is not None else "fusion off")
         durable = (f"wal at {args.wal} (sync every {args.wal_sync_every})"
                    if args.wal else "wal in memory")
+        traced = (f", traced to {args.trace_dir}" if tracer is not None
+                  else "")
         addresses = ", ".join(f"{h}:{p}" for h, p in replicas.addresses)
         print(f"serving {service.n_users} users x {service.n_items} items "
               f"over tcp on {addresses} ({args.replicas} replicas, "
               f"{backend} each, mode={args.mode}, {fused}, "
-              f"leader-replicated mutations, {durable})", flush=True)
+              f"leader-replicated mutations, {durable}{traced})", flush=True)
         stop_event.wait()
         print("draining: in-flight requests finish, pools close",
               flush=True)
@@ -284,6 +298,8 @@ def _serve_tcp(args, host: str, port: int) -> int:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
         replicas.stop()
+        if tracer is not None:
+            tracer.close()
     return 0
 
 
@@ -865,6 +881,7 @@ def _cmd_chaos_smoke(args) -> int:
         n_replicas=args.replicas, n_fleet_events=args.fleet_events,
         fleet_span=args.fleet_span)
     injector = FaultInjector(plan)
+    tracer = Tracer(capacity=65536) if args.trace_out else None
     deadline_s = args.deadline_ms / 1000.0
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -896,7 +913,8 @@ def _cmd_chaos_smoke(args) -> int:
                                  cooldown=args.cooldown,
                                  backoff_max=args.backoff_max,
                                  backoff_seed=args.seed,
-                                 fault_injector=injector)
+                                 fault_injector=injector,
+                                 tracer=tracer)
 
         replicas = ReplicaSet(lambda index: PredictionService(path),
                               n_replicas=args.replicas,
@@ -904,7 +922,8 @@ def _cmd_chaos_smoke(args) -> int:
                               ship_cooldown=args.cooldown,
                               ship_backoff_max=args.backoff_max,
                               ship_backoff_seed=args.seed,
-                              fault_injector=injector)
+                              fault_injector=injector,
+                              tracer=tracer)
         with replicas:
             def write_storm(worker: int) -> None:
                 # Every mutation retries until acked (each attempt is
@@ -1098,6 +1117,20 @@ def _cmd_chaos_smoke(args) -> int:
             else:
                 replay_ok = True
 
+        trace_summary = None
+        if tracer is not None:
+            # Every span that a scheduled fault landed inside carries the
+            # fired event as a ``fault`` annotation (see FaultInjector).
+            spans = tracer.spans()
+            annotated = sum(1 for span in spans if "fault" in span["attrs"])
+            trace_summary = {"spans": len(spans),
+                             "fault_annotated": annotated,
+                             "tracer": tracer.stats()}
+            with open(args.trace_out, "w", encoding="utf8") as handle:
+                for span in spans:
+                    handle.write(json.dumps(span, sort_keys=True,
+                                            default=str) + "\n")
+
         report = {
             "benchmark": "chaos-smoke",
             "environment": machine_environment(),
@@ -1123,6 +1156,8 @@ def _cmd_chaos_smoke(args) -> int:
             },
             "violations": violations,
         }
+        if trace_summary is not None:
+            report["trace"] = trace_summary
         if args.report_out:
             with open(args.report_out, "w", encoding="utf8") as handle:
                 json.dump(report, handle, indent=2, sort_keys=True)
@@ -1140,6 +1175,198 @@ def _cmd_chaos_smoke(args) -> int:
               f"({n_read_retryable} failovers exhausted, "
               f"{n_read_deadline} deadline-shed, 0 violations), "
               f"fleet converged at seqno {final_seqno}")
+    return 0
+
+
+def _cmd_obs_smoke(args) -> int:
+    """CI smoke for the observability layer: traced storm + span checks.
+
+    Starts a traced, durable replica fleet, storms it with traced
+    readers and writers (every request carries trace context end to
+    end), then checks the tracing contract on the recorded spans:
+
+    * **one write, one tree** — a single traced ``rate`` yields a
+      connected span tree from the client root through leader admission
+      and the WAL (``wal.commit`` → ``wal.append``/``wal.fsync`` →
+      ``wal.ship``) to every follower's ``wal.follower_apply``;
+    * **durations nest** — no span in that tree outlasts the client's
+      observed latency, and the WAL children fit inside the commit;
+    * **fusion fans in** — concurrent reads share ``fusion.window``
+      spans whose ``fusion.waiter`` children index the response order;
+    * **metrics unify** — the ``metrics`` frame serves the fleet-wide
+      registry snapshot (server histograms, WAL fsync latency, fusion
+      counters) under dotted names, while ``stats`` keeps its flat
+      aliases.
+
+    The recorded spans go to ``--trace-out`` as JSONL and the registry
+    snapshot to ``--metrics-out`` — the CI artifacts.
+    """
+    from repro.utils.environment import machine_environment
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "obs.npz"
+        wal_dir = Path(tmp) / "mutation-log"
+        data = make_low_rank_dataset(SyntheticConfig(
+            n_users=60, n_movies=45, rank=3, density=0.3, noise_std=0.3,
+            test_fraction=0.2, seed=17))
+        config = BPMFConfig(num_latent=4, alpha=4.0, burn_in=2, n_samples=3)
+        GibbsSampler(config, SamplerOptions(
+            checkpoint=CheckpointConfig(path=path, every=2))).run(
+            data.split.train, data.split, seed=0)
+        reference = PredictionService(path)
+        read_users = list(range(0, reference.n_train_users, 2))
+
+        # One tracer for clients *and* fleet: the smoke runs in-process,
+        # so every hop of every trace lands in the same ring buffer.
+        tracer = Tracer(capacity=65536)
+        failures: list[BaseException] = []
+        replicas = ReplicaSet(lambda index: PredictionService(path),
+                              n_replicas=args.replicas,
+                              wal_dir=str(wal_dir),
+                              fuse_window_ms=args.fuse_window,
+                              tracer=tracer)
+        with replicas:
+            # Traced read/write storm; readers pin to one replica so
+            # concurrent top-N calls fuse into shared windows.
+            barrier = threading.Barrier(args.clients)
+
+            def storm(worker: int) -> None:
+                try:
+                    with ServingClient(replicas.addresses[:1],
+                                       tracer=tracer) as client:
+                        user = client.fold_in(
+                            np.array([0, 1, 2]), np.array([4.0, 3.0, 5.0]))
+                        barrier.wait(timeout=30.0)
+                        for index, read_user in enumerate(read_users):
+                            client.top_n(read_user, n=5)
+                            if index % 4 == worker % 4:
+                                client.rate(user, np.array([index]),
+                                            np.array([3.0]))
+                except BaseException as error:  # noqa: BLE001
+                    failures.append(error)
+
+            threads = [threading.Thread(target=storm, args=(worker,))
+                       for worker in range(args.clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            assert not any(thread.is_alive() for thread in threads), \
+                "storm threads hung"
+            assert not failures, failures[:3]
+
+            # The acceptance write: one clean traced mutation, timed.
+            with ServingClient(replicas.addresses,
+                               tracer=tracer) as client:
+                user = client.fold_in(np.array([3, 4]),
+                                      np.array([2.0, 5.0]))
+                begin = time.perf_counter()
+                client.rate(user, np.array([0]), np.array([1.0]))
+                write_ms = (time.perf_counter() - begin) * 1e3
+
+                # Satellite surfaces: unified metrics + flat aliases.
+                snapshot = client.metrics()
+                flat = client.stats()
+                health = client.health()
+
+        spans = tracer.spans()
+        children: dict = {}
+        for span in spans:
+            children.setdefault(span["parent_id"], []).append(span)
+
+        def subtree(root):
+            collected, stack = [], [root]
+            while stack:
+                node = stack.pop()
+                collected.append(node)
+                stack.extend(children.get(node["span_id"], []))
+            return collected
+
+        # -- one write, one tree ------------------------------------------
+        roots = [span for span in spans
+                 if span["name"] == "client.rate"
+                 and span["parent_id"] is None]
+        assert roots, "no traced client.rate root span recorded"
+        root = roots[-1]  # the clean post-storm write
+        tree = subtree(root)
+        names = {span["name"] for span in tree}
+        required = {"client.attempt", "server.admit", "server.queue",
+                    "wal.commit", "wal.append", "wal.fsync", "wal.ship",
+                    "wal.follower_apply"}
+        missing = required - names
+        assert not missing, f"write trace is missing spans: {missing}"
+        assert {span["trace_id"] for span in tree} == {root["trace_id"]}, \
+            "write tree mixes trace ids"
+        applies = [span for span in tree
+                   if span["name"] == "wal.follower_apply"]
+        assert len(applies) == args.replicas - 1, \
+            f"{len(applies)} follower applies for {args.replicas} replicas"
+
+        # -- durations nest ------------------------------------------------
+        for span in tree:
+            assert span["dur_ms"] <= root["dur_ms"] + 1.0, \
+                f"{span['name']} outlasted its client root"
+        assert root["dur_ms"] <= write_ms + 5.0, \
+            "root span outlasted the observed client latency"
+        commit = max((span for span in tree
+                      if span["name"] == "wal.commit"),
+                     key=lambda span: span["ts"])
+        wal_children = [span for span in children.get(commit["span_id"], [])
+                        if span["name"] in ("wal.append", "wal.fsync")]
+        assert sum(span["dur_ms"] for span in wal_children) \
+            <= commit["dur_ms"] + 1.0, "WAL children overflow wal.commit"
+
+        # -- fusion fans in ------------------------------------------------
+        windows = [span for span in spans
+                   if span["name"] == "fusion.window"]
+        assert windows, "no fused window was traced"
+        shared = 0
+        for window in windows:
+            waiters = [span for span in children.get(window["span_id"], [])
+                       if span["name"] == "fusion.waiter"]
+            indexes = [span["attrs"]["index"] for span in waiters]
+            assert sorted(indexes) == list(range(len(indexes))), \
+                f"waiter indexes {indexes} do not cover response order"
+            shared = max(shared, len(waiters))
+        assert shared >= 2, "no window ever fused two traced waiters"
+
+        # -- metrics unify -------------------------------------------------
+        for prefix in ("serving.server.requests",
+                       "serving.server.queue_wait_ms",
+                       "serving.fusion.windows",
+                       "wal.append.fsync_ms",
+                       "wal.applied_seqno"):
+            assert any(key.startswith(prefix) for key in snapshot), \
+                f"registry snapshot lacks {prefix}"
+        assert "n_folded_in" in flat, "flat stats alias dropped"
+        assert any(key.startswith("serving.server.")
+                   for key in health["metrics"]), \
+            "health frame lost its dotted metrics view"
+
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf8") as handle:
+                for span in spans:
+                    handle.write(json.dumps(span, sort_keys=True,
+                                            default=str) + "\n")
+        if args.metrics_out:
+            payload = {
+                "benchmark": "obs-smoke",
+                "environment": machine_environment(),
+                "replicas": args.replicas,
+                "clients": args.clients,
+                "tracer": tracer.stats(),
+                "metrics": snapshot,
+            }
+            with open(args.metrics_out, "w", encoding="utf8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True,
+                          default=str)
+                handle.write("\n")
+        print(f"OBS SMOKE OK: {len(spans)} spans from {args.clients} traced "
+              f"clients over {args.replicas} replicas; write tree "
+              f"client → admit → wal.commit → append/fsync → ship → "
+              f"{len(applies)} follower applies in {root['dur_ms']:.2f} ms, "
+              f"{len(windows)} fused windows (deepest {shared} waiters), "
+              f"{len(snapshot)} registry series")
     return 0
 
 
@@ -1229,10 +1456,16 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--wal-sync-every", type=int, default=1,
                        help="fsync the log every N appends (1 = before "
                             "every ack, the strict default)")
+    serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="enable request tracing and stream finished "
+                            "spans to JSONL files in DIR (--tcp; default: "
+                            "tracing off)")
+    _add_log_level(serve)
     serve.set_defaults(func=_cmd_serve)
 
     smoke = commands.add_parser("smoke",
                                 help="end-to-end train/snapshot/serve check")
+    _add_log_level(smoke)
     smoke.set_defaults(func=_cmd_smoke)
 
     cluster_smoke = commands.add_parser(
@@ -1241,6 +1474,7 @@ def main(argv: list[str] | None = None) -> int:
     cluster_smoke.add_argument("--shards", type=int, default=2)
     cluster_smoke.add_argument("--latency-out", default=None,
                                help="write observed latencies to this JSON")
+    _add_log_level(cluster_smoke)
     cluster_smoke.set_defaults(func=_cmd_cluster_smoke)
 
     net_smoke = commands.add_parser(
@@ -1260,6 +1494,7 @@ def main(argv: list[str] | None = None) -> int:
                            help="client failover backoff cap, seconds")
     net_smoke.add_argument("--latency-out", default=None,
                            help="write observed latencies to this JSON")
+    _add_log_level(net_smoke)
     net_smoke.set_defaults(func=_cmd_net_smoke)
 
     wal_smoke = commands.add_parser(
@@ -1277,6 +1512,7 @@ def main(argv: list[str] | None = None) -> int:
                            help="client failover backoff cap, seconds")
     wal_smoke.add_argument("--latency-out", default=None,
                            help="write mutation latencies to this JSON")
+    _add_log_level(wal_smoke)
     wal_smoke.set_defaults(func=_cmd_wal_smoke)
 
     chaos_smoke = commands.add_parser(
@@ -1306,9 +1542,36 @@ def main(argv: list[str] | None = None) -> int:
     chaos_smoke.add_argument("--report-out", default=None,
                              help="write the schedule + fault log + "
                                   "invariant report as JSON")
+    chaos_smoke.add_argument("--trace-out", default=None,
+                             help="trace the drill and write the recorded "
+                                  "spans (fired faults annotated) to this "
+                                  "JSONL file")
+    _add_log_level(chaos_smoke)
     chaos_smoke.set_defaults(func=_cmd_chaos_smoke)
 
+    obs_smoke = commands.add_parser(
+        "obs-smoke",
+        help="traced storm: span-tree, fusion and metrics-registry "
+             "self check")
+    obs_smoke.add_argument("--replicas", type=int, default=3)
+    obs_smoke.add_argument("--clients", type=int, default=4,
+                           help="concurrent traced storm clients")
+    obs_smoke.add_argument("--fuse-window", type=float, default=20.0,
+                           metavar="MS",
+                           help="fusion window under test (wide, so the "
+                                "storm reliably shares windows)")
+    obs_smoke.add_argument("--trace-out", default=None,
+                           help="write the recorded spans to this JSONL "
+                                "file")
+    obs_smoke.add_argument("--metrics-out", default=None,
+                           help="write the fleet registry snapshot to "
+                                "this JSON")
+    _add_log_level(obs_smoke)
+    obs_smoke.set_defaults(func=_cmd_obs_smoke)
+
     args = parser.parse_args(argv)
+    if getattr(args, "log_level", None):
+        set_verbosity(args.log_level)
     return args.func(args)
 
 

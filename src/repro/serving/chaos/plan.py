@@ -35,6 +35,8 @@ import threading
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.trace import annotate_active
+
 __all__ = ["FaultEvent", "FleetEvent", "FaultPlan", "FaultInjector",
            "SITE_ACTIONS", "FLEET_ACTIONS"]
 
@@ -182,9 +184,14 @@ class FaultInjector:
             self._counts[site] = step
             event = self._scheduled.get((site, step))
             if event is not None:
-                self.log.append({"seq": len(self.log), "site": site,
-                                 "step": step, "action": event.action,
-                                 "arg": event.arg})
+                fired = {"seq": len(self.log), "site": site,
+                         "step": step, "action": event.action,
+                         "arg": event.arg}
+                self.log.append(fired)
+                # A fault landing inside a traced request annotates the
+                # live span, so the trace shows exactly which request
+                # the fault hit (no-op when nothing is active).
+                annotate_active("fault", dict(fired))
             return event
 
     def counts(self) -> Dict[str, int]:

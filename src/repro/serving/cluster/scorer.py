@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.recommend import Recommendation, merge_top_n, select_top_n
+from repro.obs.trace import maybe_span
 # The pool lifecycle and segment plumbing are the training engine's.
 from repro.core.shared_engine import (
     WorkerPool,
@@ -327,6 +328,10 @@ class ShardedScorer:
         global merge.
     """
 
+    #: Dotted prefix this gateway's :meth:`stats` surfaces under in a
+    #: :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+    METRICS_PREFIX = "cluster.scorer"
+
     def __init__(self, snapshots: Union[SnapshotLike, Sequence[SnapshotLike]],
                  n_shards: int = 2, mode: str = "mean",
                  train: Optional[RatingMatrix] = None,
@@ -566,7 +571,12 @@ class ShardedScorer:
         unique = list(dict.fromkeys(int(user) for user in users))
         if not unique:
             return {}
-        with self._lock:
+        # Inside a traced fused window (fusion.window active on this
+        # thread) the worker fan-out gets its own child span; untraced,
+        # maybe_span is a no-op.
+        with maybe_span("cluster.scorer.batch", users=len(unique),
+                        n=int(n), workers=self.n_workers,
+                        shards=self.n_shards), self._lock:
             self._check_users(np.array(unique, dtype=np.int64))
             version_id = self._active.version_id
             responses = self._dispatch(

@@ -61,6 +61,7 @@ from typing import (Deque, Dict, Iterable, List, Optional, Sequence, Set,
 import numpy as np
 
 from repro.core.recommend import Recommendation
+from repro.obs.trace import NULL_SPAN, Span, Tracer
 from repro.serving.net.backoff import Backoff
 from repro.serving.net.protocol import (
     ENCODINGS,
@@ -69,9 +70,11 @@ from repro.serving.net.protocol import (
     FrameDecoder,
     IDEMPOTENT_KINDS,
     ProtocolError,
+    TRACE_FEATURE,
     encode_frame,
     hello_frame,
     negotiated_encoding,
+    negotiated_features,
 )
 
 __all__ = ["NetError", "DeadlineError", "ServingClient",
@@ -175,6 +178,7 @@ class _ClientCore:
     binary: bool
     retry_writes: bool
     n_failovers: int
+    tracer: Optional[Tracer]
 
     def _init_writes(self, retry_writes: bool) -> None:
         self.retry_writes = bool(retry_writes)
@@ -193,12 +197,72 @@ class _ClientCore:
         return f"{self._write_prefix}-{self._write_count}"
 
     def _hello(self) -> Frame:
-        """The opening frame, offering binary only when we accept it."""
-        return hello_frame(ENCODINGS if self.binary else ("json",))
+        """The opening frame, offering binary only when we accept it
+        (and the ``trace`` feature only when tracing is on)."""
+        return hello_frame(
+            ENCODINGS if self.binary else ("json",),
+            features=(TRACE_FEATURE,) if self.tracer is not None else ())
 
     def _negotiate(self, reply: Frame) -> bool:
         """Whether this connection speaks binary frames both ways."""
         return self.binary and negotiated_encoding(reply.payload) == "binary"
+
+    def _negotiate_trace(self, reply: Frame) -> bool:
+        """Whether trace context may ride this connection's frames.
+
+        Both peers must advertise the feature — an old server ignores
+        the client's offer and its reply carries no ``features``, so
+        frames to it stay trace-free and it keeps working unchanged.
+        """
+        return (self.tracer is not None
+                and TRACE_FEATURE in negotiated_features(reply.payload))
+
+    # -- tracing helpers ---------------------------------------------------
+
+    def _trace_root(self, frame: Frame) -> Optional[Span]:
+        """The root span of one logical request (``client.<kind>``)."""
+        if self.tracer is None:
+            return None
+        return self.tracer.start(f"client.{frame.kind}")
+
+    def _trace_attempt(self, root: Optional[Span], index: int,
+                       attempt: int):
+        """One failover attempt's child span (``client.attempt``).
+
+        Every attempt of a request shares the root's ``trace_id`` —
+        failover produces a *new attempt span in the same trace*, which
+        is the invariant the failover tracing test pins.  Returns the
+        inert :data:`NULL_SPAN` when tracing is off.
+        """
+        if root is None:
+            return NULL_SPAN
+        host, port = self._ring.addresses[index]
+        return self.tracer.start("client.attempt", parent=root,
+                                 attrs={"replica": f"{host}:{port}",
+                                        "attempt": attempt})
+
+    @staticmethod
+    def _stamp_trace(frame: Frame, enabled: bool, span) -> None:
+        """Stamp (or strip) this attempt's trace context on the frame.
+
+        Per-attempt like ``deadline_ms``: each attempt parents the
+        server side on *its own* span.  A connection that did not
+        negotiate the feature gets a clean frame, keeping the bytes to
+        an old server identical to the pre-trace protocol.
+        """
+        if enabled and isinstance(span, Span):
+            frame.payload["trace"] = span.context().to_wire()
+        else:
+            frame.payload.pop("trace", None)
+
+    def _finish_root(self, root: Optional[Span], frame: Frame,
+                     error: Optional[BaseException]) -> None:
+        if root is None:
+            return
+        frame.payload.pop("trace", None)
+        if error is not None:
+            root.set_attr("error", repr(error))
+        root.finish()
 
     def _on_connect_failure(self, index: int, error: BaseException,
                             failures: List[str]) -> None:
@@ -375,13 +439,14 @@ class _ClientCore:
 class _SyncConnection:
     """One cached socket plus its decode state and negotiated encoding."""
 
-    __slots__ = ("sock", "decoder", "frames", "binary")
+    __slots__ = ("sock", "decoder", "frames", "binary", "trace")
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
         self.decoder = FrameDecoder()
         self.frames: Deque[Frame] = collections.deque()
         self.binary = False
+        self.trace = False
 
 
 class ServingClient(_ClientCore):
@@ -401,6 +466,12 @@ class ServingClient(_ClientCore):
     wraps every connection in a :class:`~repro.serving.chaos.ChaosSocket`
     and drives the ``net.connect``/``net.send``/``net.recv`` fault
     sites; ``None`` (the default) leaves the transport untouched.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) turns on request
+    tracing: every request opens a ``client.<kind>`` root span with one
+    ``client.attempt`` child per failover attempt, and — against
+    servers that negotiated the ``trace`` feature — stamps the attempt's
+    context into the frame so the server side joins the same trace.
     """
 
     def __init__(self, addresses: Sequence[Tuple[str, int]],
@@ -408,12 +479,13 @@ class ServingClient(_ClientCore):
                  backoff_max: float = 30.0,
                  backoff_seed: Optional[int] = None,
                  binary: bool = True, retry_writes: bool = True,
-                 fault_injector=None):
+                 fault_injector=None, tracer: Optional[Tracer] = None):
         self._ring = _AddressRing(addresses, backoff=Backoff(
             base=cooldown, cap=max(float(backoff_max), float(cooldown)),
             seed=backoff_seed))
         self.timeout = float(timeout)
         self.binary = bool(binary)
+        self.tracer = tracer
         self._init_writes(retry_writes)
         self._fault_injector = fault_injector
         self._connections: Dict[int, _SyncConnection] = {}
@@ -454,6 +526,7 @@ class ServingClient(_ClientCore):
                 f"replica {self._ring.addresses[index]} refused the "
                 f"handshake: {reply.payload.get('message')}")
         connection.binary = self._negotiate(reply)
+        connection.trace = self._negotiate_trace(reply)
         return connection
 
     def _drop(self, index: int) -> None:
@@ -485,6 +558,19 @@ class ServingClient(_ClientCore):
 
     def _request(self, frame: Frame, timeout: Optional[float] = None,
                  deadline_ms: Optional[float] = None) -> Dict[str, object]:
+        root = self._trace_root(frame)
+        try:
+            result = self._request_attempts(frame, timeout, deadline_ms,
+                                            root)
+        except BaseException as error:
+            self._finish_root(root, frame, error)
+            raise
+        self._finish_root(root, frame, None)
+        return result
+
+    def _request_attempts(self, frame: Frame, timeout: Optional[float],
+                          deadline_ms: Optional[float],
+                          root: Optional[Span]) -> Dict[str, object]:
         clock = self._DeadlineClock(deadline_ms)
         base_timeout = self.timeout if timeout is None else float(timeout)
         failures: List[str] = []
@@ -493,27 +579,36 @@ class ServingClient(_ClientCore):
             # DeadlineError once it is spent) and never blocks on the
             # socket longer than that budget.
             remaining = clock.remaining(frame)
-            try:
-                connection = self._connect(index)
-            except (OSError, ConnectionError, ProtocolError,
-                    socket.timeout, NetError) as error:
-                self._on_connect_failure(index, error, failures)
-                continue
-            connection.sock.settimeout(
-                base_timeout if remaining is None
-                else min(base_timeout, remaining))
-            try:
-                reply = self._roundtrip(connection, frame)
-            except (OSError, ConnectionError, ProtocolError,
-                    socket.timeout) as error:
-                self._drop(index)
-                self._on_roundtrip_failure(frame, index, error, failures)
-                continue
-            self._raise_if_deadline_reply(reply, index)
-            if self._retryable_error(reply):
-                self._on_retryable_error(reply, index, failures)
-                continue
-            return self._on_reply(reply, index, attempt)
+            # The attempt span is entered for the attempt's duration:
+            # thread-locally active, so client-side chaos fault sites
+            # (net.connect/send/recv) annotate it when they fire.
+            with self._trace_attempt(root, index, attempt) as span:
+                try:
+                    connection = self._connect(index)
+                except (OSError, ConnectionError, ProtocolError,
+                        socket.timeout, NetError) as error:
+                    span.annotate("error", repr(error))
+                    self._on_connect_failure(index, error, failures)
+                    continue
+                self._stamp_trace(frame, connection.trace, span)
+                connection.sock.settimeout(
+                    base_timeout if remaining is None
+                    else min(base_timeout, remaining))
+                try:
+                    reply = self._roundtrip(connection, frame)
+                except (OSError, ConnectionError, ProtocolError,
+                        socket.timeout) as error:
+                    self._drop(index)
+                    span.annotate("error", repr(error))
+                    self._on_roundtrip_failure(frame, index, error,
+                                               failures)
+                    continue
+                self._raise_if_deadline_reply(reply, index)
+                if self._retryable_error(reply):
+                    span.annotate("error", reply.payload.get("message"))
+                    self._on_retryable_error(reply, index, failures)
+                    continue
+                return self._on_reply(reply, index, attempt)
         if clock.expired():
             # The last attempt's socket wait was clamped to the budget:
             # running out of replicas *because* the budget ran out is a
@@ -676,6 +771,28 @@ class ServingClient(_ClientCore):
             Frame("health", {"digest": True} if digest else {}),
             timeout=timeout, deadline_ms=deadline_ms)
 
+    def metrics(self, timeout: Optional[float] = None,
+                deadline_ms: Optional[float] = None) -> Dict[str, object]:
+        """The replica's unified registry snapshot (dotted names)."""
+        return self._request(Frame("metrics"), timeout=timeout,
+                             deadline_ms=deadline_ms)["metrics"]
+
+    def spans(self, limit: Optional[int] = None, drain: bool = False,
+              timeout: Optional[float] = None,
+              deadline_ms: Optional[float] = None) -> Dict[str, object]:
+        """The replica's buffered trace spans (``drain=True`` clears).
+
+        Returns ``{"enabled": bool, "spans": [...], "tracer": {...}}``;
+        ``enabled`` is False against an untraced server.
+        """
+        payload: Dict[str, object] = {}
+        if limit is not None:
+            payload["limit"] = int(limit)
+        if drain:
+            payload["drain"] = True
+        return self._request(Frame("trace", payload), timeout=timeout,
+                             deadline_ms=deadline_ms)
+
     def close(self) -> None:
         for index in list(self._connections):
             self._drop(index)
@@ -691,7 +808,7 @@ class _AsyncConnection:
     """One open stream plus the id-keyed reply dispatch state."""
 
     __slots__ = ("reader", "writer", "decoder", "backlog", "pending",
-                 "binary", "reader_task")
+                 "binary", "trace", "reader_task")
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter):
@@ -701,6 +818,7 @@ class _AsyncConnection:
         self.backlog: List[Frame] = []
         self.pending: Dict[int, asyncio.Future] = {}
         self.binary = False
+        self.trace = False
         self.reader_task: Optional[asyncio.Task] = None
 
 
@@ -717,12 +835,14 @@ class AsyncServingClient(_ClientCore):
                  timeout: float = 10.0, cooldown: float = 1.0,
                  backoff_max: float = 30.0,
                  backoff_seed: Optional[int] = None,
-                 binary: bool = True, retry_writes: bool = True):
+                 binary: bool = True, retry_writes: bool = True,
+                 tracer: Optional[Tracer] = None):
         self._ring = _AddressRing(addresses, backoff=Backoff(
             base=cooldown, cap=max(float(backoff_max), float(cooldown)),
             seed=backoff_seed))
         self.timeout = float(timeout)
         self.binary = bool(binary)
+        self.tracer = tracer
         self._init_writes(retry_writes)
         self._connections: Dict[int, _AsyncConnection] = {}
         self._next_id = 0
@@ -750,6 +870,7 @@ class AsyncServingClient(_ClientCore):
                 f"replica {self._ring.addresses[index]} refused the "
                 f"handshake: {reply.payload.get('message')}")
         connection.binary = self._negotiate(reply)
+        connection.trace = self._negotiate_trace(reply)
         connection.reader_task = asyncio.get_running_loop().create_task(
             self._read_loop(connection))
         return connection
@@ -856,6 +977,20 @@ class AsyncServingClient(_ClientCore):
                        timeout: Optional[float] = None,
                        deadline_ms: Optional[float] = None
                        ) -> Dict[str, object]:
+        root = self._trace_root(frame)
+        try:
+            result = await self._request_attempts(frame, timeout,
+                                                  deadline_ms, root)
+        except BaseException as error:
+            self._finish_root(root, frame, error)
+            raise
+        self._finish_root(root, frame, None)
+        return result
+
+    async def _request_attempts(self, frame: Frame,
+                                timeout: Optional[float],
+                                deadline_ms: Optional[float],
+                                root) -> Dict[str, object]:
         clock = self._DeadlineClock(deadline_ms)
         base_timeout = self.timeout if timeout is None else float(timeout)
         failures: List[str] = []
@@ -863,20 +998,32 @@ class AsyncServingClient(_ClientCore):
             remaining = clock.remaining(frame)
             effective = (base_timeout if remaining is None
                          else min(base_timeout, remaining))
+            # Explicit span management (no thread-local activation):
+            # attempt spans on the event loop would leak across
+            # interleaved coroutines.
+            span = self._trace_attempt(root, index, attempt)
             try:
                 connection = await self._connect(index)
             except (OSError, ConnectionError, ProtocolError,
                     asyncio.TimeoutError, NetError) as error:
+                span.annotate("error", repr(error))
+                span.finish()
                 self._on_connect_failure(index, error, failures)
                 continue
+            self._stamp_trace(frame, connection.trace, span)
             try:
                 reply = await self._roundtrip(connection, frame,
                                               timeout=effective)
             except (OSError, ConnectionError, ProtocolError,
                     asyncio.TimeoutError) as error:
+                span.annotate("error", repr(error))
+                span.finish()
                 await self._drop(index)
                 self._on_roundtrip_failure(frame, index, error, failures)
                 continue
+            if reply.is_error:
+                span.annotate("error", reply.payload.get("message"))
+            span.finish()
             self._raise_if_deadline_reply(reply, index)
             if self._retryable_error(reply):
                 self._on_retryable_error(reply, index, failures)
@@ -978,6 +1125,29 @@ class AsyncServingClient(_ClientCore):
         return await self._request(
             Frame("health", {"digest": True} if digest else {}),
             timeout=timeout, deadline_ms=deadline_ms)
+
+    async def metrics(self, timeout: Optional[float] = None,
+                      deadline_ms: Optional[float] = None
+                      ) -> Dict[str, object]:
+        """The replica's unified registry snapshot (dotted names)."""
+        payload = await self._request(Frame("metrics"), timeout=timeout,
+                                      deadline_ms=deadline_ms)
+        return payload["metrics"]
+
+    async def spans(self, limit: Optional[int] = None,
+                    drain: bool = False,
+                    timeout: Optional[float] = None,
+                    deadline_ms: Optional[float] = None
+                    ) -> Dict[str, object]:
+        """The replica's buffered trace spans (``drain=True`` clears)."""
+        payload: Dict[str, object] = {}
+        if limit is not None:
+            payload["limit"] = int(limit)
+        if drain:
+            payload["drain"] = True
+        return await self._request(Frame("trace", payload),
+                                   timeout=timeout,
+                                   deadline_ms=deadline_ms)
 
     async def close(self) -> None:
         for index in list(self._connections):

@@ -40,6 +40,8 @@ import asyncio
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.obs.trace import Span, TraceContext, Tracer
+
 __all__ = ["QueryFuser", "DeadlineExpired"]
 
 
@@ -71,10 +73,17 @@ class QueryFuser:
         Flush immediately once this many requests are pending.
     executor:
         Passed to ``loop.run_in_executor`` for the batch call.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  A traced window
+        gets one ``fusion.window`` span (parented on the first traced
+        waiter, covering the batch dispatch) plus one ``fusion.waiter``
+        child per request, emitted in demultiplex order — the span
+        order is bit-consistent with the response order.
     """
 
     def __init__(self, top_n_batch, window_ms: float = 2.0,
-                 max_batch: int = 64, executor=None):
+                 max_batch: int = 64, executor=None,
+                 tracer: Optional[Tracer] = None):
         if window_ms < 0:
             raise ValueError(f"window_ms must be >= 0, got {window_ms}")
         if max_batch < 1:
@@ -83,13 +92,16 @@ class QueryFuser:
         self.window_ms = float(window_ms)
         self.max_batch = int(max_batch)
         self._executor = executor
-        # key -> list of (user, future, deadline); one window per
+        self._tracer = tracer
+        # key -> list of (user, future, deadline, trace); one window per
         # (n, exclude_seen) key so a flush is a single homogeneous batch
         # call.  ``deadline`` is an absolute time.monotonic() instant or
         # None; expired waiters are shed at flush, never dispatched.
+        # ``trace`` is the waiter's TraceContext (or None).
         self._pending: Dict[Tuple[int, bool],
                             List[Tuple[int, asyncio.Future,
-                                       Optional[float]]]] = {}
+                                       Optional[float],
+                                       Optional[TraceContext]]]] = {}
         self._timers: Dict[Tuple[int, bool], asyncio.TimerHandle] = {}
         self._in_flight: Set[asyncio.Future] = set()
         self.n_requests = 0
@@ -100,19 +112,23 @@ class QueryFuser:
         self.max_window = 0
 
     async def top_n(self, user: int, n: int = 10, exclude_seen: bool = True,
-                    deadline: Optional[float] = None):
+                    deadline: Optional[float] = None,
+                    trace: Optional[TraceContext] = None):
         """Queue one request; resolves with the user's Recommendation.
 
         ``deadline`` (absolute ``time.monotonic()`` seconds) marks when
         the caller stops caring: a waiter still queued past it gets
-        :class:`DeadlineExpired` instead of being dispatched.
+        :class:`DeadlineExpired` instead of being dispatched.  ``trace``
+        carries the request's trace context into the window (ignored
+        without a tracer).
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         key = (int(n), bool(exclude_seen))
         waiters = self._pending.setdefault(key, [])
         waiters.append((int(user), future,
-                        float(deadline) if deadline is not None else None))
+                        float(deadline) if deadline is not None else None,
+                        trace if self._tracer is not None else None))
         self.n_requests += 1
         if len(waiters) >= self.max_batch:
             self._flush(key)
@@ -147,7 +163,7 @@ class QueryFuser:
         """
         now = time.monotonic()
         alive = []
-        for user, future, deadline in waiters:
+        for user, future, deadline, trace in waiters:
             if deadline is not None and now >= deadline:
                 self.n_expired += 1
                 if not future.done():
@@ -155,7 +171,7 @@ class QueryFuser:
                         f"top_n for user {user} queued past its deadline "
                         f"({(now - deadline) * 1000.0:.1f} ms over)"))
             else:
-                alive.append((user, future, deadline))
+                alive.append((user, future, deadline, trace))
         return alive
 
     def _flush(self, key: Tuple[int, bool]) -> None:
@@ -169,44 +185,80 @@ class QueryFuser:
             return
         self.n_windows += 1
         self.max_window = max(self.max_window, len(waiters))
-        users = [user for user, _, _ in waiters]
+        users = [user for user, _, _, _ in waiters]
         self.n_deduplicated += len(users) - len(set(users))
         n, exclude_seen = key
         loop = asyncio.get_running_loop()
+        # One parent span per traced window, parented on the first
+        # traced waiter.  Entering it inside run_batch (executor thread)
+        # makes it the thread's active span, so the scorer and any
+        # chaos shim below attach their children with no plumbing.
+        window_span: Optional[Span] = None
+        if self._tracer is not None:
+            parent = next((trace for _, _, _, trace in waiters
+                           if trace is not None), None)
+            if parent is not None:
+                window_span = self._tracer.start(
+                    "fusion.window", parent=parent,
+                    attrs={"users": len(users),
+                           "distinct": len(set(users)),
+                           "n": n, "exclude_seen": exclude_seen})
 
         def run_batch():
-            return self._top_n_batch(users, n=n, exclude_seen=exclude_seen)
+            if window_span is None:
+                return self._top_n_batch(users, n=n,
+                                         exclude_seen=exclude_seen)
+            with window_span:
+                return self._top_n_batch(users, n=n,
+                                         exclude_seen=exclude_seen)
 
         task = loop.run_in_executor(self._executor, run_batch)
         self._in_flight.add(task)
         task.add_done_callback(
-            lambda done: self._on_batch_done(key, waiters, done))
+            lambda done: self._on_batch_done(key, waiters, done,
+                                             window_span))
 
     def _on_batch_done(self, key: Tuple[int, bool], waiters,
-                       done: asyncio.Future) -> None:
+                       done: asyncio.Future,
+                       window_span: Optional[Span] = None) -> None:
         self._in_flight.discard(done)
         if done.cancelled():
-            for _, future, _ in waiters:
+            for _, future, _, _ in waiters:
                 if not future.done():
                     future.cancel()
         elif done.exception() is not None:
             self._partition(key, waiters, done.exception())
         else:
-            self._resolve(waiters, done.result())
+            self._resolve(waiters, done.result(), window_span)
         # Eager follow-up: whatever accumulated while this batch was in
         # flight goes out now, without waiting for its fallback timer.
         if not self._in_flight:
             for pending_key in list(self._pending):
                 self._flush(pending_key)
 
-    def _resolve(self, waiters, results) -> None:
+    def _resolve(self, waiters, results,
+                 window_span: Optional[Span] = None) -> None:
         """Demultiplex one batch result onto its waiters.
 
         A user absent from ``results`` gets a per-future LookupError —
         indexing straight into the mapping would raise inside this done
         callback and leave every later waiter pending forever.
+
+        Traced windows emit one ``fusion.waiter`` child per waiter as
+        it resolves, so the child-span order matches the response order
+        exactly (the invariant ``tests/test_obs_tracing.py`` pins).
         """
-        for user, future, _ in waiters:
+        for index, (user, future, _, trace) in enumerate(waiters):
+            if window_span is not None:
+                attrs: Dict[str, object] = {"user": user, "index": index}
+                if trace is not None \
+                        and trace.trace_id != window_span.trace_id:
+                    # Cross-trace join: the waiter rode a window rooted
+                    # in another request's trace; link, don't re-parent.
+                    attrs["origin_trace_id"] = trace.trace_id
+                    attrs["origin_span_id"] = trace.span_id
+                self._tracer.emit("fusion.waiter", parent=window_span,
+                                  attrs=attrs)
             if future.done():
                 continue
             if user in results:
@@ -225,7 +277,7 @@ class QueryFuser:
         the retry (the error is already correctly attributed).
         """
         by_user: Dict[int, List[asyncio.Future]] = {}
-        for user, future, _ in waiters:
+        for user, future, _, _ in waiters:
             by_user.setdefault(user, []).append(future)
         if len(by_user) == 1:
             for futures in by_user.values():
@@ -271,7 +323,7 @@ class QueryFuser:
         """Flush every window and wait until nothing is pending."""
         while self._pending or self._in_flight:
             futures = [future for waiters in self._pending.values()
-                       for _, future, _ in waiters]
+                       for _, future, _, _ in waiters]
             for key in list(self._pending):
                 self._flush(key)
             awaitables = futures + list(self._in_flight)
@@ -280,7 +332,8 @@ class QueryFuser:
             await asyncio.gather(*awaitables, return_exceptions=True)
 
     def stats(self) -> Dict[str, int]:
-        """Fusion counters for the ``health`` frame."""
+        """Fusion counters for the ``health`` frame (legacy flat names,
+        kept as aliases of :meth:`metrics`)."""
         return {
             "fusion_requests": self.n_requests,
             "fusion_windows": self.n_windows,
@@ -288,4 +341,16 @@ class QueryFuser:
             "fusion_partitions": self.n_partitions,
             "fusion_expired": self.n_expired,
             "fusion_max_window": self.max_window,
+        }
+
+    def metrics(self) -> Dict[str, int]:
+        """:meth:`stats` under the normalized registry schema — the
+        ``fusion_`` prefix becomes the dotted ``serving.fusion.`` one."""
+        return {
+            "requests": self.n_requests,
+            "windows": self.n_windows,
+            "deduplicated": self.n_deduplicated,
+            "partitions": self.n_partitions,
+            "expired": self.n_expired,
+            "max_window": self.max_window,
         }

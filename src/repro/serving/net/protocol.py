@@ -60,11 +60,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import dotted_stats
+
 __all__ = [
-    "PROTOCOL_VERSION", "MAX_PAYLOAD", "ENCODINGS", "ProtocolError", "Frame",
+    "PROTOCOL_VERSION", "MAX_PAYLOAD", "ENCODINGS", "FEATURES",
+    "TRACE_FEATURE", "ProtocolError", "Frame",
     "encode_frame", "FrameDecoder", "parse_line", "execute", "format_reply",
     "hello_frame", "check_hello", "negotiated_encoding",
-    "IDEMPOTENT_KINDS", "MUTATION_KINDS",
+    "negotiated_features", "IDEMPOTENT_KINDS", "MUTATION_KINDS",
     "ERROR_DEADLINE", "ERROR_OVERLOADED", "error_frame",
 ]
 
@@ -75,6 +78,14 @@ PROTOCOL_VERSION = 1
 
 #: Payload encodings this implementation speaks, most preferred first.
 ENCODINGS = ("binary", "json")
+
+#: Optional capabilities negotiated over the hello handshake, exactly
+#: like the binary encoding: both sides must advertise a feature before
+#: either relies on it, so peers from before a feature keep working.
+#: ``"trace"``: request frames may carry a ``"trace"`` payload field
+#: with distributed-tracing context (see :mod:`repro.obs.trace`).
+TRACE_FEATURE = "trace"
+FEATURES = (TRACE_FEATURE,)
 
 #: Frames advertising a larger payload are rejected before buffering.
 MAX_PAYLOAD = 16 * 1024 * 1024
@@ -99,6 +110,8 @@ _KIND_CODES = {
     "predict_batch": 9,
     "wal_append": 10,
     "wal_catchup": 11,
+    "metrics": 12,
+    "trace": 13,
     "ok": 16,
     "error": 17,
 }
@@ -112,7 +125,7 @@ _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
 #: ``wal_catchup`` reads immutable log records, so it rides along.
 IDEMPOTENT_KINDS = frozenset({"top_n", "top_n_batch", "predict",
                               "predict_batch", "stats", "health", "hello",
-                              "wal_catchup"})
+                              "wal_catchup", "metrics", "trace"})
 
 #: Request kinds that mutate gateway state.  When a server has a WAL
 #: coordinator attached these are routed through it (commit on the
@@ -376,10 +389,15 @@ class FrameDecoder:
 # handshake
 # ---------------------------------------------------------------------------
 
-def hello_frame(encodings: Tuple[str, ...] = ENCODINGS) -> Frame:
-    """The client's opening frame, advertising its payload encodings."""
-    return Frame("hello", {"version": PROTOCOL_VERSION,
-                           "encodings": list(encodings)})
+def hello_frame(encodings: Tuple[str, ...] = ENCODINGS,
+                features: Tuple[str, ...] = ()) -> Frame:
+    """The client's opening frame: payload encodings plus any optional
+    capabilities (:data:`FEATURES`) this peer wants to use."""
+    payload: Dict[str, object] = {"version": PROTOCOL_VERSION,
+                                  "encodings": list(encodings)}
+    if features:
+        payload["features"] = list(features)
+    return Frame("hello", payload)
 
 
 def negotiated_encoding(payload: Dict[str, object]) -> str:
@@ -394,6 +412,21 @@ def negotiated_encoding(payload: Dict[str, object]) -> str:
     if isinstance(advertised, (list, tuple)) and "binary" in advertised:
         return "binary"
     return "json"
+
+
+def negotiated_features(payload: Dict[str, object]) -> frozenset:
+    """The optional capabilities the peer behind ``payload`` advertised.
+
+    Same contract as :func:`negotiated_encoding`: only features *both*
+    sides advertise may be used, and an absent or malformed
+    advertisement is an empty set — old peers never see trace context
+    (or any later capability) on their frames.
+    """
+    advertised = payload.get("features")
+    if not isinstance(advertised, (list, tuple)):
+        return frozenset()
+    return frozenset(str(feature) for feature in advertised
+                     if feature in FEATURES)
 
 
 def check_hello(frame: Frame) -> Optional[Frame]:
@@ -474,7 +507,12 @@ def format_reply(request: Frame, response: Frame) -> str:
     if request.kind == "rate":
         return f"user {payload['user']} updated"
     if request.kind in ("stats", "health"):
-        return json.dumps(payload, sort_keys=True)
+        # The legacy line format predates the metrics registry: it
+        # renders only the flat alias keys, bit-identical to the
+        # historical serve loop (pinned by the golden transcript test).
+        legacy = {key: value for key, value in payload.items()
+                  if key != "metrics"}
+        return json.dumps(legacy, sort_keys=True)
     raise ProtocolError(f"no line rendering for {request.kind!r} replies")
 
 
@@ -561,14 +599,24 @@ def execute(service, request: Frame,
                 np.asarray(payload["values"], dtype=np.float64))
             return Frame("ok", {"user": int(payload["user"])})
         if kind == "stats":
-            return Frame("ok", dict(service.stats()))
+            # The flat keys are the backwards-compatible aliases; the
+            # "metrics" entry is the same data normalized onto the
+            # registry's dotted names (see repro.obs.metrics).
+            flat = dict(service.stats())
+            body = dict(flat)
+            body["metrics"] = dotted_stats(
+                getattr(service, "METRICS_PREFIX", "serving.service"), flat)
+            return Frame("ok", body)
         if kind == "health":
-            body: Dict[str, object] = {
+            flat = dict(service.stats())
+            metrics = dotted_stats(
+                getattr(service, "METRICS_PREFIX", "serving.service"), flat)
+            body = {
                 "status": "ok",
                 "protocol": PROTOCOL_VERSION,
                 "n_users": int(service.n_users),
                 "n_items": int(service.n_items),
-                "stats": dict(service.stats()),
+                "stats": flat,
             }
             if payload.get("digest") and hasattr(service, "state_digest"):
                 # Opt-in (it hashes every factor row): the fleet
@@ -576,7 +624,12 @@ def execute(service, request: Frame,
                 # hold bit-identical mutable state.
                 body["digest"] = str(service.state_digest())
             if extra_health is not None:
-                body.update(extra_health())
+                extra = dict(extra_health())
+                extra_metrics = extra.pop("metrics", None)
+                body.update(extra)
+                if isinstance(extra_metrics, dict):
+                    metrics.update(extra_metrics)
+            body["metrics"] = metrics
             return Frame("ok", body)
         return Frame("error", {"message": f"unknown command {kind!r}"})
     except (ValidationError, ClusterError, IndexError, ValueError,

@@ -32,6 +32,8 @@ import asyncio
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.serving.net.server import NetServer
 from repro.utils.validation import check_positive
 
@@ -65,6 +67,7 @@ class _Replica(threading.Thread):
                        if self._make_watcher is not None else None)
             self.server = NetServer(self.service, host=self._host,
                                     port=self._port, watcher=watcher,
+                                    metrics_labels={"replica": self.index},
                                     **self._server_options)
             self.loop.run_until_complete(self.server.start())
         except BaseException as error:  # surfaced by ReplicaSet.start()
@@ -165,6 +168,17 @@ class ReplicaSet:
         ``wal.fsync`` fault sites).  Survives :meth:`restart` because
         re-wiring rebuilds the log from this handle.  ``None`` (the
         default) means zero injection code on any hot path.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` shared by every
+        replica (servers, fusers and WAL coordinators all record into
+        it), so a single traced write yields its whole cross-replica
+        span tree from one :meth:`spans` call.  ``None`` (the default)
+        keeps tracing cold fleet-wide.
+    registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` shared across the
+        fleet; one is created when omitted.  Per-replica histograms and
+        stats providers are disambiguated by a ``replica`` label, so
+        :meth:`metrics_snapshot` covers every live replica at once.
     """
 
     def __init__(self, make_service: Callable[[int], object],
@@ -178,7 +192,8 @@ class ReplicaSet:
                  max_queue_depth: Optional[int] = 256,
                  ship_cooldown: float = 1.0, ship_backoff_max: float = 30.0,
                  ship_backoff_seed: Optional[int] = None,
-                 fault_injector=None):
+                 fault_injector=None, tracer: Optional[Tracer] = None,
+                 registry: Optional[MetricsRegistry] = None):
         check_positive("n_replicas", n_replicas)
         if ports is not None and len(ports) != n_replicas:
             raise ValueError(
@@ -190,6 +205,9 @@ class ReplicaSet:
         self.ship_backoff_max = float(ship_backoff_max)
         self.ship_backoff_seed = ship_backoff_seed
         self.fault_injector = fault_injector
+        self.tracer = tracer
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
         self._make_service = make_service
         self._make_watcher = make_watcher
         self._host = host
@@ -197,7 +215,9 @@ class ReplicaSet:
                          "fuse_max_batch": fuse_max_batch,
                          "max_in_flight": max_in_flight,
                          "max_queue_depth": max_queue_depth,
-                         "wal_expected": self.replicate}
+                         "wal_expected": self.replicate,
+                         "tracer": tracer,
+                         "registry": self.registry}
         self.replicas = [
             _Replica(index, make_service, make_watcher, host,
                      ports[index] if ports is not None else 0,
@@ -262,18 +282,22 @@ class ReplicaSet:
             def build_leader():
                 log = WriteAheadLog(self.wal_dir,
                                     sync_every=self.wal_sync_every,
-                                    fault_injector=self.fault_injector)
+                                    fault_injector=self.fault_injector,
+                                    registry=self.registry,
+                                    metrics_labels={"replica": index})
                 return LeaderCoordinator(
                     replica.service, log,
                     ship_cooldown=self.ship_cooldown,
                     ship_backoff_max=self.ship_backoff_max,
-                    ship_backoff_seed=self.ship_backoff_seed)
+                    ship_backoff_seed=self.ship_backoff_seed,
+                    tracer=self.tracer)
             coordinator = replica.server.call_serialized(build_leader)
             replica.server.set_wal(coordinator)
             coordinator.set_followers(self._follower_addresses())
         else:
             coordinator = FollowerCoordinator(replica.service,
-                                              self.leader.address)
+                                              self.leader.address,
+                                              tracer=self.tracer)
             replica.server.set_wal(coordinator)
             if self.leader.is_alive():
                 replica.server.call_serialized(coordinator.catch_up)
@@ -353,6 +377,20 @@ class ReplicaSet:
                 if replica.is_alive() and replica.server is not None
                 and replica.server.wal is not None else None
                 for replica in self.replicas]
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One dotted snapshot across the fleet (shared registry).
+
+        Keys carry a ``replica=<index>`` label, so the same counter on
+        different replicas stays distinguishable.
+        """
+        return self.registry.snapshot()
+
+    def spans(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Recorded spans from the fleet's shared tracer (``[]`` untraced)."""
+        if self.tracer is None:
+            return []
+        return self.tracer.spans(limit)
 
     def __enter__(self) -> "ReplicaSet":
         return self.start()

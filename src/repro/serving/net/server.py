@@ -46,6 +46,8 @@ from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, dotted_stats
+from repro.obs.trace import TraceContext, Tracer
 from repro.serving.net.fusion import DeadlineExpired, QueryFuser
 from repro.serving.net.protocol import (
     ENCODINGS,
@@ -56,6 +58,7 @@ from repro.serving.net.protocol import (
     MUTATION_KINDS,
     PROTOCOL_VERSION,
     ProtocolError,
+    TRACE_FEATURE,
     error_frame,
     recommendation_payload,
     check_hello,
@@ -110,13 +113,29 @@ class NetServer:
     watcher:
         Optional :class:`SnapshotWatcher` whose lifecycle should follow
         the server's.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When set, the
+        server advertises the ``trace`` hello feature and opens
+        admission spans (queue wait vs execute split) for every request
+        frame carrying trace context.  ``None`` (the default) keeps the
+        traced-request path completely cold — one ``is None`` check per
+        request.
+    registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` hosting this
+        server's latency histograms and stats providers; a private one
+        is created when omitted.  A :class:`ReplicaSet` shares one
+        registry across its replicas, disambiguated by
+        ``metrics_labels`` (e.g. ``{"replica": 0}``).
     """
 
     def __init__(self, service, host: str = "127.0.0.1", port: int = 0,
                  fuse_window_ms: Optional[float] = 2.0,
                  fuse_max_batch: int = 64, max_in_flight: int = 64,
                  max_queue_depth: Optional[int] = 256,
-                 watcher=None, wal_expected: bool = False):
+                 watcher=None, wal_expected: bool = False,
+                 tracer: Optional[Tracer] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 metrics_labels: Optional[Dict[str, object]] = None):
         check_positive("max_in_flight", max_in_flight)
         if max_queue_depth is not None:
             check_positive("max_queue_depth", max_queue_depth)
@@ -128,6 +147,14 @@ class NetServer:
         self.max_in_flight = int(max_in_flight)
         self.max_queue_depth = (int(max_queue_depth)
                                 if max_queue_depth is not None else None)
+        self.tracer = tracer
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self._metrics_labels = dict(metrics_labels or {})
+        self._queue_wait_ms = self.registry.histogram(
+            "serving.server.queue_wait_ms", **self._metrics_labels)
+        self._execute_ms = self.registry.histogram(
+            "serving.server.execute_ms", **self._metrics_labels)
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-net-exec")
         self.fuser: Optional[QueryFuser] = None
@@ -135,7 +162,8 @@ class NetServer:
             self.fuser = QueryFuser(service.top_n_batch,
                                     window_ms=fuse_window_ms,
                                     max_batch=fuse_max_batch,
-                                    executor=self._executor)
+                                    executor=self._executor,
+                                    tracer=tracer)
         self._server: Optional[asyncio.base_events.Server] = None
         self._slots: Optional[asyncio.Semaphore] = None
         self._closing: Optional[asyncio.Event] = None
@@ -152,6 +180,18 @@ class NetServer:
         self._queued: Dict[str, int] = {"read": 0, "write": 0}
         self.n_overload_shed: Dict[str, int] = {"read": 0, "write": 0}
         self.n_deadline_shed = 0
+        # Re-home the stats() dicts onto the registry's dotted
+        # namespace: snapshot() pulls them live, the flat dicts keep
+        # flowing through stats/health frames as aliases.
+        self.registry.register_provider("serving.server", self.metrics,
+                                        **self._metrics_labels)
+        self.registry.register_provider(
+            getattr(service, "METRICS_PREFIX", "serving.service"),
+            service.stats, **self._metrics_labels)
+        if self.fuser is not None:
+            self.registry.register_provider("serving.fusion",
+                                            self.fuser.metrics,
+                                            **self._metrics_labels)
 
     # -- replication wiring ------------------------------------------------
 
@@ -174,6 +214,9 @@ class NetServer:
         attach = getattr(self.service, "attach_wal_stats", None)
         if attach is not None and coordinator is not None:
             attach(coordinator.stats)
+        if coordinator is not None:
+            self.registry.register_provider("wal", coordinator.stats,
+                                            **self._metrics_labels)
 
     def call_serialized(self, fn, *args, **kwargs):
         """Run ``fn`` on the gateway executor and return its result.
@@ -391,10 +434,14 @@ class NetServer:
             return None
         binary = negotiated_encoding(frames[0].payload) == "binary"
         # The hello reply itself stays JSON (readable by every peer);
-        # it advertises our encodings so the client can commit too.
-        await self._send(writer, Frame("ok", {
+        # it advertises our encodings (and optional features, e.g.
+        # trace-context support) so the client can commit too.
+        hello_reply: Dict[str, object] = {
             "version": PROTOCOL_VERSION, "server": "repro-serving",
-            "encodings": list(ENCODINGS)}))
+            "encodings": list(ENCODINGS)}
+        if self.tracer is not None:
+            hello_reply["features"] = [TRACE_FEATURE]
+        await self._send(writer, Frame("ok", hello_reply))
         # Any frames pipelined behind the hello are served in order.
         for frame in frames[1:]:
             await self._admit(writer, frame, binary, pending)
@@ -418,7 +465,32 @@ class NetServer:
             counters["fusion"] = self.fuser.stats()
         if self.wal is not None:
             counters["wal"] = self.wal.stats()
+        # The normalized (dotted) view of the same numbers; protocol
+        # health assembly merges it with the service's own dotted stats.
+        metrics = dotted_stats("serving.server", self.metrics())
+        if self.fuser is not None:
+            metrics.update(dotted_stats("serving.fusion",
+                                        self.fuser.metrics()))
+        if self.wal is not None:
+            metrics.update(dotted_stats("wal", self.wal.stats()))
+        counters["metrics"] = metrics
         return counters
+
+    def _trace_reply(self, frame: Frame) -> Frame:
+        """Serve a ``trace`` frame: buffered spans (or a drain)."""
+        if self.tracer is None:
+            return Frame("ok", {"enabled": False, "spans": []})
+        if frame.payload.get("drain"):
+            spans = self.tracer.drain()
+        else:
+            limit = frame.payload.get("limit")
+            try:
+                limit = int(limit) if limit is not None else None
+            except (TypeError, ValueError):
+                limit = None
+            spans = self.tracer.spans(limit)
+        return Frame("ok", {"enabled": True, "spans": spans,
+                            "tracer": self.tracer.stats()})
 
     async def _respond_wal(self, frame: Frame) -> Frame:
         """Route WAL traffic and (when a coordinator is attached)
@@ -502,6 +574,15 @@ class NetServer:
                        frame: Frame, binary: bool = False) -> None:
         self.n_requests += 1
         arrival = time.monotonic()
+        # The admission span parents every server-side span for this
+        # request; it exists only when tracing is on AND the frame
+        # carries context, so the untraced path pays one `is None`.
+        admit = None
+        if self.tracer is not None:
+            ctx = TraceContext.from_wire(frame.payload.get("trace"))
+            if ctx is not None:
+                admit = self.tracer.start("server.admit", parent=ctx,
+                                          attrs={"kind": frame.kind})
         deadline = self._frame_deadline(frame, arrival)
         response = self._shed_overload(frame)
         if response is None:
@@ -511,6 +592,14 @@ class NetServer:
                 await self._slots.acquire()
             finally:
                 self._queued[cls] -= 1
+            # Queue wait (slot acquisition) vs execute, split: the two
+            # intervals that matter when diagnosing tail latency.
+            queue_wait_ms = (time.monotonic() - arrival) * 1000.0
+            self._queue_wait_ms.observe(queue_wait_ms)
+            if admit is not None:
+                self.tracer.emit("server.queue", parent=admit,
+                                 dur_ms=queue_wait_ms,
+                                 attrs={"class": cls})
             try:
                 # The gate sits *after* the slot wait on purpose: time
                 # spent queueing counts against the budget, so a request
@@ -523,28 +612,65 @@ class NetServer:
                         f"{frame.payload.get('deadline_ms')} ms budget "
                         "queueing", code=ERROR_DEADLINE, retryable=True)
                 elif self.fuser is not None and frame.kind == "top_n":
-                    response = await self._fused_top_n(frame, deadline)
+                    response = await self._fused_top_n(frame, deadline,
+                                                       admit)
                 elif frame.kind in ("wal_append", "wal_catchup") or (
                         frame.kind in MUTATION_KINDS
                         and (self.wal is not None or self.wal_expected)):
+                    if admit is not None:
+                        # Re-parent the downstream WAL spans (commit,
+                        # append, ship, follower apply) on admission.
+                        frame.payload["trace"] = admit.context().to_wire()
                     response = await self._respond_wal(frame)
+                elif frame.kind == "metrics":
+                    payload = await asyncio.get_running_loop() \
+                        .run_in_executor(self._executor,
+                                         self.registry.snapshot)
+                    response = Frame("ok", {"metrics": payload})
+                elif frame.kind == "trace":
+                    response = self._trace_reply(frame)
                 else:
                     # arrays=True: replies keep the gateway's own ndarray
                     # response buffers, encoded once at _send — no
                     # per-element re-encode on the event loop.
                     response = await asyncio.get_running_loop() \
-                        .run_in_executor(
-                            self._executor, execute, self.service, frame,
-                            self._health_extra, True)
+                        .run_in_executor(self._executor, self._execute,
+                                         frame, admit)
             finally:
                 self._slots.release()
+        elif admit is not None:
+            admit.set_attr("shed", "overload")
+        if admit is not None:
+            if response.is_error:
+                admit.set_attr("error",
+                               response.payload.get("message"))
+            admit.finish()
         request_id = frame.payload.get("id")
         if request_id is not None:
             response.payload.setdefault("id", request_id)
         await self._send(writer, response, binary)
 
+    def _execute(self, frame: Frame, admit=None) -> Frame:
+        """Plain gateway execution (runs on the gateway executor),
+        wrapped in the execute histogram and — for traced requests — a
+        ``server.execute`` span whose thread-local activation lets the
+        layers below (scorer, WAL, chaos shims) attach children."""
+        start = time.perf_counter()
+        try:
+            if admit is None:
+                return execute(self.service, frame, self._health_extra,
+                               True)
+            with self.tracer.start("server.execute", parent=admit,
+                                   attrs={"kind": frame.kind}):
+                return execute(self.service, frame, self._health_extra,
+                               True)
+        finally:
+            self._execute_ms.observe(
+                (time.perf_counter() - start) * 1000.0)
+
     async def _fused_top_n(self, frame: Frame,
-                           deadline: Optional[float] = None) -> Frame:
+                           deadline: Optional[float] = None,
+                           admit=None) -> Frame:
         """Route one ``top_n`` through the fuser.
 
         Arguments are validated *before* entering the window, so one bad
@@ -566,7 +692,8 @@ class NetServer:
             recommendation = await self.fuser.top_n(
                 user, n=n,
                 exclude_seen=bool(payload.get("exclude_seen", True)),
-                deadline=deadline)
+                deadline=deadline,
+                trace=admit.context() if admit is not None else None)
         except DeadlineExpired as error:
             self.n_deadline_shed += 1
             return error_frame(str(error), code=ERROR_DEADLINE,
@@ -603,6 +730,27 @@ class NetServer:
             "n_deadline_shed": self.n_deadline_shed,
             "n_overload_shed": dict(self.n_overload_shed),
             "n_stalls": self.n_stalls,
+            "queue_depth": dict(self._queued),
+            "max_queue_depth": self.max_queue_depth,
+            "max_in_flight": self.max_in_flight,
+        }
+
+    def metrics(self) -> Dict[str, object]:
+        """:meth:`stats` under the normalized registry schema: dropped
+        ``n_`` prefixes, shed counters grouped under ``shed_*`` — the
+        names that appear dotted as ``serving.server.<key>`` in registry
+        snapshots and health-frame ``metrics`` blocks.  (The latency
+        histograms ``serving.server.queue_wait_ms`` / ``execute_ms``
+        live natively in the registry, not here.)"""
+        return {
+            "connections": self.n_connections,
+            "open_connections": len(self._connections),
+            "requests": self.n_requests,
+            "error_replies": self.n_error_replies,
+            "protocol_errors": self.n_protocol_errors,
+            "shed_deadline": self.n_deadline_shed,
+            "shed_overload": dict(self.n_overload_shed),
+            "stalls": self.n_stalls,
             "queue_depth": dict(self._queued),
             "max_queue_depth": self.max_queue_depth,
             "max_in_flight": self.max_in_flight,

@@ -91,6 +91,10 @@ class PredictionService:
         Maximum number of per-user score vectors kept in the LRU cache.
     """
 
+    #: Dotted prefix this gateway's :meth:`stats` surfaces under in a
+    #: :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+    METRICS_PREFIX = "serving.service"
+
     def __init__(self, snapshots: Union[SnapshotLike, Sequence[SnapshotLike]],
                  mode: str = "mean", train: Optional[RatingMatrix] = None,
                  clip: Optional[Tuple[float, float]] = None,

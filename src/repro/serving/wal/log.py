@@ -48,10 +48,13 @@ import json
 import os
 import re
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
+
+from repro.obs.trace import maybe_span
 
 __all__ = ["WalRecord", "WriteAheadLog", "WalError", "WalCorruptionError",
            "WalWriteError"]
@@ -136,11 +139,17 @@ class WriteAheadLog:
         torn-write case deliberately exercises the same code path a
         crash-plus-recovery would (partial bytes written, then removed
         before anything was acked).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
+        every fsync duration is observed into the
+        ``wal.append.fsync_ms`` histogram (qualified by
+        ``metrics_labels``, e.g. ``replica=0``).
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None,
                  sync_every: int = 1, segment_bytes: int = 4 * 1024 * 1024,
-                 fault_injector=None):
+                 fault_injector=None, registry=None,
+                 metrics_labels: Optional[Dict[str, object]] = None):
         if sync_every < 1:
             raise WalError(f"sync_every must be >= 1, got {sync_every}")
         if segment_bytes < 1:
@@ -150,6 +159,10 @@ class WriteAheadLog:
         self.sync_every = int(sync_every)
         self.segment_bytes = int(segment_bytes)
         self.fault_injector = fault_injector
+        self._fsync_ms = None
+        if registry is not None:
+            self._fsync_ms = registry.histogram(
+                "wal.append.fsync_ms", **(metrics_labels or {}))
         self.n_injected_faults = 0
         self._records: List[WalRecord] = []
         self._handle = None
@@ -282,8 +295,13 @@ class WriteAheadLog:
 
     def _flush_and_sync(self) -> None:
         if self._handle is not None and self._unsynced:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+            with maybe_span("wal.fsync", unsynced=self._unsynced):
+                start = time.perf_counter()
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+            if self._fsync_ms is not None:
+                self._fsync_ms.observe(elapsed_ms)
             self.n_syncs += 1
         self._unsynced = 0
 
@@ -313,7 +331,16 @@ class WriteAheadLog:
 
         The record is flushed to the OS before this returns; whether it
         is fsynced too depends on ``sync_every`` (see class docs).
+        Inside a traced request (an active span on this thread) the
+        append contributes ``wal.append`` / ``wal.fsync`` child spans;
+        untraced, the cost is one thread-local read.
         """
+        with maybe_span("wal.append") as span:
+            seqno = self._append_record(payload)
+            span.set_attr("seqno", seqno)
+            return seqno
+
+    def _append_record(self, payload: Dict[str, object]) -> int:
         seqno = self.high_seqno + 1
         encoded = _encode_record(seqno, payload)
         record = WalRecord(seqno=seqno, payload=json.loads(

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
+from repro.obs.trace import annotate_active
 from repro.serving.wal.log import WalError, WalRecord
 from repro.utils.validation import ValidationError
 
@@ -158,6 +159,9 @@ class MutationReplayer:
         ack = apply_record(self.service, record.payload)
         self.applied_seqno = record.seqno
         self.n_replayed += 1
+        # A traced commit/apply (wal.commit or wal.follower_apply span
+        # active on this thread) records which seqnos it replayed.
+        annotate_active("replayed_seqno", record.seqno)
         return ack
 
     def apply_all(self, records: Iterable[WalRecord]) -> int:

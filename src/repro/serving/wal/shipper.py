@@ -42,6 +42,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.trace import (NULL_SPAN, Span, TraceContext, Tracer,
+                             maybe_span)
 from repro.serving.net.backoff import Backoff
 from repro.serving.net.protocol import (
     Frame,
@@ -77,6 +79,32 @@ CATCHUP_BATCH = 256
 DEDUP_CAPACITY = 65536
 
 _READ_CHUNK = 1 << 16
+
+
+class _TraceMixin:
+    """Trace plumbing shared by both coordinators.
+
+    Trace context rides coordinator payloads under the reserved
+    ``"trace"`` key (the server stamps its admission span before
+    routing here); it is always *popped* before the payload flows into
+    validation or the durable record, so the log bytes stay identical
+    with tracing on or off.
+    """
+
+    _tracer: Optional[Tracer]
+
+    def _trace_context(self,
+                       payload: Dict[str, object]
+                       ) -> Optional[TraceContext]:
+        value = payload.pop("trace", None)
+        if self._tracer is None:
+            return None
+        return TraceContext.from_wire(value)
+
+    def _span(self, name: str, ctx: Optional[TraceContext], **attrs):
+        if self._tracer is None or ctx is None:
+            return NULL_SPAN
+        return self._tracer.start(name, parent=ctx, attrs=attrs)
 
 
 class WalUnavailableError(WalError):
@@ -203,7 +231,7 @@ class _FollowerLink:
                            + self.backoff.delay(self.failures))
 
 
-class LeaderCoordinator:
+class LeaderCoordinator(_TraceMixin):
     """The write leader: durable append, local apply, fan-out (see module).
 
     Parameters
@@ -229,9 +257,11 @@ class LeaderCoordinator:
     def __init__(self, service, log: WriteAheadLog,
                  ship_timeout: float = 10.0, ship_cooldown: float = 1.0,
                  ship_backoff_max: float = 30.0,
-                 ship_backoff_seed: Optional[int] = None):
+                 ship_backoff_seed: Optional[int] = None,
+                 tracer: Optional[Tracer] = None):
         self.service = service
         self.log = log
+        self._tracer = tracer
         self.replayer = MutationReplayer(service)
         self.instance = secrets.token_hex(4)
         self._followers: Dict[Tuple[str, int], _FollowerLink] = {}
@@ -291,26 +321,35 @@ class LeaderCoordinator:
 
     def handle_mutation(self, kind: str,
                         payload: Dict[str, object]) -> Dict[str, object]:
-        """Commit one mutation: validate → append → apply → ship → ack."""
-        write_id = payload.get("write_id")
-        if write_id is not None:
-            cached = self._dedup.get(str(write_id))
-            if cached is not None:
-                self.n_dedup_hits += 1
-                return dict(cached)
-        validate_mutation(self.service, kind, payload)
-        record_payload = mutation_record_payload(
-            self.service, kind, payload,
-            str(write_id) if write_id is not None else None)
-        seqno = self.log.append(record_payload)
-        record = WalRecord(seqno=seqno, payload=record_payload)
-        ack = self.replayer.apply(record)
-        assert ack is not None  # fresh seqno, never a duplicate
-        ack["seqno"] = seqno
-        self._ship(record)
-        if write_id is not None:
-            self._remember(str(write_id), dict(ack))
-        return ack
+        """Commit one mutation: validate → append → apply → ship → ack.
+
+        A traced commit (the payload carries trace context) runs inside
+        an activated ``wal.commit`` span, so the log's append/fsync
+        spans and the shipping span attach as its children.
+        """
+        ctx = self._trace_context(payload)
+        with self._span("wal.commit", ctx, kind=kind) as span:
+            write_id = payload.get("write_id")
+            if write_id is not None:
+                cached = self._dedup.get(str(write_id))
+                if cached is not None:
+                    self.n_dedup_hits += 1
+                    span.set_attr("dedup_hit", True)
+                    return dict(cached)
+            validate_mutation(self.service, kind, payload)
+            record_payload = mutation_record_payload(
+                self.service, kind, payload,
+                str(write_id) if write_id is not None else None)
+            seqno = self.log.append(record_payload)
+            record = WalRecord(seqno=seqno, payload=record_payload)
+            ack = self.replayer.apply(record)
+            assert ack is not None  # fresh seqno, never a duplicate
+            ack["seqno"] = seqno
+            span.set_attr("seqno", seqno)
+            self._ship(record)
+            if write_id is not None:
+                self._remember(str(write_id), dict(ack))
+            return ack
 
     def _ship(self, record: WalRecord) -> None:
         """Fan one record out to every shippable follower.
@@ -319,9 +358,19 @@ class LeaderCoordinator:
         commit — it reconverges by catch-up (the seqno gap it sees on
         the next successful shipment triggers the pull).
         """
+        ship_span = maybe_span("wal.ship", seqno=record.seqno,
+                               followers=len(self._followers))
         payload = {"records": [_record_wire(record)],
                    "leader_hwm": self.log.high_seqno,
                    "leader_instance": self.instance}
+        if isinstance(ship_span, Span):
+            # The shipment carries the ship span's context, so the
+            # follower's apply joins the same trace across the wire.
+            payload["trace"] = ship_span.context().to_wire()
+        with ship_span:
+            self._ship_payload(payload)
+
+    def _ship_payload(self, payload: Dict[str, object]) -> None:
         for follower in self._followers.values():
             if not follower.shippable:
                 self.n_ship_failures += 1
@@ -398,14 +447,15 @@ class LeaderCoordinator:
         }
 
 
-class FollowerCoordinator:
+class FollowerCoordinator(_TraceMixin):
     """A follower: apply shipments, forward writes, pull catch-up batches."""
 
     role = "follower"
 
     def __init__(self, service, leader_address: Tuple[str, int],
-                 timeout: float = 10.0):
+                 timeout: float = 10.0, tracer: Optional[Tracer] = None):
         self.service = service
+        self._tracer = tracer
         self.leader_address = (str(leader_address[0]),
                                int(leader_address[1]))
         self.replayer = MutationReplayer(service)
@@ -437,29 +487,36 @@ class FollowerCoordinator:
     def handle_mutation(self, kind: str,
                         payload: Dict[str, object]) -> Dict[str, object]:
         """Forward one mutation to the leader; relay its ack or error."""
-        frame = Frame(kind, {key: value for key, value in payload.items()
-                             if key != "id"})
-        try:
-            reply = self._forward_link.request(frame)
-        except (OSError, ConnectionError, ProtocolError) as error:
-            self._forward_link.close()
-            self.n_forward_failures += 1
-            raise WalUnavailableError(
-                f"write leader {self.leader_address} unreachable "
-                f"({error!r}); the write was not applied here — retry "
-                "(mutations carry a write_id, so a retry is exactly-once)"
-            ) from error
-        self.n_forwarded += 1
-        if reply.is_error:
-            message = str(reply.payload.get("message"))
-            if reply.payload.get("retryable"):
-                # The leader said the write was NOT applied (e.g. the
-                # append rolled itself back): keep that retryability
-                # when relaying, or the client would treat an injected
-                # disk fault as a definitive domain error.
-                raise WalWriteError(message)
-            raise WalError(message)
-        return dict(reply.payload)
+        ctx = self._trace_context(payload)
+        with self._span("wal.forward", ctx, kind=kind) as span:
+            forwarded = {key: value for key, value in payload.items()
+                         if key != "id"}
+            if isinstance(span, Span):
+                # The leader's commit span joins this trace.
+                forwarded["trace"] = span.context().to_wire()
+            frame = Frame(kind, forwarded)
+            try:
+                reply = self._forward_link.request(frame)
+            except (OSError, ConnectionError, ProtocolError) as error:
+                self._forward_link.close()
+                self.n_forward_failures += 1
+                raise WalUnavailableError(
+                    f"write leader {self.leader_address} unreachable "
+                    f"({error!r}); the write was not applied here — "
+                    "retry (mutations carry a write_id, so a retry is "
+                    "exactly-once)") from error
+            self.n_forwarded += 1
+            if reply.is_error:
+                message = str(reply.payload.get("message"))
+                if reply.payload.get("retryable"):
+                    # The leader said the write was NOT applied (e.g.
+                    # the append rolled itself back): keep that
+                    # retryability when relaying, or the client would
+                    # treat an injected disk fault as a definitive
+                    # domain error.
+                    raise WalWriteError(message)
+                raise WalError(message)
+            return dict(reply.payload)
 
     # -- the replication path ----------------------------------------------
 
@@ -486,17 +543,20 @@ class FollowerCoordinator:
     def handle_wal_append(self,
                           payload: Dict[str, object]) -> Dict[str, object]:
         """Apply one shipped batch; close any gap by catching up first."""
-        leader_hwm = int(payload.get("leader_hwm", 0))
-        self._check_instance(payload, leader_hwm)
-        self.leader_hwm = max(self.leader_hwm, leader_hwm)
-        for entry in payload.get("records", ()):
-            record = _record_from_wire(entry)
-            try:
-                self.replayer.apply(record)
-            except WalGapError:
-                self.catch_up(up_to=record.seqno - 1)
-                self.replayer.apply(record)  # duplicate-safe by now
-        return {"applied": self.replayer.applied_seqno}
+        ctx = self._trace_context(payload)
+        with self._span("wal.follower_apply", ctx) as span:
+            leader_hwm = int(payload.get("leader_hwm", 0))
+            self._check_instance(payload, leader_hwm)
+            self.leader_hwm = max(self.leader_hwm, leader_hwm)
+            for entry in payload.get("records", ()):
+                record = _record_from_wire(entry)
+                try:
+                    self.replayer.apply(record)
+                except WalGapError:
+                    self.catch_up(up_to=record.seqno - 1)
+                    self.replayer.apply(record)  # duplicate-safe by now
+            span.set_attr("applied", self.replayer.applied_seqno)
+            return {"applied": self.replayer.applied_seqno}
 
     def catch_up(self, up_to: Optional[int] = None) -> int:
         """Pull records from the leader until the gap is closed.

@@ -135,8 +135,8 @@ class TestRunner:
         assert payload["benchmark"] == "serving-ladder"
         backends = {row["backend"] for row in payload["results"]}
         assert backends == {"single", "sharded", "tcp-json", "tcp-bin",
-                            "tcp-bin-pipelined", "tcp-fused",
-                            "tcp-wal-mem", "tcp-wal-fsync1"}
+                            "tcp-bin-traced", "tcp-bin-pipelined",
+                            "tcp-fused", "tcp-wal-mem", "tcp-wal-fsync1"}
         assert all(row["qps"] > 0 for row in payload["results"])
         assert payload["workload"]["transports"] == ["inproc", "tcp"]
         assert "Serving ladder" in outcome.render()
@@ -149,8 +149,8 @@ class TestRunner:
         outcome = run_experiment("serving", quick=True, transports=("tcp",))
         backends = {row.backend for row in outcome.result.rows}
         assert backends == {"single", "tcp-json", "tcp-bin",
-                            "tcp-bin-pipelined", "tcp-fused",
-                            "tcp-wal-mem", "tcp-wal-fsync1"}
+                            "tcp-bin-traced", "tcp-bin-pipelined",
+                            "tcp-fused", "tcp-wal-mem", "tcp-wal-fsync1"}
 
     def test_run_experiment_by_name(self):
         outcome = run_experiment("fig2", degrees=(1, 64, 2048), repeats=1)

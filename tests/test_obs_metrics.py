@@ -1,0 +1,179 @@
+"""Unit tests for the unified metrics registry (repro.obs.metrics).
+
+The contract under test: counters/gauges/histograms are cheap,
+thread-safe and sample-free (histograms derive p50/p95/p99 from bucket
+counts alone), and the registry renders everything — native metrics and
+registered stats providers — into one flat dotted snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    dotted_stats,
+)
+
+
+# ---------------------------------------------------------------------------
+# primitives
+# ---------------------------------------------------------------------------
+
+def test_counter_increments_and_is_thread_safe():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+    threads = [threading.Thread(
+        target=lambda: [counter.inc() for _ in range(1000)])
+        for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 5 + 4000
+
+
+def test_gauge_set_add_and_snapshot():
+    gauge = Gauge()
+    gauge.set(7.5)
+    assert gauge.value == 7.5
+    gauge.add(-2.5)
+    assert gauge.snapshot_value() == 5.0
+
+
+def test_default_latency_buckets_are_sorted():
+    assert list(LATENCY_BUCKETS_MS) == sorted(LATENCY_BUCKETS_MS)
+    with pytest.raises(ValueError):
+        Histogram(bounds=(3.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram(bounds=())
+
+
+def test_histogram_percentiles_without_samples():
+    hist = Histogram(bounds=(1.0, 2.0, 4.0, 8.0))
+    for value in (0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 7.0, 7.0, 7.0, 7.0):
+        hist.observe(value)
+    summary = hist.snapshot_value()
+    assert summary["count"] == 10
+    assert summary["sum"] == pytest.approx(40.5)
+    assert summary["min"] == 0.5
+    assert summary["max"] == 7.0
+    # Every estimate must land inside its owning bucket (the documented
+    # error bound), clamped by the recorded min/max.
+    assert 1.0 <= summary["p50"] <= 4.0
+    assert 4.0 <= summary["p95"] <= 7.0
+    assert 4.0 <= summary["p99"] <= 7.0
+    assert hist.percentile(0.0) <= hist.percentile(0.5) \
+        <= hist.percentile(1.0)
+
+
+def test_histogram_overflow_bucket_reports_recorded_max():
+    hist = Histogram(bounds=(1.0,))
+    hist.observe(250.0)
+    hist.observe(500.0)
+    summary = hist.snapshot_value()
+    assert summary["max"] == 500.0
+    assert summary["p99"] <= 500.0
+    assert summary["p99"] >= 250.0
+
+
+def test_empty_histogram_is_all_zero():
+    hist = Histogram()
+    assert hist.percentile(0.99) == 0.0
+    summary = hist.snapshot_value()
+    assert summary["count"] == 0
+    assert summary["min"] is None and summary["max"] is None
+
+
+def test_histogram_rejects_out_of_range_quantile():
+    with pytest.raises(ValueError):
+        Histogram().percentile(1.5)
+
+
+# ---------------------------------------------------------------------------
+# dotted flattening
+# ---------------------------------------------------------------------------
+
+def test_dotted_stats_flattens_nested_dicts():
+    flat = dotted_stats("serving.service", {
+        "n_folded_in": 2,
+        "wal": {"appended": 3, "ship": {"failures": 0}},
+        "classes": [1, 2],
+    })
+    assert flat == {
+        "serving.service.n_folded_in": 2,
+        "serving.service.wal.appended": 3,
+        "serving.service.wal.ship.failures": 0,
+        "serving.service.classes": [1, 2],
+    }
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def test_registry_get_or_create_and_kind_mismatch():
+    registry = MetricsRegistry()
+    counter = registry.counter("a.b.requests")
+    assert registry.counter("a.b.requests") is counter
+    with pytest.raises(TypeError):
+        registry.gauge("a.b.requests")
+    with pytest.raises(TypeError):
+        registry.histogram("a.b.requests")
+
+
+def test_registry_labels_disambiguate_and_render_sorted():
+    registry = MetricsRegistry()
+    registry.counter("fleet.requests", replica=0).inc(2)
+    registry.counter("fleet.requests", replica=1).inc(5)
+    snapshot = registry.snapshot()
+    assert snapshot["fleet.requests{replica=0}"] == 2
+    assert snapshot["fleet.requests{replica=1}"] == 5
+    # Label order is canonical: sorted by key regardless of call order.
+    registry.gauge("g", b=1, a=2).set(3)
+    assert "g{a=2,b=1}" in registry.snapshot()
+    assert "fleet.requests{replica=0}" in registry.names()
+
+
+def test_registry_snapshot_includes_histogram_summaries():
+    registry = MetricsRegistry()
+    registry.histogram("rpc.latency_ms").observe(1.25)
+    summary = registry.snapshot()["rpc.latency_ms"]
+    assert summary["count"] == 1
+    assert summary["p50"] == pytest.approx(1.25, abs=LATENCY_BUCKETS_MS[-1])
+
+
+def test_providers_flatten_replace_and_fail_soft():
+    registry = MetricsRegistry()
+    registry.register_provider(
+        "serving.server", lambda: {"requests": 7, "shed": {"read": 1}},
+        replica=0)
+    snapshot = registry.snapshot()
+    assert snapshot["serving.server.requests{replica=0}"] == 7
+    assert snapshot["serving.server.shed.read{replica=0}"] == 1
+
+    # Same (prefix, labels) replaces — what a restarted replica wants.
+    registry.register_provider("serving.server", lambda: {"requests": 9},
+                               replica=0)
+    assert registry.snapshot()[
+        "serving.server.requests{replica=0}"] == 9
+
+    # A raising or non-dict provider is skipped, never poisons snapshot.
+    registry.register_provider("broken", lambda: 1 / 0)
+    registry.register_provider("scalar", lambda: 42)
+    snapshot = registry.snapshot()
+    assert snapshot["serving.server.requests{replica=0}"] == 9
+    assert not any(key.startswith(("broken", "scalar"))
+                   for key in snapshot)
+
+    registry.unregister_provider("serving.server", replica=0)
+    assert "serving.server.requests{replica=0}" not in registry.snapshot()

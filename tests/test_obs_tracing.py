@@ -1,0 +1,354 @@
+"""End-to-end request tracing across the serving fleet (repro.obs).
+
+The contracts under test:
+
+* the ``trace`` hello feature negotiates like binary encoding — old
+  peers on either side keep working, and an untraced connection sends
+  byte-identical pre-trace frames;
+* a traced request yields a connected span tree across hops: client
+  root → attempt → server admission (queue wait split out) → execute,
+  and for mutations onward through the WAL —
+  ``wal.commit`` → ``wal.append``/``wal.fsync`` → ``wal.ship`` →
+  every follower's ``wal.follower_apply``;
+* failover keeps the trace: a retried request stays one trace_id and
+  grows a fresh attempt span per replica tried;
+* a fused window is one parent span plus one ``fusion.waiter`` child
+  per request, in response order;
+* the stats/health frames keep their flat alias keys while the
+  ``metrics`` frame serves the dotted registry view, and the ``trace``
+  frame exports (and drains) the server's span buffer;
+* a chaos fault firing inside a traced request annotates the live span.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bench.serving import make_bench_snapshot
+from repro.obs import Tracer
+from repro.serving.chaos import FaultEvent, FaultInjector, FaultPlan
+from repro.serving.net import ReplicaSet, ServingClient
+from repro.serving.service import PredictionService
+
+N_USERS, N_ITEMS, K = 40, 30, 4
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return make_bench_snapshot(N_USERS, N_ITEMS, K, seed=5)
+
+
+@pytest.fixture()
+def traced_pair(snapshot):
+    """A 2-replica traced fleet plus its shared tracer."""
+    tracer = Tracer(capacity=8192)
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=2, tracer=tracer) as replicas:
+        yield tracer, replicas
+
+
+def _tree(spans, root):
+    """The subtree under ``root`` (children found by parent_id)."""
+    children = {}
+    for span in spans:
+        children.setdefault(span["parent_id"], []).append(span)
+    collected, stack = [], [root]
+    while stack:
+        node = stack.pop()
+        collected.append(node)
+        stack.extend(children.get(node["span_id"], []))
+    return collected
+
+
+def _roots(spans, name):
+    return [span for span in spans
+            if span["name"] == name and span["parent_id"] is None]
+
+
+# ---------------------------------------------------------------------------
+# feature negotiation (old peers keep working)
+# ---------------------------------------------------------------------------
+
+def test_traced_read_spans_both_sides_of_the_wire(traced_pair):
+    tracer, replicas = traced_pair
+    with ServingClient(replicas.addresses, tracer=tracer) as client:
+        client.top_n(3, n=5)
+        client.predict(3, 7)
+    spans = tracer.spans()
+    # Fused-by-default top_n dispatches through a fusion window...
+    root = _roots(spans, "client.top_n")[-1]
+    names = [span["name"] for span in _tree(spans, root)]
+    for expected in ("client.attempt", "server.admit", "server.queue",
+                     "fusion.window"):
+        assert expected in names, f"missing {expected} in {names}"
+    admits = [span for span in _tree(spans, root)
+              if span["name"] == "server.admit"]
+    assert admits[0]["attrs"]["kind"] == "top_n"
+    # ...while every other kind runs under a server.execute span.
+    predict_root = _roots(spans, "client.predict")[-1]
+    predict_names = [span["name"] for span in _tree(spans, predict_root)]
+    assert "server.execute" in predict_names
+
+
+def test_untraced_client_against_traced_server_stays_untraced(traced_pair):
+    tracer, replicas = traced_pair
+    with ServingClient(replicas.addresses) as client:
+        client.top_n(3, n=5)
+    assert tracer.spans() == []
+
+
+def test_traced_client_against_untraced_server_stays_silent(snapshot):
+    tracer = Tracer()
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=1) as replicas:
+        with ServingClient(replicas.addresses, tracer=tracer) as client:
+            client.top_n(3, n=5)
+        reply = replicas.replicas[0].server  # server side recorded nothing
+        assert reply.tracer is None
+    spans = tracer.spans()
+    # The client still records its own spans, but the feature did not
+    # negotiate, so no trace context crossed the wire (nothing would
+    # have admitted it anyway) and the request succeeded regardless.
+    assert _roots(spans, "client.top_n")
+    assert all(span["name"].startswith("client.") for span in spans)
+
+
+# ---------------------------------------------------------------------------
+# failover keeps the trace
+# ---------------------------------------------------------------------------
+
+def test_failover_retry_is_one_trace_with_fresh_attempt_spans(traced_pair):
+    tracer, replicas = traced_pair
+    addresses = list(replicas.addresses)
+    replicas.kill(0)  # the ring tries address 0 first: guaranteed retry
+    with ServingClient(addresses, tracer=tracer, cooldown=0.01,
+                       backoff_max=0.05) as client:
+        client.top_n(7, n=5)
+        assert client.n_failovers >= 1
+    spans = tracer.spans()
+    root = _roots(spans, "client.top_n")[-1]
+    tree = _tree(spans, root)
+    assert {span["trace_id"] for span in tree} == {root["trace_id"]}, \
+        "failover split the trace"
+    attempts = sorted((span for span in tree
+                       if span["name"] == "client.attempt"),
+                      key=lambda span: span["attrs"]["attempt"])
+    assert len(attempts) >= 2, "retry did not open a fresh attempt span"
+    assert len({span["span_id"] for span in attempts}) == len(attempts)
+    assert attempts[0]["attrs"]["replica"] != attempts[-1]["attrs"]["replica"]
+    assert "error" in attempts[0]["attrs"], \
+        "failed attempt lost its error annotation"
+
+
+# ---------------------------------------------------------------------------
+# fused windows: one parent, N children, response order
+# ---------------------------------------------------------------------------
+
+def test_fused_window_is_one_parent_with_children_in_response_order(
+        snapshot):
+    tracer = Tracer(capacity=8192)
+    n_clients = 4
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=1, fuse_window_ms=100.0,
+                    tracer=tracer) as replicas:
+        barrier = threading.Barrier(n_clients)
+
+        def one(user: int) -> None:
+            with ServingClient(replicas.addresses,
+                               tracer=tracer) as client:
+                client.top_n(0, n=5)  # connect + prime outside the burst
+                barrier.wait(timeout=30.0)
+                client.top_n(user, n=5)
+
+        threads = [threading.Thread(target=one, args=(user,))
+                   for user in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+    spans = tracer.spans()
+    children = {}
+    for span in spans:
+        children.setdefault(span["parent_id"], []).append(span)
+    windows = [span for span in spans if span["name"] == "fusion.window"]
+    assert windows, "the concurrent burst never fused"
+    for window in windows:
+        waiters = [span for span in children.get(window["span_id"], [])
+                   if span["name"] == "fusion.waiter"]
+        # One child per fused request, indexed in response order.
+        assert len(waiters) == window["attrs"]["users"]
+        assert sorted(span["attrs"]["index"] for span in waiters) \
+            == list(range(len(waiters)))
+    deepest = max(len(children.get(window["span_id"], []))
+                  for window in windows)
+    assert deepest >= 2, "no window fused two concurrent requests"
+    # Waiters from other requests' traces link back to their origin
+    # instead of silently re-parenting into the window's trace.
+    cross = [span for span in spans if span["name"] == "fusion.waiter"
+             and "origin_trace_id" in span["attrs"]]
+    for span in cross:
+        assert span["attrs"]["origin_trace_id"] != span["trace_id"]
+    # The batch execution itself traces under the window: the sharded
+    # scorer's batch span attaches on the executor thread.
+    batch_names = {span["name"]
+                   for window in windows
+                   for span in children.get(window["span_id"], [])}
+    assert "fusion.waiter" in batch_names
+
+
+# ---------------------------------------------------------------------------
+# the WAL write chain
+# ---------------------------------------------------------------------------
+
+def test_write_trace_covers_append_fsync_ship_and_follower_apply(
+        snapshot, tmp_path):
+    tracer = Tracer(capacity=8192)
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=3, wal_dir=str(tmp_path / "wal"),
+                    tracer=tracer) as replicas:
+        # Pin the leader: the chain under test is the commit, not the
+        # follower forward hop (tested separately below).
+        with ServingClient(replicas.addresses[:1],
+                           tracer=tracer) as client:
+            client.fold_in(np.array([0, 1]), np.array([4.0, 5.0]))
+    spans = tracer.spans()
+    root = _roots(spans, "client.foldin")[-1]
+    tree = _tree(spans, root)
+    by_name = {}
+    for span in tree:
+        by_name.setdefault(span["name"], []).append(span)
+    for name in ("client.attempt", "server.admit", "wal.commit",
+                 "wal.append", "wal.fsync", "wal.ship",
+                 "wal.follower_apply"):
+        assert name in by_name, f"write chain is missing {name}"
+    assert {span["trace_id"] for span in tree} == {root["trace_id"]}
+
+    commit = by_name["wal.commit"][0]
+    assert commit["attrs"]["seqno"] == 1
+    append = by_name["wal.append"][0]
+    assert append["attrs"]["seqno"] == 1
+    assert append["parent_id"] == commit["span_id"]
+    # The fsync happens inside the append: it nests one level deeper.
+    assert by_name["wal.fsync"][0]["parent_id"] == append["span_id"]
+    ship = by_name["wal.ship"][0]
+    assert ship["parent_id"] == commit["span_id"]
+    assert ship["attrs"]["followers"] == 2
+    applies = by_name["wal.follower_apply"]
+    assert len(applies) == 2, "one apply span per follower"
+    for apply_span in applies:
+        assert apply_span["attrs"]["applied"] == 1
+        assert apply_span["attrs"]["replayed_seqno"] == [1]
+
+
+def test_write_via_follower_traces_the_forward_hop(snapshot):
+    tracer = Tracer(capacity=8192)
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=2, tracer=tracer) as replicas:
+        with ServingClient(replicas.addresses[1:],
+                           tracer=tracer) as client:
+            client.fold_in(np.array([2]), np.array([3.0]))
+    spans = tracer.spans()
+    root = _roots(spans, "client.foldin")[-1]
+    names = [span["name"] for span in _tree(spans, root)]
+    assert "wal.forward" in names, \
+        "follower-received write lost its forward span"
+    # Three admissions, one trace: the follower's front door, the
+    # leader receiving the forward, and the follower again when the
+    # committed record ships back.
+    assert names.count("server.admit") == 3
+    assert "wal.commit" in names
+
+
+# ---------------------------------------------------------------------------
+# export surfaces: stats aliases, metrics frame, trace frame
+# ---------------------------------------------------------------------------
+
+def test_stats_keeps_flat_aliases_and_metrics_serves_dotted_names(
+        traced_pair):
+    tracer, replicas = traced_pair
+    with ServingClient(replicas.addresses, tracer=tracer) as client:
+        client.fold_in(np.array([0]), np.array([4.0]))
+        client.top_n(1, n=5)
+        flat = client.stats()
+        snapshot = client.metrics()
+        health = client.health()
+    # Old flat keys survive as aliases...
+    assert flat["n_folded_in"] == 1
+    # ...while the registry snapshot serves the same facts dotted, with
+    # per-replica labels, plus the native latency histograms.
+    assert any(key.startswith("serving.service.n_folded_in")
+               for key in snapshot)
+    assert any(key.startswith("serving.server.requests{replica=")
+               for key in snapshot)
+    queue_wait = next(value for key, value in snapshot.items()
+                      if key.startswith("serving.server.queue_wait_ms"
+                                        "{replica=0}"))
+    assert queue_wait["count"] > 0
+    assert set(queue_wait) >= {"count", "sum", "min", "max",
+                               "p50", "p95", "p99"}
+    assert any(key.startswith("wal.role") for key in snapshot)
+    # The health frame carries the dotted view alongside its old shape.
+    assert health["status"] == "ok"
+    assert any(key.startswith("serving.server.")
+               for key in health["metrics"])
+
+
+def test_trace_frame_exports_limits_and_drains(traced_pair):
+    tracer, replicas = traced_pair
+    with ServingClient(replicas.addresses, tracer=tracer) as client:
+        for user in range(5):
+            client.top_n(user, n=3)
+        full = client.spans()
+        assert full["enabled"] is True
+        assert full["tracer"]["finished"] >= 5
+        assert len(full["spans"]) >= 5
+        # Trace requests are themselves traced, so the buffer keeps
+        # moving between calls: check the limit, not exact contents.
+        limited = client.spans(limit=2)
+        assert len(limited["spans"]) == 2
+        drained = client.spans(drain=True)
+        assert len(drained["spans"]) >= len(full["spans"])
+        # The drain cleared the buffer; only spans of the drain request
+        # itself and this export (on the shared tracer) may trickle in.
+        leftover = client.spans()["spans"]
+        assert len(leftover) <= 8
+        assert all(span["name"] in
+                   ("client.trace", "client.attempt", "server.admit",
+                    "server.queue", "server.execute")
+                   for span in leftover)
+
+
+def test_trace_frame_reports_disabled_on_untraced_server(snapshot):
+    with ReplicaSet(lambda index: PredictionService(snapshot),
+                    n_replicas=1) as replicas:
+        with ServingClient(replicas.addresses) as client:
+            reply = client.spans()
+    assert reply == {"enabled": False, "spans": []}
+
+
+# ---------------------------------------------------------------------------
+# chaos: fired faults annotate the live span
+# ---------------------------------------------------------------------------
+
+def test_fired_fault_annotates_the_active_attempt_span(traced_pair):
+    tracer, replicas = traced_pair
+    plan = FaultPlan(seed=0, events=[
+        FaultEvent(site="net.send", step=2, action="delay", arg=0.001)])
+    injector = FaultInjector(plan)
+    with ServingClient(replicas.addresses, tracer=tracer,
+                       fault_injector=injector) as client:
+        for user in range(4):
+            client.top_n(user, n=3)
+    assert injector.log, "the scheduled fault never fired"
+    annotated = [span for span in tracer.spans()
+                 if "fault" in span["attrs"]]
+    assert annotated, "the fired fault annotated no span"
+    fired = annotated[0]["attrs"]["fault"][0]
+    assert fired["site"] == "net.send"
+    assert fired["action"] == "delay"
+    assert annotated[0]["name"] == "client.attempt"
