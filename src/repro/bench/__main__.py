@@ -19,7 +19,8 @@ from repro.utils.logging import set_verbosity
 
 #: Committed baseline path per recordable experiment.
 DEFAULT_RECORD_PATHS = {"engines": "BENCH_pr3.json",
-                        "serving": "BENCH_pr9.json"}
+                        "serving": "BENCH_pr9.json",
+                        "distributed": "BENCH_pr10.json"}
 
 #: --transport choices mapped to the serving ladder's ``transports`` arg.
 _TRANSPORTS = {"inproc": ("inproc",), "tcp": ("tcp",),

@@ -34,6 +34,7 @@ class ExperimentResult:
 def _experiments() -> Dict[str, Tuple[Callable[[], object], Callable[[object], Table], str]]:
     # Imported lazily to keep `import repro.bench.runner` cheap.
     from repro.bench.accuracy import run_accuracy_parity
+    from repro.bench.distributed import run_distributed_bench
     from repro.bench.engines import run_engine_bench
     from repro.bench.fig2_update_methods import run_fig2, run_fig2_batched
     from repro.bench.fig3_multicore import run_fig3
@@ -54,6 +55,10 @@ def _experiments() -> Dict[str, Tuple[Callable[[], object], Callable[[object], T
                     "Serving ladder: single-process top-N vs sharded "
                     "cluster, shards x workers (records BENCH_*.json via "
                     "--record)"),
+        "distributed": (run_distributed_bench, lambda r: r.to_table(),
+                        "Distributed ladder: simulated vs socket comm "
+                        "world, ranks x K (records BENCH_*.json via "
+                        "--record)"),
         "fig3": (run_fig3, lambda r: r.to_table(),
                  "Figure 3: multicore throughput vs threads"),
         "fig4": (run_fig4, lambda r: r.to_table(),
@@ -89,6 +94,9 @@ def _quick_overrides() -> Dict[str, Dict[str, object]]:
         "serving": dict(n_users=300, n_items=400, num_latent=8,
                         shard_counts=(1, 2), n_queries=60, warmup=5,
                         wal_writes=40, wal_sync_ladder=(1,)),
+        "distributed": dict(n_users=120, n_movies=90, density=0.1,
+                            num_latents=(4,), rank_counts=(2,),
+                            burn_in=1, n_samples=2),
         "fig3": dict(chembl_scale=10.0, thread_counts=(1, 2)),
         "fig4": dict(n_ratings=100_000, node_counts=(1, 4)),
         "fig5": dict(n_ratings=100_000, node_counts=(1, 4)),

@@ -314,7 +314,8 @@ class DistributedGibbsSampler:
 
     def run(self, train: RatingMatrix, split: RatingSplit | None = None,
             seed: SeedLike = 0, partition: Partition | None = None,
-            resume: Optional[ResumeLike] = None) -> Tuple[BPMFResult, DistributedRunInfo]:
+            resume: Optional[ResumeLike] = None,
+            comm_world=None) -> Tuple[Optional[BPMFResult], DistributedRunInfo]:
         """Run the distributed sampler; returns ``(result, diagnostics)``.
 
         ``resume`` continues a checkpointed chain: every rank is seeded with
@@ -323,8 +324,35 @@ class DistributedGibbsSampler:
         and the generator state is restored, so the completed run matches an
         uninterrupted one bit for bit.  Traffic diagnostics
         (:class:`DistributedRunInfo`) restart from zero at the resume point.
+
+        ``comm_world`` selects the transport.  ``None`` (the default)
+        orchestrates all ranks in-process over a fresh
+        :class:`~repro.mpi.simmpi.SimCommWorld`; passing a ``SimCommWorld``
+        orchestrates over that world instead (its message log then holds
+        the run's traffic).  Passing a *real* per-process world — anything
+        with a ``rank`` attribute, e.g.
+        :class:`repro.mpi.net.SocketCommWorld` — switches to the SPMD
+        path (:func:`repro.distributed.spmd.run_spmd`): this process runs
+        only its own rank and exchanges factors over the wire.  The same
+        partition and communication plan drive every transport, and the
+        socket chain is bit-identical to the simulated one.  In SPMD mode
+        the result comes back on rank 0 only (``None`` elsewhere) and
+        checkpoint/resume are rejected.
         """
         from repro.serving.checkpoint import TrainingCheckpointer
+
+        if comm_world is not None and not isinstance(comm_world, SimCommWorld):
+            if not hasattr(comm_world, "rank"):
+                raise ValidationError(
+                    "comm_world must be None, a SimCommWorld, or a "
+                    "per-process world with a .rank (e.g. SocketCommWorld)")
+            if resume is not None:
+                raise ValidationError(
+                    "resume is an orchestrated-run feature; SPMD worlds "
+                    "cannot restore a gathered snapshot")
+            from repro.distributed.spmd import run_spmd
+            return run_spmd(self, comm_world, train, split=split, seed=seed,
+                            partition=partition)
 
         rng = as_generator(seed)
         snapshot, resumed_state, rng = TrainingCheckpointer.open_resume(
@@ -346,7 +374,14 @@ class DistributedGibbsSampler:
             raise ValidationError("partition rank count does not match options")
         plan = build_comm_plan(train, partition)
 
-        world = SimCommWorld(self.options.n_ranks)
+        if comm_world is None:
+            world = SimCommWorld(self.options.n_ranks)
+        else:
+            world = comm_world
+            if world.n_ranks != self.options.n_ranks:
+                raise ValidationError(
+                    f"comm_world has {world.n_ranks} ranks but "
+                    f"options.n_ranks is {self.options.n_ranks}")
         comms = world.comms()
         rank_states = [
             _RankState(rank, reference_state.user_factors,

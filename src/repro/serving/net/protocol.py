@@ -112,8 +112,16 @@ _KIND_CODES = {
     "wal_catchup": 11,
     "metrics": 12,
     "trace": 13,
+    # MPI transport kinds (repro.mpi.net): the rank rendezvous/mesh
+    # handshake, tagged point-to-point envelopes and collective/flush
+    # control traffic all reuse this codec — factor blocks cross the
+    # wire as the same bit-exact binary array payloads the serving
+    # frontend ships.
+    "mpi_hello": 14,
+    "mpi_msg": 15,
     "ok": 16,
     "error": 17,
+    "mpi_ctl": 18,
 }
 _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
 

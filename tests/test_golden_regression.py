@@ -82,6 +82,38 @@ def test_rmse_trajectory_statistics(dataset, engine):
     assert result.final_rmse < 2.0 * DATASET.noise_std
 
 
+def test_socket_world_reproduces_the_golden_chain(dataset):
+    """A 4-rank socket-world (real TCP links) run of the distributed
+    sampler lands on the very same golden chain — and bit-identically on
+    the orchestrated ``SimCommWorld`` chain, exact ties included."""
+    from repro.distributed.sampler import (
+        DistributedGibbsSampler,
+        DistributedOptions,
+    )
+    from repro.distributed.spmd import run_local_socket_world
+
+    opts = dict(n_ranks=4, hyper_mode="gather", buffer_capacity=16)
+    reference, _ = DistributedGibbsSampler(
+        BPMFConfig(**CONFIG), DistributedOptions(**opts)).run(
+        dataset.split.train, dataset.split, seed=SEED)
+    outcomes = run_local_socket_world(
+        lambda: DistributedGibbsSampler(BPMFConfig(**CONFIG),
+                                        DistributedOptions(**opts)),
+        4, dataset.split.train, dataset.split, seed=SEED)
+    result, _info = outcomes[0]
+    np.testing.assert_allclose(result.rmse_burn_in, GOLDEN_BURN_IN,
+                               atol=EXACT_ATOL)
+    np.testing.assert_allclose(result.rmse_running_mean, GOLDEN_RUNNING_MEAN,
+                               atol=EXACT_ATOL)
+    # Bitwise against the simulated world, not just within tolerance.
+    assert result.rmse_running_mean == reference.rmse_running_mean
+    assert np.array_equal(result.state.user_factors,
+                          reference.state.user_factors)
+    assert np.array_equal(result.state.movie_factors,
+                          reference.state.movie_factors)
+    assert np.array_equal(result.predictions, reference.predictions)
+
+
 def test_engines_agree_on_the_full_golden_run(dataset):
     """20-sweep cross-engine agreement on the same seed (chain-level)."""
     ref = _run(dataset, "reference")

@@ -1,0 +1,459 @@
+"""Socket-backed MPI world: verbs, SPMD training parity, chaos, obs.
+
+The acceptance bar for ``repro.mpi.net`` is *bit-parity*: a socket-world
+run of the distributed sampler must reproduce the orchestrated
+``SimCommWorld`` chain exactly — factors, RMSE trajectory, predictions,
+ties included.  Everything here runs over real localhost TCP links; the
+final test crosses real process boundaries via the launcher.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.priors import BPMFConfig
+from repro.distributed.sampler import (
+    DistributedGibbsSampler,
+    DistributedOptions,
+)
+from repro.distributed.spmd import run_local_socket_world
+from repro.mpi.net import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MpiTransportError,
+    free_port,
+    start_local_world,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.serving.chaos.plan import FaultEvent, FaultInjector, FaultPlan
+from repro.utils.validation import ValidationError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_on_ranks(worlds, body):
+    """Run ``body(rank, comm)`` on one thread per rank; re-raise failures."""
+    n_ranks = len(worlds)
+    results = [None] * n_ranks
+    errors = [None] * n_ranks
+
+    def drive(rank):
+        try:
+            results[rank] = body(rank, worlds[rank].comm())
+        except BaseException as error:
+            errors[rank] = error
+            worlds[rank].abort(f"rank {rank} failed: {error}")
+
+    threads = [threading.Thread(target=drive, args=(rank,), daemon=True)
+               for rank in range(n_ranks)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    failures = [error for error in errors if error is not None]
+    if failures:
+        raise failures[0]
+    return results
+
+
+@pytest.fixture
+def world_pair():
+    worlds = start_local_world(2, op_timeout=30.0)
+    yield worlds
+    for world in worlds:
+        world.close()
+
+
+@pytest.fixture
+def world_quad():
+    worlds = start_local_world(4, op_timeout=60.0)
+    yield worlds
+    for world in worlds:
+        world.close()
+
+
+# ---------------------------------------------------------------------------
+# verb surface
+# ---------------------------------------------------------------------------
+
+class TestVerbs:
+    def test_tagged_send_recv_roundtrip(self, world_pair):
+        def body(rank, comm):
+            if rank == 0:
+                comm.isend({"x": np.arange(5, dtype=np.float64)}, 1, tag=3)
+                return None
+            message = comm.recv(source=0, tag=3)
+            return message["x"]
+
+        results = run_on_ranks(world_pair, body)
+        np.testing.assert_array_equal(results[1], np.arange(5.0))
+
+    def test_binary_arrays_cross_bit_exact(self, world_pair):
+        payload = np.array([0.1, 1 / 3, np.pi, 1e-300, -0.0])
+
+        def body(rank, comm):
+            if rank == 0:
+                comm.isend((np.array([4, 0, 2], dtype=np.int64), payload),
+                           1, tag=9)
+                return None
+            ids, rows = comm.recv(tag=9)
+            return ids, rows
+
+        results = run_on_ranks(world_pair, body)
+        ids, rows = results[1]
+        assert np.asarray(ids).tolist() == [4, 0, 2]
+        # Bitwise, not approximate: the codec ships raw float64 blocks.
+        assert np.asarray(rows).tobytes() == payload.tobytes()
+
+    def test_any_source_any_tag_after_barrier_is_rank_ordered(
+            self, world_quad):
+        def body(rank, comm):
+            if rank != 3:
+                comm.isend(f"from-{rank}", 3, tag=10 + rank)
+            comm.barrier()
+            if rank == 3:
+                got = [comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                       for _ in range(3)]
+                return got
+            return None
+
+        results = run_on_ranks(world_quad, body)
+        # Post-barrier matching is deterministic: (epoch, source, seq).
+        assert results[3] == ["from-0", "from-1", "from-2"]
+
+    def test_iprobe_and_drain_filter_by_tag(self, world_pair):
+        def body(rank, comm):
+            if rank == 0:
+                comm.isend("a", 1, tag=1)
+                comm.isend("b", 1, tag=2)
+                comm.isend("c", 1, tag=1)
+                comm.barrier()
+                return None
+            comm.barrier()
+            assert comm.iprobe(tag=2)
+            assert comm.iprobe(source=0, tag=1)
+            assert not comm.iprobe(tag=77)
+            ones = comm.drain(tag=1)
+            assert not comm.iprobe(tag=1)
+            rest = comm.drain()
+            return ones, rest
+
+        results = run_on_ranks(world_pair, body)
+        assert results[1] == (["a", "c"], ["b"])
+
+    def test_irecv_test_then_wait(self, world_pair):
+        def body(rank, comm):
+            if rank == 0:
+                request = comm.irecv(source=1, tag=5)
+                comm.barrier()  # sender posted before its barrier
+                assert request.test()
+                return request.wait()
+            comm.isend({"v": 7}, 0, tag=5)
+            comm.barrier()
+            return None
+
+        results = run_on_ranks(world_pair, body)
+        assert results[0] == {"v": 7}
+
+    def test_allreduce_matches_simcomm_association(self, world_quad):
+        # Same contributions through SimComm's rank-order sum.
+        contributions = [np.array([0.1, 1 / 3]) * (rank + 1)
+                        for rank in range(4)]
+        expected = sum(contributions[1:], start=contributions[0].copy())
+
+        def body(rank, comm):
+            return comm.allreduce(contributions[rank].copy(), key="par")
+
+        results = run_on_ranks(world_quad, body)
+        for reduced in results:
+            assert np.asarray(reduced).tobytes() == expected.tobytes()
+
+    def test_fetch_allreduce_is_orchestration_only(self, world_pair):
+        with pytest.raises(ValidationError):
+            world_pair[0].comm().fetch_allreduce()
+
+    def test_bcast_from_nonzero_root(self, world_quad):
+        def body(rank, comm):
+            value = {"w": [1, 2, 3]} if rank == 2 else None
+            return comm.bcast(value, root=2)
+
+        results = run_on_ranks(world_quad, body)
+        assert all(value == {"w": [1, 2, 3]} for value in results)
+
+    def test_self_send(self, world_pair):
+        def body(rank, comm):
+            comm.isend(f"self-{rank}", rank, tag=1)
+            return comm.recv(source=rank, tag=1)
+
+        results = run_on_ranks(world_pair, body)
+        assert results == ["self-0", "self-1"]
+
+    def test_dead_peer_fails_fast_not_hangs(self):
+        worlds = start_local_world(2, op_timeout=30.0)
+        try:
+            worlds[1].abort("simulated crash")  # dies without a goodbye
+
+            def blocked():
+                return worlds[0].comm().recv(source=1, tag=1, timeout=20.0)
+
+            with pytest.raises(MpiTransportError):
+                blocked()
+        finally:
+            for world in worlds:
+                world.close()
+
+    def test_pending_messages_counts_undelivered(self, world_pair):
+        def body(rank, comm):
+            if rank == 0:
+                comm.isend("orphan", 1, tag=9)
+            comm.barrier()
+            return comm.world.pending_messages()
+
+        results = run_on_ranks(world_pair, body)
+        assert results == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# SPMD training parity (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+def _config():
+    return BPMFConfig(num_latent=3, burn_in=2, n_samples=3, alpha=4.0)
+
+
+def _run_pair(tiny_dataset, n_ranks, hyper_mode, injectors=None):
+    """(orchestrated result, socket-world rank-0 result) for one setup."""
+    opts = dict(n_ranks=n_ranks, hyper_mode=hyper_mode, buffer_capacity=8)
+    reference, ref_info = DistributedGibbsSampler(
+        _config(), DistributedOptions(**opts)).run(
+        tiny_dataset.split.train, tiny_dataset.split, seed=11)
+    outcomes = run_local_socket_world(
+        lambda: DistributedGibbsSampler(_config(),
+                                        DistributedOptions(**opts)),
+        n_ranks, tiny_dataset.split.train, tiny_dataset.split, seed=11,
+        injectors=injectors)
+    return reference, ref_info, outcomes
+
+
+class TestTrainingParity:
+    @pytest.mark.parametrize("hyper_mode", ["stats", "gather"])
+    @pytest.mark.parametrize("n_ranks", [2, 4])
+    def test_socket_chain_bit_identical(self, tiny_dataset, n_ranks,
+                                        hyper_mode):
+        reference, _, outcomes = _run_pair(tiny_dataset, n_ranks, hyper_mode)
+        result, info = outcomes[0]
+        assert result is not None
+        # Bitwise equality — exact ties included, not allclose.
+        assert np.array_equal(result.state.user_factors,
+                              reference.state.user_factors)
+        assert np.array_equal(result.state.movie_factors,
+                              reference.state.movie_factors)
+        assert result.rmse_burn_in == reference.rmse_burn_in
+        assert result.rmse_per_sample == reference.rmse_per_sample
+        assert result.rmse_running_mean == reference.rmse_running_mean
+        assert np.array_equal(result.predictions, reference.predictions)
+        # Non-root ranks hold only their blocks.
+        assert all(outcomes[rank][0] is None for rank in range(1, n_ranks))
+        # Traffic flowed over real sockets.
+        assert info.n_messages > 0 and info.bytes_sent > 0
+
+    def test_four_rank_subprocess_chain_bit_identical(self, tmp_path):
+        """The full acceptance criterion: 4 real OS processes, one rank
+        each, rendezvous + mesh over TCP — bit-identical to SimCommWorld."""
+        sizes = dict(users=40, movies=30, num_latent=3, burn_in=2,
+                     n_samples=2, seed=11, data_seed=321)
+        port = free_port()
+        chain = tmp_path / "chain.npz"
+        processes = []
+        for rank in range(4):
+            command = [sys.executable, "-m", "repro.mpi.net",
+                       "--rank", str(rank), "--world", "4",
+                       "--rendezvous", f"127.0.0.1:{port}",
+                       "--program", "train", "--hyper-mode", "gather",
+                       "--users", str(sizes["users"]),
+                       "--movies", str(sizes["movies"]),
+                       "--num-latent", str(sizes["num_latent"]),
+                       "--burn-in", str(sizes["burn_in"]),
+                       "--n-samples", str(sizes["n_samples"]),
+                       "--seed", str(sizes["seed"]),
+                       "--data-seed", str(sizes["data_seed"])]
+            if rank == 0:
+                command += ["--out", str(chain)]
+            processes.append(subprocess.Popen(
+                command, cwd=REPO_ROOT,
+                env={**__import__("os").environ,
+                     "PYTHONPATH": str(REPO_ROOT / "src")}))
+        codes = [process.wait(timeout=240) for process in processes]
+        assert codes == [0, 0, 0, 0]
+
+        from repro.datasets.synthetic import (
+            SyntheticConfig,
+            make_low_rank_dataset,
+        )
+        data = make_low_rank_dataset(SyntheticConfig(
+            n_users=sizes["users"], n_movies=sizes["movies"], rank=4,
+            density=0.25, noise_std=0.3, test_fraction=0.2,
+            seed=sizes["data_seed"]))
+        config = BPMFConfig(num_latent=sizes["num_latent"],
+                            burn_in=sizes["burn_in"],
+                            n_samples=sizes["n_samples"], alpha=4.0)
+        reference, _ = DistributedGibbsSampler(
+            config, DistributedOptions(n_ranks=4, hyper_mode="gather",
+                                       buffer_capacity=16)).run(
+            data.split.train, data.split, seed=sizes["seed"])
+        with np.load(chain) as saved:
+            assert np.array_equal(saved["user_factors"],
+                                  reference.state.user_factors)
+            assert np.array_equal(saved["movie_factors"],
+                                  reference.state.movie_factors)
+            assert np.array_equal(saved["rmse_running_mean"],
+                                  np.asarray(reference.rmse_running_mean))
+            assert np.array_equal(saved["predictions"],
+                                  reference.predictions)
+
+    def test_spmd_rejects_checkpoint_and_resume(self, tiny_dataset):
+        from repro.serving.checkpoint import CheckpointConfig
+
+        worlds = start_local_world(1)
+        try:
+            sampler = DistributedGibbsSampler(
+                _config(), DistributedOptions(
+                    n_ranks=1,
+                    checkpoint=CheckpointConfig(path="/tmp/x.npz")))
+            with pytest.raises(ValidationError):
+                sampler.run(tiny_dataset.split.train, tiny_dataset.split,
+                            comm_world=worlds[0])
+        finally:
+            for world in worlds:
+                world.close()
+
+    def test_world_rank_count_must_match_options(self, tiny_dataset):
+        worlds = start_local_world(2)
+        try:
+            sampler = DistributedGibbsSampler(
+                _config(), DistributedOptions(n_ranks=4))
+            with pytest.raises(ValidationError):
+                sampler.run(tiny_dataset.split.train, tiny_dataset.split,
+                            comm_world=worlds[0])
+        finally:
+            for world in worlds:
+                world.close()
+
+    def test_orchestrated_run_accepts_external_simworld(self, tiny_dataset):
+        from repro.mpi.simmpi import SimCommWorld
+
+        opts = DistributedOptions(n_ranks=2, hyper_mode="gather")
+        world = SimCommWorld(2)
+        result, _ = DistributedGibbsSampler(_config(), opts).run(
+            tiny_dataset.split.train, tiny_dataset.split, seed=11,
+            comm_world=world)
+        reference, _ = DistributedGibbsSampler(_config(), opts).run(
+            tiny_dataset.split.train, tiny_dataset.split, seed=11)
+        assert np.array_equal(result.state.user_factors,
+                              reference.state.user_factors)
+        assert len(world.message_log) > 0
+
+
+# ---------------------------------------------------------------------------
+# chaos integration
+# ---------------------------------------------------------------------------
+
+class TestChaos:
+    def test_benign_faults_keep_the_chain_bit_identical(self, tiny_dataset):
+        """Seeded delays/slow-reads perturb timing, never bits."""
+        events = []
+        for step in range(2, 40, 3):
+            events.append(FaultEvent(site="net.recv", step=step,
+                                     action="slow", arg=0.0))
+            events.append(FaultEvent(site="net.send", step=step,
+                                     action="delay", arg=0.002))
+        injectors = [FaultInjector(FaultPlan(seed=1, events=list(events)))
+                     for _ in range(2)]
+        reference, _, outcomes = _run_pair(tiny_dataset, 2, "gather",
+                                           injectors=injectors)
+        result, _ = outcomes[0]
+        assert np.array_equal(result.state.user_factors,
+                              reference.state.user_factors)
+        assert result.rmse_running_mean == reference.rmse_running_mean
+        assert any(injector.log for injector in injectors)
+
+    def test_injected_reset_fails_fast(self, tiny_dataset):
+        """A reset mid-run kills the world with MpiTransportError —
+        bounded time, no hang."""
+        lethal = FaultPlan(seed=2, events=[
+            FaultEvent(site="net.recv", step=8, action="reset")])
+        injectors = [None, FaultInjector(lethal)]
+        opts = dict(n_ranks=2, hyper_mode="gather", buffer_capacity=8)
+        with pytest.raises(MpiTransportError):
+            run_local_socket_world(
+                lambda: DistributedGibbsSampler(
+                    _config(), DistributedOptions(**opts)),
+                2, tiny_dataset.split.train, tiny_dataset.split, seed=11,
+                injectors=injectors, op_timeout=30.0)
+
+    def test_connect_fault_site_is_checked(self):
+        plan = FaultPlan(seed=3, events=[
+            FaultEvent(site="net.connect", step=1, action="fail")])
+        injectors = [None, FaultInjector(plan)]
+        with pytest.raises(ConnectionError):
+            start_local_world(2, injectors=injectors)
+
+
+# ---------------------------------------------------------------------------
+# obs: metrics provider + spans
+# ---------------------------------------------------------------------------
+
+class TestObs:
+    def test_transport_counters_registered_under_mpi(self, world_pair):
+        registry = MetricsRegistry()
+        for world in world_pair:
+            world.register_metrics(registry)
+
+        def body(rank, comm):
+            comm.isend(np.zeros(16), 1 - rank, tag=1)
+            comm.barrier()
+            comm.recv(tag=1)
+            comm.allreduce(np.ones(2), key="m")
+            return None
+
+        run_on_ranks(world_pair, body)
+        snapshot = registry.snapshot()
+        assert snapshot["mpi.allreduce{rank=0}"] == 1
+        assert snapshot["mpi.barrier{rank=1}"] == 1
+        assert snapshot["mpi.sent.1.messages{rank=0}"] > 0
+        assert snapshot["mpi.received.0.bytes{rank=1}"] > 0
+        assert snapshot["mpi.pending{rank=0}"] == 0
+
+    def test_sweep_and_exchange_spans_emitted(self, tiny_dataset, tmp_path):
+        tracer = Tracer(sink_dir=str(tmp_path), sink_name="mpi.jsonl")
+        opts = dict(n_ranks=1, hyper_mode="stats")
+        worlds = start_local_world(1)
+        try:
+            sampler = DistributedGibbsSampler(_config(),
+                                              DistributedOptions(**opts))
+            with tracer.start("mpi.rank", attrs={"rank": 0}):
+                sampler.run(tiny_dataset.split.train, tiny_dataset.split,
+                            seed=11, comm_world=worlds[0])
+        finally:
+            for world in worlds:
+                world.close()
+        spans = [json.loads(line)
+                 for line in (tmp_path / "mpi.jsonl").read_text().splitlines()]
+        names = {span["name"] for span in spans}
+        assert "mpi.sweep" in names and "mpi.exchange" in names
+        sweeps = [span for span in spans if span["name"] == "mpi.sweep"]
+        total = _config().total_iterations
+        assert len(sweeps) == total
+        # Exchanges are children of their sweep.
+        sweep_ids = {span["span_id"] for span in sweeps}
+        exchanges = [span for span in spans if span["name"] == "mpi.exchange"]
+        assert exchanges and all(span["parent_id"] in sweep_ids
+                                 for span in exchanges)

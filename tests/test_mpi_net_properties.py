@@ -1,0 +1,222 @@
+"""Hypothesis verb parity: SimComm and SocketComm match identically.
+
+Random round-structured programs — rank-major tagged sends, a barrier,
+then per-rank receive descriptors (some weakened to ``ANY_SOURCE`` /
+``ANY_TAG``), optionally an allreduce — execute on both worlds.  The
+property: every rank receives the *identical payload sequence*, i.e. the
+socket world's deterministic ``(epoch, source, seq)`` matching order
+equals the simulated world's posting order, weakened wildcards included.
+
+Programs whose weakened descriptors steal a message an exact descriptor
+needed later make the simulated run raise (it matches eagerly and then
+deadlocks); those are skipped via ``assume`` — the socket world would
+block on exactly the same missing message, which a parity test cannot
+observe in bounded time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.mpi.net import ANY_SOURCE, ANY_TAG, start_local_world
+from repro.mpi.simmpi import SimCommWorld
+from repro.utils.validation import ValidationError
+
+# Socket worlds spin up real listeners per example; keep the count modest
+# and the deadline off (connect latency is environment noise).
+COMMON_SETTINGS = settings(max_examples=15, deadline=None)
+
+
+@st.composite
+def round_programs(draw):
+    """(n_ranks, rounds) — see module docstring for the round shape."""
+    n_ranks = draw(st.integers(min_value=2, max_value=3))
+    n_rounds = draw(st.integers(min_value=1, max_value=3))
+    rounds = []
+    serial = 0
+    for _ in range(n_rounds):
+        sends = []  # (src, dst, tag, payload) in rank-major posting order
+        for src in range(n_ranks):
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                dst = draw(st.integers(min_value=0, max_value=n_ranks - 1))
+                tag = draw(st.integers(min_value=0, max_value=2))
+                sends.append((src, dst, tag, {"serial": serial,
+                                              "src": src, "tag": tag}))
+                serial += 1
+        recvs = {rank: [] for rank in range(n_ranks)}
+        for rank in range(n_ranks):
+            incoming = [(src, tag) for src, dst, tag, _ in sends
+                        if dst == rank]
+            if not incoming:
+                continue
+            n_recv = draw(st.integers(min_value=0,
+                                      max_value=len(incoming)))
+            order = draw(st.permutations(incoming))
+            for source, tag in order[:n_recv]:
+                if draw(st.booleans()):
+                    source = ANY_SOURCE
+                if draw(st.booleans()):
+                    tag = ANY_TAG
+                recvs[rank].append((source, tag))
+        do_allreduce = draw(st.booleans())
+        contributions = None
+        if do_allreduce:
+            contributions = [
+                np.array(draw(st.lists(
+                    st.floats(min_value=-8.0, max_value=8.0,
+                              allow_nan=False, width=32),
+                    min_size=2, max_size=2)), dtype=np.float64)
+                for _ in range(n_ranks)]
+        rounds.append((sends, recvs, contributions))
+    return n_ranks, rounds
+
+
+def _run_sim(n_ranks, rounds):
+    """Orchestrated execution: rank-major posting, in-order receives."""
+    world = SimCommWorld(n_ranks)
+    comms = world.comms()
+    received = {rank: [] for rank in range(n_ranks)}
+    for index, (sends, recvs, contributions) in enumerate(rounds):
+        for src, dst, tag, payload in sends:
+            comms[src].isend(payload, dst, tag=tag)
+        for rank in range(n_ranks):
+            for source, tag in recvs[rank]:
+                received[rank].append(comms[rank].recv(source=source,
+                                                       tag=tag))
+        if contributions is not None:
+            key = f"round-{index}"
+            result = None
+            for rank in range(n_ranks):
+                value = comms[rank].allreduce(contributions[rank], key=key)
+                if value is not None:
+                    result = value
+            for _ in range(n_ranks - 1):
+                comms[0].fetch_allreduce(key=key)
+            for rank in range(n_ranks):
+                received[rank].append(("allreduce", result.tobytes()))
+    return received
+
+
+def _run_socket(n_ranks, rounds):
+    """The same program, one thread per rank over localhost sockets."""
+    worlds = start_local_world(n_ranks, op_timeout=30.0)
+    received = {rank: [] for rank in range(n_ranks)}
+    errors = [None] * n_ranks
+
+    def drive(rank):
+        comm = worlds[rank].comm()
+        try:
+            for sends, recvs, contributions in rounds:
+                for src, dst, tag, payload in sends:
+                    if src == rank:
+                        comm.isend(payload, dst, tag=tag)
+                # Flush barrier: every send above is now in a mailbox,
+                # epoch-stamped below any later round's traffic.
+                comm.barrier()
+                for source, tag in recvs[rank]:
+                    received[rank].append(comm.recv(source=source, tag=tag,
+                                                    timeout=20.0))
+                if contributions is not None:
+                    value = comm.allreduce(contributions[rank])
+                    received[rank].append(("allreduce", value.tobytes()))
+                # Round boundary: receives of this round happen before
+                # any rank posts the next round's sends.
+                comm.barrier()
+        except BaseException as error:  # surfaced to hypothesis below
+            errors[rank] = error
+            worlds[rank].abort(f"rank {rank} failed: {error}")
+
+    threads = [threading.Thread(target=drive, args=(rank,), daemon=True)
+               for rank in range(n_ranks)]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+    finally:
+        for world in worlds:
+            world.close()
+    failures = [error for error in errors if error is not None]
+    if failures:
+        raise failures[0]
+    return received
+
+
+def _canonical(sequence):
+    """Wire round-trips turn tuples into lists; compare structure-blind."""
+    out = []
+    for item in sequence:
+        if isinstance(item, tuple):
+            out.append(tuple(item))
+        else:
+            out.append(item)
+    return out
+
+
+@given(round_programs())
+@COMMON_SETTINGS
+def test_socket_and_sim_deliver_identical_sequences(program):
+    n_ranks, rounds = program
+    try:
+        sim = _run_sim(n_ranks, rounds)
+    except ValidationError:
+        # A weakened wildcard consumed a message an exact descriptor
+        # needed: the program deadlocks on any transport.  Skip.
+        assume(False)
+        return
+    socket = _run_socket(n_ranks, rounds)
+    for rank in range(n_ranks):
+        assert _canonical(socket[rank]) == _canonical(sim[rank]), (
+            f"rank {rank}: socket={socket[rank]} sim={sim[rank]}")
+
+
+@given(st.integers(min_value=2, max_value=4),
+       st.lists(st.floats(min_value=-16.0, max_value=16.0,
+                          allow_nan=False, width=32),
+                min_size=1, max_size=6))
+@COMMON_SETTINGS
+def test_allreduce_bitwise_matches_sim(n_ranks, values):
+    """Socket allreduce reproduces SimComm's rank-order float association
+    bit for bit, on every rank."""
+    base = np.array(values, dtype=np.float64)
+    contributions = [base * (rank + 1) + rank / 3.0
+                     for rank in range(n_ranks)]
+
+    sim_world = SimCommWorld(n_ranks)
+    sim_comms = sim_world.comms()
+    expected = None
+    for rank in range(n_ranks):
+        value = sim_comms[rank].allreduce(contributions[rank], key="p")
+        if value is not None:
+            expected = value
+    for _ in range(n_ranks - 1):
+        sim_comms[0].fetch_allreduce(key="p")
+
+    worlds = start_local_world(n_ranks, op_timeout=30.0)
+    results = [None] * n_ranks
+    errors = [None] * n_ranks
+
+    def drive(rank):
+        try:
+            results[rank] = worlds[rank].comm().allreduce(
+                contributions[rank].copy(), key="p")
+        except BaseException as error:
+            errors[rank] = error
+            worlds[rank].abort(f"rank {rank} failed: {error}")
+
+    threads = [threading.Thread(target=drive, args=(rank,), daemon=True)
+               for rank in range(n_ranks)]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+    finally:
+        for world in worlds:
+            world.close()
+    assert not [error for error in errors if error is not None]
+    for result in results:
+        assert np.asarray(result).tobytes() == expected.tobytes()
